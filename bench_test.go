@@ -1,0 +1,206 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// runs a reduced-scale version of the corresponding experiment (full scale:
+// cmd/nyx-bench). Throughput-style results are reported via custom metrics
+// so `go test -bench` output doubles as a summary of the reproduction.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+)
+
+// benchCfg is the reduced experiment scale used by benchmarks.
+func benchCfg(targets ...string) experiments.Config {
+	return experiments.Config{
+		CampaignTime: 6 * time.Second,
+		Reps:         1,
+		Seed:         1,
+		Targets:      targets,
+	}
+}
+
+// benchTargets is a representative subset (small, medium, large, UDP).
+var benchTargets = []string{"lightftp", "dnsmasq", "proftpd"}
+
+// BenchmarkTable1Crashes reproduces the crash-discovery comparison on
+// targets with shallow bugs.
+func BenchmarkTable1Crashes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchCfg("dnsmasq", "tinydtls", "proftpd"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		crashes := 0
+		for _, row := range rows {
+			for _, mark := range row.Found {
+				if mark != "-" && mark != "n/a" {
+					crashes++
+				}
+			}
+		}
+		b.ReportMetric(float64(crashes), "crash-cells")
+	}
+}
+
+// BenchmarkTable2Coverage reproduces the median-coverage comparison and
+// reports Nyx-Net's average gain over AFLnet.
+func BenchmarkTable2Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchCfg(benchTargets...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		for _, row := range rows {
+			gain += row.Delta[experiments.FNyxAggressive]
+		}
+		b.ReportMetric(gain/float64(len(rows)), "avg-nyx-gain-%")
+	}
+}
+
+// BenchmarkTable3Throughput reproduces the execs/sec comparison and reports
+// the Nyx-aggressive : AFLnet throughput ratio.
+func BenchmarkTable3Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchCfg(benchTargets...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratio float64
+		for _, row := range rows {
+			if afl := row.Mean[experiments.FAFLnet]; afl > 0 {
+				ratio += row.Mean[experiments.FNyxAggressive] / afl
+			}
+		}
+		b.ReportMetric(ratio/float64(len(rows)), "nyx/aflnet-speedup")
+	}
+}
+
+// BenchmarkTable4Mario reproduces the Mario time-to-solve experiment on an
+// easy level and reports the aggressive policy's solve time.
+func BenchmarkTable4Mario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Config{CampaignTime: 30 * time.Minute, Reps: 1, Seed: 11}
+		rows, err := experiments.Table4(cfg, []string{"1-4"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := rows[0].Times[experiments.FNyxAggressive]
+		if t > 0 {
+			b.ReportMetric(t.Seconds(), "virt-s-to-solve")
+		}
+	}
+}
+
+// BenchmarkTable5TimeToCoverage reproduces the time-to-equal-coverage
+// speedup factors.
+func BenchmarkTable5TimeToCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(benchCfg("lightftp"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := rows[0].Speedup[experiments.FNyxAggressive]; s > 0 {
+			b.ReportMetric(s, "speedup-x")
+		}
+	}
+}
+
+// BenchmarkFigure5CoverageOverTime regenerates the coverage-over-time
+// series.
+func BenchmarkFigure5CoverageOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure5(benchCfg("lightftp"),
+			[]experiments.FuzzerID{experiments.FAFLnet, experiments.FNyxAggressive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(series)), "series")
+	}
+}
+
+// BenchmarkFigure6SnapshotCreate measures incremental snapshot creation in
+// wall time at a typical dirty-set size (the paper's Figure 6, create).
+func BenchmarkFigure6SnapshotCreate(b *testing.B) {
+	m := mem.New(1 << 16)
+	m.TakeRoot()
+	buf := make([]byte, mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for p := 0; p < 512; p++ {
+			copy(m.TouchPage(uint32(p)), buf)
+		}
+		b.StartTimer()
+		if err := m.TakeIncremental(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6SnapshotLoad measures incremental snapshot restore in
+// wall time (the paper's Figure 6, load).
+func BenchmarkFigure6SnapshotLoad(b *testing.B) {
+	m := mem.New(1 << 16)
+	m.TakeRoot()
+	buf := make([]byte, mem.PageSize)
+	for p := 0; p < 512; p++ {
+		copy(m.TouchPage(uint32(p)), buf)
+	}
+	if err := m.TakeIncremental(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for p := 0; p < 512; p++ {
+			copy(m.TouchPage(uint32(p)), buf)
+		}
+		b.StartTimer()
+		if err := m.RestoreIncremental(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6AgamottoComparison runs the full Figure 6 sweep (both
+// systems, both VM sizes) at reduced point count.
+func BenchmarkFigure6AgamottoComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure6([]int{4096, 16384}, []int{16, 256}, 2)
+		b.ReportMetric(float64(len(points)), "points")
+	}
+}
+
+// BenchmarkScalabilitySharedRoot measures the §5.3 fleet-memory ratio.
+func BenchmarkScalabilitySharedRoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Scalability(80, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Ratio, "fleet/single-mem-ratio")
+	}
+}
+
+// BenchmarkAblationDirtyTracking compares stack vs bitmap-walk resets.
+func BenchmarkAblationDirtyTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.AblationDirtyTracking()
+		b.ReportMetric(rs[1].Value/rs[0].Value, "bitmap/stack-cost-ratio")
+	}
+}
+
+// BenchmarkAblationSnapshotReuse sweeps the reuse count.
+func BenchmarkAblationSnapshotReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationSnapshotReuse([]int{1, 50}, 3*time.Second, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[1].Value/rs[0].Value, "reuse50/reuse1-throughput")
+	}
+}

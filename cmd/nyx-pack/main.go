@@ -1,0 +1,102 @@
+// Command nyx-pack bundles a "share folder" for a target: the serialized
+// seed inputs (optionally converted from a PCAP capture), the dictionary,
+// and a spec summary — step (iv) of the §5.4 workflow.
+//
+// Usage:
+//
+//	nyx-pack -target lightftp -out share/
+//	nyx-pack -target lightftp -pcap capture.pcap -out share/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/builder"
+	"repro/internal/pcap"
+	"repro/internal/spec"
+	"repro/internal/targets"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "", "target to pack (required)")
+		out    = flag.String("out", "share", "output directory")
+		pcapIn = flag.String("pcap", "", "optional PCAP capture to convert into seeds")
+		split  = flag.String("split", "segments", "pcap dissector: segments | crlf | len16")
+	)
+	flag.Parse()
+	if *target == "" {
+		fatalf("-target is required")
+	}
+
+	inst, err := targets.Launch(*target, targets.LaunchConfig{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.MkdirAll(filepath.Join(*out, "seeds"), 0o755); err != nil {
+		fatalf("%v", err)
+	}
+
+	seeds := inst.Seeds()
+	if *pcapIn != "" {
+		f, err := os.Open(*pcapIn)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pkts, err := pcap.Read(f)
+		f.Close()
+		if err != nil {
+			fatalf("parsing %s: %v", *pcapIn, err)
+		}
+		var d pcap.Dissector
+		switch *split {
+		case "segments":
+			d = nil // one logical packet per TCP segment
+		case "crlf":
+			d = pcap.SplitCRLF
+		case "len16":
+			d = pcap.SplitLengthPrefix16
+		default:
+			fatalf("unknown dissector %q", *split)
+		}
+		converted, err := builder.FromPCAP(inst.Spec, inst.Info.Port, pkts, d)
+		if err != nil {
+			fatalf("converting capture: %v", err)
+		}
+		fmt.Printf("[*] converted %d flows from %s\n", len(converted), *pcapIn)
+		seeds = append(seeds, converted...)
+	}
+
+	for i, s := range seeds {
+		path := filepath.Join(*out, "seeds", fmt.Sprintf("seed-%03d.nyx", i))
+		if err := os.WriteFile(path, spec.Serialize(s), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	var dict []byte
+	for _, tok := range inst.Info.Dict {
+		dict = append(dict, fmt.Sprintf("%q\n", tok)...)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "dict.txt"), dict, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+
+	specTxt := fmt.Sprintf("target: %s\nport: %s\nnodes:\n", *target, inst.Info.Port)
+	for i, n := range inst.Spec.Nodes {
+		specTxt += fmt.Sprintf("  %2d %-20s kind=%d borrows=%d outputs=%d data=%v\n",
+			i, n.Name, n.Kind, len(n.Borrows), len(n.Outputs), n.HasData)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "spec.txt"), []byte(specTxt), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("[*] packed %d seeds + dict + spec into %s/\n", len(seeds), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nyx-pack: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command nyx-replay re-executes a serialized input (e.g. a crash written
+// by nyx-net -crash-dir) against a freshly booted target and reports what
+// happens — crash triage from a clean state, the reproducibility guarantee
+// snapshot fuzzing provides.
+//
+// Usage:
+//
+//	nyx-replay -target lightftp -input crash-000.nyx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/spec"
+	"repro/internal/targets"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "", "target to replay against (required)")
+		input  = flag.String("input", "", "serialized input file (required)")
+		asan   = flag.Bool("asan", false, "enable AddressSanitizer-like checking")
+	)
+	flag.Parse()
+	if *target == "" || *input == "" {
+		fatalf("-target and -input are required")
+	}
+
+	raw, err := os.ReadFile(*input)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	in, err := spec.Deserialize(raw)
+	if err != nil {
+		fatalf("decoding %s: %v", *input, err)
+	}
+
+	inst, err := targets.Launch(*target, targets.LaunchConfig{Asan: *asan})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := inst.Spec.Validate(in); err != nil {
+		fatalf("input does not validate against %s's spec: %v", *target, err)
+	}
+
+	var tr coverage.Trace
+	res, err := inst.Agent.RunFromRoot(in, &tr)
+	if err != nil {
+		fatalf("execution: %v", err)
+	}
+	fmt.Printf("[*] replayed %d ops (%d packets) in %v virtual\n",
+		res.OpsExecuted, res.PacketsDelivered, res.VirtTime.Round(time.Microsecond))
+	fmt.Printf("    edges hit: %d\n", tr.CountEdges())
+	if res.Crashed {
+		fmt.Printf("    CRASH at op %d: [%s] %s\n", res.CrashOp, res.Crash.Kind, res.Crash.Msg)
+		os.Exit(3)
+	}
+	fmt.Println("    no crash")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nyx-replay: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Nyx-Net: Network
+// Fuzzing with Incremental Snapshots" (Schumilo et al., EuroSys 2022).
+//
+// The library lives under internal/: a simulated whole-system VM substrate
+// (mem, device, vm), an in-guest POSIX-ish kernel and network emulation
+// layer (guest, netemu), Nyx's affine-typed bytecode input model (spec,
+// builder, pcap), the snapshot-placement fuzzer itself (core), the paper's
+// comparison fuzzers (baseline), the evaluation workloads (targets, mario)
+// and the experiment harness regenerating every table and figure
+// (experiments). See README.md for a tour and DESIGN.md for the
+// paper-to-module map.
+package repro

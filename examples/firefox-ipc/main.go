@@ -1,0 +1,43 @@
+// firefox-ipc: fuzz the multi-connection IPC interface of the simulated
+// browser parent process (§5.6) — several sockets live in one input, and
+// the fuzzer hunts the null-dereference bugs the paper reported.
+//
+//	go run ./examples/firefox-ipc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/targets"
+)
+
+func main() {
+	inst, err := targets.Launch("firefox-ipc", targets.LaunchConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack surface: %d IPC sockets\n", len(inst.Target.Ports()))
+
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy: core.PolicyBalanced,
+		Seeds:  inst.Seeds(),
+		Rand:   rand.New(rand.NewSource(3)),
+		Dict:   inst.Info.Dict,
+	})
+
+	budget := 10 * time.Minute // virtual
+	for f.Elapsed() < budget && len(f.Crashes) < 3 {
+		if err := f.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("found %d unique IPC bugs in %v virtual (%d execs):\n",
+		len(f.Crashes), f.Elapsed().Round(time.Second), f.Execs())
+	for i, c := range f.Crashes {
+		fmt.Printf("  #%d [%s] %s\n", i, c.Kind, c.Msg)
+	}
+}

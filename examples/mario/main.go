@@ -1,0 +1,50 @@
+// mario: solve Super Mario level 1-1 with aggressive incremental snapshots
+// (the §5.3 experiment) and report the time-to-solve and the replay.
+//
+//	go run ./examples/mario
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mario"
+)
+
+func main() {
+	inst, err := mario.Launch(1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy: core.PolicyAggressive,
+		Seeds:  inst.Seeds(),
+		Rand:   rand.New(rand.NewSource(1)),
+		Dict:   inst.Dict(),
+	})
+
+	budget := 2 * time.Hour // virtual
+	for f.Elapsed() < budget && len(f.Crashes) == 0 {
+		if err := f.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(f.Crashes) == 0 {
+		fmt.Printf("did not solve 1-1 within %v virtual (%d execs)\n", budget, f.Execs())
+		return
+	}
+	solve := f.Crashes[0]
+	fmt.Printf("solved 1-1 in %v virtual time\n", solve.FoundAt.Round(time.Millisecond))
+	fmt.Printf("  %s\n", solve.Msg)
+	fmt.Printf("  execs: %d total, %d resumed from incremental snapshots\n",
+		f.Execs(), f.SnapshotExecs())
+	fmt.Printf("  winning input: %d controller packets\n", solve.Input.Packets(inst.Spec))
+
+	// Figure 2-style visualization: replay the winning input and draw
+	// the trajectory over the level.
+	trace, _ := mario.Replay(1, 1, solve.Input, inst.Spec)
+	fmt.Println(mario.Render(mario.BuildLevel(1, 1), trace))
+}

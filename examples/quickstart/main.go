@@ -1,0 +1,44 @@
+// Quickstart: fuzz the bundled echo server for one virtual minute with
+// incremental snapshots and print what the fuzzer found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/targets"
+)
+
+func main() {
+	// 1. Launch the target in a fresh simulated VM. Startup runs once;
+	//    the root snapshot is taken right before the first input byte.
+	inst, err := targets.Launch("echo", targets.LaunchConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a fuzzer with the balanced snapshot placement policy and
+	//    the target's bundled seeds + dictionary.
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy: core.PolicyBalanced,
+		Seeds:  inst.Seeds(),
+		Rand:   rand.New(rand.NewSource(42)),
+		Dict:   inst.Info.Dict,
+	})
+
+	// 3. Fuzz for one minute of virtual time.
+	if err := f.RunFor(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executions:       %d (%.0f/virtual-second)\n", f.Execs(), f.ExecsPerSecond())
+	fmt.Printf("snapshot resumes: %d\n", f.SnapshotExecs())
+	fmt.Printf("branch coverage:  %d edges\n", f.Coverage())
+	fmt.Printf("queue entries:    %d\n", len(f.Queue))
+	fmt.Printf("crashes:          %d\n", len(f.Crashes))
+}

@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// AgamottoManager reimplements Agamotto's incremental checkpointing design
+// for the Figure 6 comparison: a *tree* of snapshots (each node stores the
+// pages dirtied since its parent), restores that discover dirty pages by
+// walking the full bitmap (no dirty stack), and a global memory budget with
+// LRU eviction — all three of the design points §5.3 contrasts with
+// Nyx-Net's single recreated snapshot.
+type AgamottoManager struct {
+	npages int
+	pages  [][]byte
+	dirty  []byte // bitmap only: Agamotto has no dirty stack
+
+	nodes  []*agNode
+	active *agNode // snapshot the VM currently derives from
+	root   *agNode
+
+	// Budget is the snapshot storage budget in bytes; once exceeded,
+	// least-recently-used non-root snapshots are evicted (the paper
+	// notes Agamotto slows down once its 1 GiB budget fills).
+	Budget     int64
+	storedCost int64
+	lruClock   uint64
+
+	stats AgamottoStats
+}
+
+// AgamottoStats counts manager activity.
+type AgamottoStats struct {
+	Checkpoints uint64
+	Restores    uint64
+	Evictions   uint64
+	PagesStored uint64
+	PagesReset  uint64
+	BitmapWalks uint64
+}
+
+type agNode struct {
+	id       int
+	parent   *agNode
+	delta    map[uint32][]byte // pages as of this snapshot, differing from parent
+	lastUsed uint64
+	children int
+}
+
+// ErrNoCheckpoint is returned when restoring without any checkpoint.
+var ErrNoCheckpoint = errors.New("agamotto: no checkpoint taken")
+
+// NewAgamotto creates a manager for a VM with npages pages.
+func NewAgamotto(npages int, budget int64) *AgamottoManager {
+	return &AgamottoManager{
+		npages: npages,
+		pages:  make([][]byte, npages),
+		dirty:  make([]byte, npages),
+		Budget: budget,
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (a *AgamottoManager) Stats() AgamottoStats { return a.stats }
+
+// NumSnapshots returns the live snapshot count.
+func (a *AgamottoManager) NumSnapshots() int {
+	n := 0
+	for _, node := range a.nodes {
+		if node != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// WritePage writes data into page pn, marking it dirty.
+func (a *AgamottoManager) WritePage(pn uint32, data []byte) {
+	if int(pn) >= a.npages {
+		panic(fmt.Sprintf("agamotto: page %d out of range", pn))
+	}
+	p := a.pages[pn]
+	if p == nil {
+		p = make([]byte, mem.PageSize)
+		a.pages[pn] = p
+	}
+	copy(p, data)
+	a.dirty[pn] = 1
+}
+
+// ReadPage returns the content of page pn (nil = zero).
+func (a *AgamottoManager) ReadPage(pn uint32) []byte { return a.pages[pn] }
+
+// Checkpoint creates a snapshot of the current state as a child of the
+// active snapshot, storing the pages dirtied since then.
+func (a *AgamottoManager) Checkpoint() {
+	a.lruClock++
+	node := &agNode{id: len(a.nodes), parent: a.active, delta: make(map[uint32][]byte), lastUsed: a.lruClock}
+	// Agamotto walks the whole bitmap to find the delta.
+	a.stats.BitmapWalks++
+	for pn := 0; pn < a.npages; pn++ {
+		if a.dirty[pn] == 0 {
+			continue
+		}
+		cp := make([]byte, mem.PageSize)
+		if a.pages[pn] != nil {
+			copy(cp, a.pages[pn])
+		}
+		node.delta[uint32(pn)] = cp
+		a.dirty[pn] = 0
+		a.stats.PagesStored++
+		a.storedCost += mem.PageSize
+	}
+	if a.active != nil {
+		a.active.children++
+	}
+	a.nodes = append(a.nodes, node)
+	if a.root == nil {
+		a.root = node
+	}
+	a.active = node
+	a.stats.Checkpoints++
+	a.evictIfNeeded()
+}
+
+// lookup finds the content of page pn along the snapshot chain.
+func (a *AgamottoManager) lookup(node *agNode, pn uint32) []byte {
+	for n := node; n != nil; n = n.parent {
+		if p, ok := n.delta[pn]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// Restore resets the VM to the active snapshot: walk the bitmap, reset each
+// dirty page from the snapshot chain.
+func (a *AgamottoManager) Restore() error {
+	if a.active == nil {
+		return ErrNoCheckpoint
+	}
+	a.lruClock++
+	a.active.lastUsed = a.lruClock
+	a.stats.BitmapWalks++
+	for pn := 0; pn < a.npages; pn++ {
+		if a.dirty[pn] == 0 {
+			continue
+		}
+		src := a.lookup(a.active, uint32(pn))
+		dst := a.pages[pn]
+		if src == nil {
+			if dst != nil {
+				for i := range dst {
+					dst[i] = 0
+				}
+			}
+		} else {
+			if dst == nil {
+				dst = make([]byte, mem.PageSize)
+				a.pages[pn] = dst
+			}
+			copy(dst, src)
+		}
+		a.dirty[pn] = 0
+		a.stats.PagesReset++
+	}
+	a.stats.Restores++
+	return nil
+}
+
+// RestoreTo makes the given snapshot index active and restores to it.
+func (a *AgamottoManager) RestoreTo(id int) error {
+	if id < 0 || id >= len(a.nodes) || a.nodes[id] == nil {
+		return fmt.Errorf("agamotto: no snapshot %d (evicted?)", id)
+	}
+	// Pages dirtied relative to the old snapshot must be reconsidered
+	// against the new one; conservatively mark the union dirty.
+	for n := a.active; n != nil; n = n.parent {
+		for pn := range n.delta {
+			a.dirty[pn] = 1
+		}
+	}
+	a.active = a.nodes[id]
+	for n := a.active; n != nil; n = n.parent {
+		for pn := range n.delta {
+			a.dirty[pn] = 1
+		}
+	}
+	return a.Restore()
+}
+
+// evictIfNeeded drops least-recently-used leaf snapshots until the stored
+// bytes fit the budget. The root and the active snapshot are never evicted.
+func (a *AgamottoManager) evictIfNeeded() {
+	for a.Budget > 0 && a.storedCost > a.Budget {
+		var victim *agNode
+		for _, n := range a.nodes {
+			if n == nil || n == a.root || n == a.active || n.children > 0 {
+				continue
+			}
+			if victim == nil || n.lastUsed < victim.lastUsed {
+				victim = n
+			}
+		}
+		if victim == nil {
+			return
+		}
+		a.storedCost -= int64(len(victim.delta)) * mem.PageSize
+		if victim.parent != nil {
+			victim.parent.children--
+		}
+		a.nodes[victim.id] = nil
+		a.stats.Evictions++
+	}
+}

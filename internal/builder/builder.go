@@ -1,0 +1,143 @@
+// Package builder is the seed-construction library of §3.5/§4.4: the Go
+// analogue of the Python metaprogramming layer that records opcode
+// invocations into a call graph and serializes them to Nyx bytecode.
+// Together with package pcap it turns network captures into seed inputs —
+// the capability whose absence in Nyx made network fuzzing impractical.
+package builder
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/pcap"
+	"repro/internal/spec"
+)
+
+// Handle is a tracked value returned by a builder call; it knows which call
+// produced it (the "tracking objects" of §4.4).
+type Handle struct {
+	valueIndex int
+	edge       spec.EdgeID
+}
+
+// Builder records opcode invocations and emits a valid Input.
+type Builder struct {
+	s      *spec.Spec
+	ops    []spec.Op
+	values []spec.EdgeID
+	err    error
+}
+
+// New creates a builder for spec s.
+func New(s *spec.Spec) *Builder { return &Builder{s: s} }
+
+// Err returns the first recording error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Call records an invocation of the named node with the given argument
+// handles and payload, returning handles for the node's outputs.
+func (b *Builder) Call(node string, data []byte, args ...Handle) []Handle {
+	if b.err != nil {
+		return nil
+	}
+	nid, ok := b.s.NodeByName(node)
+	if !ok {
+		b.err = fmt.Errorf("builder: unknown node %q", node)
+		return nil
+	}
+	nt := b.s.Nodes[nid]
+	if len(args) != len(nt.Borrows) {
+		b.err = fmt.Errorf("builder: %s wants %d args, got %d", node, len(nt.Borrows), len(args))
+		return nil
+	}
+	op := spec.Op{Node: nid}
+	for i, a := range args {
+		if a.edge != nt.Borrows[i] {
+			b.err = fmt.Errorf("builder: %s arg %d has wrong type", node, i)
+			return nil
+		}
+		op.Args = append(op.Args, uint16(a.valueIndex))
+	}
+	if nt.HasData {
+		op.Data = append([]byte(nil), data...)
+	} else if len(data) > 0 {
+		b.err = fmt.Errorf("builder: %s takes no payload", node)
+		return nil
+	}
+	b.ops = append(b.ops, op)
+	outs := make([]Handle, len(nt.Outputs))
+	for i, e := range nt.Outputs {
+		outs[i] = Handle{valueIndex: len(b.values), edge: e}
+		b.values = append(b.values, e)
+	}
+	return outs
+}
+
+// Connection records a connect opcode for the given port and returns the
+// connection handle (mirroring Listing 2's b.connection()).
+func (b *Builder) Connection(port guest.Port) Handle {
+	name := fmt.Sprintf("connect_%s_%d", port.Proto, port.Num)
+	outs := b.Call(name, nil)
+	if len(outs) == 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("builder: %s has no outputs", name)
+		}
+		return Handle{}
+	}
+	return outs[0]
+}
+
+// Packet records a packet opcode on con (mirroring Listing 2's b.packet()).
+func (b *Builder) Packet(con Handle, data []byte) {
+	b.Call("packet", data, con)
+}
+
+// Close records a close opcode on con.
+func (b *Builder) Close(con Handle) {
+	b.Call("close", nil, con)
+}
+
+// Build serializes the recorded call graph into an Input. It validates
+// against the spec; a recording error or invalid graph returns an error.
+func (b *Builder) Build() (*spec.Input, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	in := &spec.Input{Ops: b.ops, SnapshotAt: -1}
+	if err := b.s.Validate(in); err != nil {
+		return nil, fmt.Errorf("builder: built invalid input: %w", err)
+	}
+	return in.Clone(), nil
+}
+
+// FromFlow converts one captured flow into a seed input: connect, replay
+// each client→server message as a packet, close.
+func FromFlow(s *spec.Spec, port guest.Port, f *pcap.Flow, d pcap.Dissector) (*spec.Input, error) {
+	b := New(s)
+	con := b.Connection(port)
+	msgs := f.Messages
+	if d != nil {
+		msgs = f.Resplit(d)
+	}
+	for _, m := range msgs {
+		b.Packet(con, m)
+	}
+	b.Close(con)
+	return b.Build()
+}
+
+// FromPCAP converts all flows against serverPort into seed inputs — the
+// end-to-end "use Wireshark to obtain a set of PCAPs ... split the PCAP
+// into individual packets used as seed" pipeline of §5.4.
+func FromPCAP(s *spec.Spec, port guest.Port, pkts []pcap.Packet, d pcap.Dissector) ([]*spec.Input, error) {
+	flows := pcap.ExtractFlows(pkts, port.Num)
+	var out []*spec.Input
+	for i := range flows {
+		in, err := FromFlow(s, port, &flows[i], d)
+		if err != nil {
+			return nil, fmt.Errorf("builder: flow %d: %w", i, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

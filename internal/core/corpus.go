@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// SaveCorpus writes every queue entry (and crashes, under crashes/) to dir
+// as serialized bytecode, so campaigns can be resumed or corpora shared —
+// the share-folder seed format of the §5.4 workflow.
+func (f *Fuzzer) SaveCorpus(dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "queue"), 0o755); err != nil {
+		return fmt.Errorf("core: save corpus: %w", err)
+	}
+	for _, e := range f.Queue {
+		path := filepath.Join(dir, "queue", fmt.Sprintf("id-%06d.nyx", e.ID))
+		if err := os.WriteFile(path, spec.Serialize(e.Input), 0o644); err != nil {
+			return fmt.Errorf("core: save corpus: %w", err)
+		}
+	}
+	if len(f.Crashes) > 0 {
+		if err := os.MkdirAll(filepath.Join(dir, "crashes"), 0o755); err != nil {
+			return fmt.Errorf("core: save corpus: %w", err)
+		}
+		for i, c := range f.Crashes {
+			path := filepath.Join(dir, "crashes", fmt.Sprintf("crash-%03d-%s.nyx", i, sanitize(string(c.Kind))))
+			if err := os.WriteFile(path, spec.Serialize(c.Input), 0o644); err != nil {
+				return fmt.Errorf("core: save corpus: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads all serialized inputs under dir (recursively) in
+// deterministic (sorted) order; they can be passed as Options.Seeds.
+// Files that fail to decode are skipped with an error only if nothing
+// loads.
+func LoadCorpus(dir string) ([]*spec.Input, error) {
+	var paths []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".nyx") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: load corpus: %w", err)
+	}
+	sort.Strings(paths)
+	var out []*spec.Input
+	var firstErr error
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		in, err := spec.Deserialize(raw)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: %s: %w", p, err)
+			}
+			continue
+		}
+		out = append(out, in)
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,438 @@
+// Package core implements the Nyx-Net fuzzer itself — the paper's primary
+// contribution: a coverage-guided, snapshot-based fuzzer for stateful
+// message-passing targets. It drives the netemu agent with bytecode inputs,
+// schedules incremental snapshots according to the three placement policies
+// of §3.4 (none / balanced / aggressive), maintains the queue and global
+// coverage map, and records the campaign telemetry the evaluation harness
+// turns into the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/guest"
+	"repro/internal/netemu"
+	"repro/internal/spec"
+)
+
+// Policy selects the snapshot placement strategy (§3.4).
+type Policy int
+
+// Snapshot placement policies.
+const (
+	// PolicyNone always uses the root snapshot (the Nyx-Net-none
+	// baseline).
+	PolicyNone Policy = iota
+	// PolicyBalanced uses the root in 4% of schedules; otherwise a
+	// random packet index in the whole input (50%) or in the second
+	// half (50%). Inputs with at most four packets use the root.
+	PolicyBalanced
+	// PolicyAggressive cycles the snapshot position from the end of the
+	// input towards the front, retreating one packet each time 50
+	// iterations find nothing new.
+	PolicyAggressive
+)
+
+// String names the policy as the paper does.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "nyxnet-none"
+	case PolicyBalanced:
+		return "nyxnet-balanced"
+	case PolicyAggressive:
+		return "nyxnet-aggressive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// MinPacketsForSnapshot: below this input length both placement policies
+// fall back to the root snapshot (§3.4: "for sequences smaller than four
+// packets, both policies select the root snapshot").
+const MinPacketsForSnapshot = 4
+
+// DefaultSnapshotReuse is how many test cases run against one incremental
+// snapshot before it is discarded (§3.4: "reusing the snapshot as little
+// as 50 times yields significant performance increases").
+const DefaultSnapshotReuse = 50
+
+// QueueEntry is one interesting input.
+type QueueEntry struct {
+	ID      int
+	Input   *spec.Input
+	Packets int
+	FoundAt time.Duration // virtual time of discovery
+	// aggressive-policy state: how many packets from the end the next
+	// snapshot goes, and unproductive iterations at the current spot.
+	aggrBack    int
+	aggrBarren  int
+	timesPicked int
+}
+
+// Crash is a deduplicated crash finding.
+type Crash struct {
+	Kind    guest.CrashKind
+	Msg     string
+	Input   *spec.Input
+	FoundAt time.Duration
+	Execs   uint64
+}
+
+// CoveragePoint is one sample of the coverage-over-time series (Figure 5).
+type CoveragePoint struct {
+	T     time.Duration
+	Edges int
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	Policy Policy
+	Seeds  []*spec.Input
+	// SnapshotReuse overrides DefaultSnapshotReuse when > 0.
+	SnapshotReuse int
+	// Rand is the campaign RNG (deterministic experiments pass seeded
+	// sources). Required.
+	Rand *rand.Rand
+	// Dict is an optional protocol token dictionary for the mutators.
+	Dict [][]byte
+	// ExecsPerSchedule bounds how many executions one scheduling round
+	// performs when no snapshot is used (keeps round lengths comparable
+	// across policies). Defaults to SnapshotReuse.
+	ExecsPerSchedule int
+}
+
+// Executor abstracts how test cases reach the target. Nyx-Net's executor
+// is the netemu.Agent (snapshot-based, emulated network); the baseline
+// fuzzers in package baseline provide executors that model real-socket
+// delivery, process restarts and fixed sleeps. The campaign logic on top
+// is identical, which is exactly how the paper's comparison is set up (all
+// fuzzers share AFL-style campaign structure; the execution mechanism is
+// the variable).
+type Executor interface {
+	// RunFromRoot executes a whole input from a clean target state.
+	RunFromRoot(in *spec.Input, tr *coverage.Trace) (netemu.Result, error)
+	// RunSuffix executes only the ops after the snapshot marker,
+	// resuming from the incremental snapshot (ErrNoSnapshot if the
+	// executor does not support snapshots).
+	RunSuffix(in *spec.Input, tr *coverage.Trace) (netemu.Result, error)
+	// HasSnapshot reports whether an incremental snapshot is held.
+	HasSnapshot() bool
+	// DropSnapshot releases the incremental snapshot, if any.
+	DropSnapshot()
+	// Now returns the executor's virtual time.
+	Now() time.Duration
+}
+
+// Fuzzer is a Nyx-Net campaign against one target.
+type Fuzzer struct {
+	Agent Executor
+	Spec  *spec.Spec
+	Mut   *spec.Mutator
+
+	Virgin  coverage.Virgin
+	Queue   []*QueueEntry
+	Crashes []Crash
+
+	opts       Options
+	reuse      int
+	rng        *rand.Rand
+	trace      coverage.Trace
+	nextID     int
+	execs      uint64
+	snapExecs  uint64 // executions served from an incremental snapshot
+	crashSeen  map[string]bool
+	covLog     []CoveragePoint
+	started    time.Duration
+	seedsDone  bool
+	queueCur   int
+	lastSample time.Duration
+}
+
+// New creates a fuzzer. The agent's machine must already hold a root
+// snapshot (agent targets signal HcReady after Init).
+func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
+	if opts.Rand == nil {
+		panic("core: Options.Rand is required for deterministic campaigns")
+	}
+	reuse := opts.SnapshotReuse
+	if reuse <= 0 {
+		reuse = DefaultSnapshotReuse
+	}
+	if opts.ExecsPerSchedule <= 0 {
+		opts.ExecsPerSchedule = reuse
+	}
+	mut := spec.NewMutator(s, opts.Rand)
+	mut.Dict = opts.Dict
+	return &Fuzzer{
+		Agent:     agent,
+		Spec:      s,
+		Mut:       mut,
+		opts:      opts,
+		reuse:     reuse,
+		rng:       opts.Rand,
+		crashSeen: make(map[string]bool),
+		started:   agent.Now(),
+	}
+}
+
+// Execs returns the number of test cases executed so far.
+func (f *Fuzzer) Execs() uint64 { return f.execs }
+
+// SnapshotExecs returns how many executions resumed from an incremental
+// snapshot.
+func (f *Fuzzer) SnapshotExecs() uint64 { return f.snapExecs }
+
+// Coverage returns the number of distinct edges found so far.
+func (f *Fuzzer) Coverage() int { return f.Virgin.Edges() }
+
+// CoverageLog returns the coverage-over-time series.
+func (f *Fuzzer) CoverageLog() []CoveragePoint { return f.covLog }
+
+// Elapsed returns virtual campaign time.
+func (f *Fuzzer) Elapsed() time.Duration { return f.Agent.Now() - f.started }
+
+// ExecsPerSecond returns throughput in executions per virtual second.
+func (f *Fuzzer) ExecsPerSecond() float64 {
+	el := f.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(f.execs) / el
+}
+
+// RunFor fuzzes until d of virtual time has elapsed (measured on the
+// machine's clock). It is resumable: call repeatedly to extend a campaign.
+func (f *Fuzzer) RunFor(d time.Duration) error {
+	deadline := f.Agent.Now() + d
+	for f.Agent.Now() < deadline {
+		if err := f.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step performs one scheduling round: import seeds on the first call, then
+// pick a queue entry, place a snapshot per policy, and run a batch of
+// mutated test cases.
+func (f *Fuzzer) Step() error {
+	if !f.seedsDone {
+		f.seedsDone = true
+		for _, seed := range f.opts.Seeds {
+			cp := seed.Clone()
+			cp.SnapshotAt = -1
+			if err := f.Spec.Validate(cp); err != nil {
+				return fmt.Errorf("core: invalid seed: %w", err)
+			}
+			if _, err := f.execFromRoot(cp, true); err != nil {
+				return err
+			}
+		}
+		if len(f.Queue) > 0 {
+			return nil
+		}
+	}
+	if len(f.Queue) == 0 {
+		// Seedless bootstrap: generate random programs.
+		in := f.Mut.Generate(0)
+		_, err := f.execFromRoot(in, true)
+		return err
+	}
+
+	entry := f.pickEntry()
+	snapAt := f.placeSnapshot(entry)
+	if snapAt < 0 {
+		// Root-snapshot fuzzing: mutate the whole input each time.
+		for i := 0; i < f.opts.ExecsPerSchedule; i++ {
+			mut := f.Mut.Mutate(entry.Input)
+			if _, err := f.execFromRoot(mut, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Incremental-snapshot fuzzing: one full run creates the snapshot,
+	// then reuse it for suffix-only mutations (§3.4, Figure 4).
+	base := entry.Input.Clone()
+	base.SnapshotAt = snapAt
+	res, err := f.execFromRoot(base, true)
+	if err != nil {
+		return err
+	}
+	if !res.SnapshotTaken {
+		// Crash or short-circuit before the marker; nothing to reuse.
+		return nil
+	}
+	foundNew := false
+	for i := 0; i < f.reuse; i++ {
+		mut := f.Mut.MutateSuffix(base, snapAt)
+		mut.SnapshotAt = snapAt
+		isNew, err := f.execSuffix(mut)
+		if err != nil {
+			return err
+		}
+		foundNew = foundNew || isNew
+	}
+	f.Agent.DropSnapshot()
+	if f.opts.Policy == PolicyAggressive {
+		if foundNew {
+			entry.aggrBarren = 0
+		} else {
+			entry.aggrBarren += f.reuse
+			if entry.aggrBarren >= f.reuse {
+				entry.aggrBarren = 0
+				entry.aggrBack++
+				if entry.aggrBack >= entry.Packets {
+					entry.aggrBack = 0 // wrap to the end again
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pickEntry selects the next queue entry round-robin.
+func (f *Fuzzer) pickEntry() *QueueEntry {
+	e := f.Queue[f.queueCur%len(f.Queue)]
+	f.queueCur++
+	e.timesPicked++
+	return e
+}
+
+// placeSnapshot returns the op index for the snapshot marker, or -1 for the
+// root snapshot, implementing §3.4's policies.
+func (f *Fuzzer) placeSnapshot(e *QueueEntry) int {
+	pkts := packetOpIndices(f.Spec, e.Input)
+	n := len(pkts)
+	if n < MinPacketsForSnapshot {
+		return -1
+	}
+	switch f.opts.Policy {
+	case PolicyNone:
+		return -1
+	case PolicyBalanced:
+		if f.rng.Intn(100) < 4 {
+			return -1
+		}
+		var pi int
+		if f.rng.Intn(2) == 0 {
+			pi = f.rng.Intn(n) // anywhere
+		} else {
+			pi = n/2 + f.rng.Intn(n-n/2) // second half
+		}
+		return pkts[pi] + 1 // after sending the chosen packet
+	case PolicyAggressive:
+		back := e.aggrBack
+		if back >= n {
+			back = n - 1
+		}
+		return pkts[n-1-back] + 1
+	default:
+		return -1
+	}
+}
+
+// packetOpIndices returns the op indices of data-carrying ops.
+func packetOpIndices(s *spec.Spec, in *spec.Input) []int {
+	var idx []int
+	for i, op := range in.Ops {
+		if int(op.Node) < len(s.Nodes) && s.Nodes[op.Node].HasData {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// execFromRoot runs in from the root snapshot, merging coverage and
+// recording findings. addToQueue controls whether new-coverage inputs are
+// queued.
+func (f *Fuzzer) execFromRoot(in *spec.Input, addToQueue bool) (netemu.Result, error) {
+	res, err := f.Agent.RunFromRoot(in, &f.trace)
+	if err != nil {
+		return res, err
+	}
+	f.account(in, res, addToQueue)
+	return res, nil
+}
+
+// execSuffix runs a suffix-only mutation from the held snapshot. Returns
+// whether the execution found new coverage.
+func (f *Fuzzer) execSuffix(in *spec.Input) (bool, error) {
+	res, err := f.Agent.RunSuffix(in, &f.trace)
+	if err != nil {
+		return false, err
+	}
+	f.snapExecs++
+	return f.account(in, res, true), nil
+}
+
+// account merges coverage, queues interesting inputs, records crashes and
+// samples the coverage log. Returns whether the trace contained new bits.
+func (f *Fuzzer) account(in *spec.Input, res netemu.Result, addToQueue bool) bool {
+	f.execs++
+	hasNew, _ := f.Virgin.Merge(&f.trace)
+	if res.Crashed {
+		key := string(res.Crash.Kind) + "|" + res.Crash.Msg
+		if !f.crashSeen[key] {
+			f.crashSeen[key] = true
+			cp := in.Clone()
+			cp.SnapshotAt = -1
+			f.Crashes = append(f.Crashes, Crash{
+				Kind:    res.Crash.Kind,
+				Msg:     res.Crash.Msg,
+				Input:   cp,
+				FoundAt: f.Elapsed(),
+				Execs:   f.execs,
+			})
+		}
+	}
+	if hasNew && addToQueue {
+		cp := in.Clone()
+		cp.SnapshotAt = -1
+		f.Queue = append(f.Queue, &QueueEntry{
+			ID:      f.nextID,
+			Input:   cp,
+			Packets: cp.Packets(f.Spec),
+			FoundAt: f.Elapsed(),
+		})
+		f.nextID++
+	}
+	// Sample the coverage log at most once per virtual minute, plus on
+	// every change (cheap, keeps Figure 5 smooth).
+	now := f.Elapsed()
+	if len(f.covLog) == 0 || f.covLog[len(f.covLog)-1].Edges != f.Virgin.Edges() ||
+		now-f.lastSample >= time.Minute {
+		f.covLog = append(f.covLog, CoveragePoint{T: now, Edges: f.Virgin.Edges()})
+		f.lastSample = now
+	}
+	return hasNew
+}
+
+// CoverageAt interpolates the coverage the campaign had found by virtual
+// time t (Table 5's "time to equal coverage" needs this).
+func (f *Fuzzer) CoverageAt(t time.Duration) int {
+	edges := 0
+	for _, p := range f.covLog {
+		if p.T > t {
+			break
+		}
+		edges = p.Edges
+	}
+	return edges
+}
+
+// TimeToCoverage returns the virtual time at which the campaign first
+// reached at least edges coverage, or -1 if it never did.
+func (f *Fuzzer) TimeToCoverage(edges int) time.Duration {
+	for _, p := range f.covLog {
+		if p.Edges >= edges {
+			return p.T
+		}
+	}
+	return -1
+}

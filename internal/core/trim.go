@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/spec"
+)
+
+// traceSignature summarizes a trace as an order-insensitive hash of its
+// (edge, bucket) pairs; two executions with equal signatures exercised the
+// same behaviour for trimming purposes (AFL's afl-tmin uses checksums the
+// same way).
+func traceSignature(tr *coverage.Trace) uint64 {
+	var sig uint64
+	bits := tr.Bits()
+	for _, idx := range trTouched(tr) {
+		h := uint64(idx)<<8 | uint64(bucketOf(bits[idx]))
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+		sig += h
+	}
+	return sig
+}
+
+// trTouched returns the touched indices of a trace via CountEdges'
+// underlying journal (re-derived from the bitmap to avoid exporting
+// internals).
+func trTouched(tr *coverage.Trace) []uint32 {
+	bits := tr.Bits()
+	out := make([]uint32, 0, tr.CountEdges())
+	for i := range bits {
+		if bits[i] != 0 {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func bucketOf(c byte) byte {
+	switch {
+	case c == 0:
+		return 0
+	case c <= 3:
+		return c
+	case c <= 7:
+		return 8
+	case c <= 15:
+		return 16
+	case c <= 31:
+		return 32
+	case c <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Trim shrinks an input while preserving its coverage signature: first it
+// drops whole ops, then it bisects packet payloads. Trimming shortens the
+// queue's inputs, which matters doubly under incremental snapshots (shorter
+// prefixes are cheaper to re-create).
+func (f *Fuzzer) Trim(in *spec.Input) (*spec.Input, error) {
+	cur := in.Clone()
+	cur.SnapshotAt = -1
+	var ref coverage.Trace
+	if _, err := f.Agent.RunFromRoot(cur, &ref); err != nil {
+		return nil, fmt.Errorf("core: trim reference run: %w", err)
+	}
+	want := traceSignature(&ref)
+	var tr coverage.Trace
+
+	// Pass 1: drop ops, back to front (later ops depend on earlier
+	// outputs, never the other way around).
+	for i := len(cur.Ops) - 1; i >= 0 && len(cur.Ops) > 1; i-- {
+		cand := cur.Clone()
+		cand.Ops = append(cand.Ops[:i], cand.Ops[i+1:]...)
+		if f.Spec.Validate(cand) != nil {
+			continue
+		}
+		res, err := f.Agent.RunFromRoot(cand, &tr)
+		if err != nil {
+			return nil, err
+		}
+		f.execs++
+		if !res.Crashed && traceSignature(&tr) == want {
+			cur = cand
+		}
+	}
+
+	// Pass 2: halve payloads while the signature holds.
+	for i := range cur.Ops {
+		for len(cur.Ops[i].Data) > 1 {
+			cand := cur.Clone()
+			cand.Ops[i].Data = cand.Ops[i].Data[:len(cand.Ops[i].Data)/2]
+			res, err := f.Agent.RunFromRoot(cand, &tr)
+			if err != nil {
+				return nil, err
+			}
+			f.execs++
+			if res.Crashed || traceSignature(&tr) != want {
+				break
+			}
+			cur = cand
+		}
+	}
+	return cur, nil
+}
+
+// MinimizeCrash shrinks a crashing input while it still crashes with the
+// same kind — the triage step §5.7's responsible-disclosure workflow needs.
+func (f *Fuzzer) MinimizeCrash(in *spec.Input) (*spec.Input, error) {
+	cur := in.Clone()
+	cur.SnapshotAt = -1
+	var tr coverage.Trace
+	res, err := f.Agent.RunFromRoot(cur, &tr)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Crashed {
+		return nil, fmt.Errorf("core: input does not crash")
+	}
+	kind := res.Crash.Kind
+
+	stillCrashes := func(cand *spec.Input) (bool, error) {
+		if f.Spec.Validate(cand) != nil {
+			return false, nil
+		}
+		r, err := f.Agent.RunFromRoot(cand, &tr)
+		if err != nil {
+			return false, err
+		}
+		f.execs++
+		return r.Crashed && r.Crash.Kind == kind, nil
+	}
+
+	// Drop ops back to front.
+	for i := len(cur.Ops) - 1; i >= 0 && len(cur.Ops) > 1; i-- {
+		cand := cur.Clone()
+		cand.Ops = append(cand.Ops[:i], cand.Ops[i+1:]...)
+		ok, err := stillCrashes(cand)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cur = cand
+		}
+	}
+	// Shrink payloads.
+	for i := range cur.Ops {
+		for len(cur.Ops[i].Data) > 1 {
+			cand := cur.Clone()
+			cand.Ops[i].Data = cand.Ops[i].Data[:len(cand.Ops[i].Data)-1]
+			ok, err := stillCrashes(cand)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			cur = cand
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func proftpdCrashInput(t *testing.T, s *spec.Spec) *spec.Input {
+	t.Helper()
+	con, _ := s.NodeByName("connect_tcp_21")
+	pkt, _ := s.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con})
+	msgs := []string{
+		"USER a\r\n", "PASS b\r\n", "NOOP\r\n", "SYST\r\n", // NOOP/SYST are trimmable
+		"SITE UTIME x\r\n", "SITE CHMOD x\r\n", "SITE CHGRP x\r\n", "SITE SYMLINK x\r\n",
+		"MFMT 20260612 f\r\n",
+	}
+	for _, m := range msgs {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte(m)})
+	}
+	return in
+}
+
+func TestTrimShrinksInput(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyNone, 1)
+	con, _ := inst.Spec.NodeByName("connect_tcp_2200")
+	pkt, _ := inst.Spec.NodeByName("packet")
+	// An input with redundant ops: the NOOPs add no new coverage beyond
+	// the first.
+	in := spec.NewInput(spec.Op{Node: con})
+	for i := 0; i < 6; i++ {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte("NOOP\r\n")})
+	}
+	in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte("USER a\r\n")})
+
+	trimmed, err := f.Trim(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Ops) >= len(in.Ops) {
+		t.Fatalf("trim did not shrink: %d -> %d ops", len(in.Ops), len(trimmed.Ops))
+	}
+	if err := inst.Spec.Validate(trimmed); err != nil {
+		t.Fatalf("trimmed input invalid: %v", err)
+	}
+}
+
+func TestMinimizeCrashPreservesCrash(t *testing.T) {
+	inst := launch(t, "proftpd")
+	f := newFuzzer(t, inst, PolicyNone, 2)
+	in := proftpdCrashInput(t, inst.Spec)
+
+	minimized, err := f.MinimizeCrash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimized.Ops) >= len(in.Ops) {
+		t.Fatalf("minimization did not drop the filler ops: %d -> %d", len(in.Ops), len(minimized.Ops))
+	}
+	res, err := inst.Agent.RunFromRoot(minimized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("minimized input no longer crashes")
+	}
+}
+
+func TestMinimizeNonCrashFails(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyNone, 3)
+	in := inst.Seeds()[0]
+	if _, err := f.MinimizeCrash(in); err == nil {
+		t.Fatal("minimizing a non-crashing input should error")
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyNone, 4)
+	if err := f.Step(); err != nil { // imports seeds into the queue
+		t.Fatal(err)
+	}
+	if len(f.Queue) == 0 {
+		t.Fatal("no queue entries to save")
+	}
+	if err := f.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(f.Queue) {
+		t.Fatalf("loaded %d inputs, want %d", len(loaded), len(f.Queue))
+	}
+	for i, in := range loaded {
+		if err := inst.Spec.Validate(in); err != nil {
+			t.Fatalf("loaded input %d invalid: %v", i, err)
+		}
+	}
+	// A fresh campaign can resume from the corpus.
+	inst2 := launch(t, "lightftp")
+	f2 := New(inst2.Agent, inst2.Spec, Options{
+		Policy: PolicyNone,
+		Seeds:  loaded,
+		Rand:   rand.New(rand.NewSource(5)),
+	})
+	if err := f2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Coverage() == 0 {
+		t.Fatal("resumed campaign found no coverage")
+	}
+}
+
+func TestCorpusSavesCrashes(t *testing.T) {
+	dir := t.TempDir()
+	inst := launch(t, "proftpd")
+	f := New(inst.Agent, inst.Spec, Options{
+		Policy: PolicyNone,
+		Seeds:  []*spec.Input{proftpdCrashInput(t, inst.Spec)},
+		Rand:   rand.New(rand.NewSource(6)),
+	})
+	if err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Crashes) == 0 {
+		t.Fatal("seed should crash")
+	}
+	if err := f.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "crashes", "*.nyx"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no crash files written: %v %v", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := spec.Deserialize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Agent.RunFromRoot(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("saved crash does not reproduce")
+	}
+}
+
+func TestLoadCorpusEmptyDir(t *testing.T) {
+	loaded, err := LoadCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 {
+		t.Fatal("empty dir should load nothing")
+	}
+}

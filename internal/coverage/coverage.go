@@ -1,0 +1,113 @@
+// Package coverage implements AFL-style edge coverage: a 64 KiB bitmap of
+// hit counts per (prev, cur) location pair, hit-count bucket classification,
+// and a global "virgin" map for detecting inputs that exercise new
+// behaviour. Nyx-Net uses AFL's compile-time instrumentation on
+// ProFuzzBench (§4.5); the targets in this reproduction are instrumented
+// with explicit location probes that feed the same data structure.
+package coverage
+
+// MapSize is the trace bitmap size in bytes (AFL's default).
+const MapSize = 1 << 16
+
+// Trace is the per-execution hit-count bitmap. A journal of touched
+// indices makes Reset and Merge cost proportional to the edges actually
+// hit rather than the map size — the same trick Nyx's dirty-page stack
+// plays for memory (§2.3), applied to coverage.
+type Trace struct {
+	bits    [MapSize]byte
+	touched []uint32
+	prev    uint32
+}
+
+// Reset clears the trace for a new execution.
+func (t *Trace) Reset() {
+	for _, i := range t.touched {
+		t.bits[i] = 0
+	}
+	t.touched = t.touched[:0]
+	t.prev = 0
+}
+
+// ResetPrev clears only the previous-location register (AFL does this at
+// the start of each execution to decouple runs).
+func (t *Trace) ResetPrev() { t.prev = 0 }
+
+// Hit records execution of the basic block identified by loc, updating the
+// edge counter exactly as AFL's instrumentation does:
+//
+//	bits[(loc ^ prev) % MapSize]++; prev = loc >> 1
+func (t *Trace) Hit(loc uint32) {
+	idx := (loc ^ t.prev) & (MapSize - 1)
+	if t.bits[idx] == 0 {
+		t.touched = append(t.touched, idx)
+	}
+	t.bits[idx]++
+	t.prev = loc >> 1
+}
+
+// Bits exposes the raw hit counts.
+func (t *Trace) Bits() *[MapSize]byte { return &t.bits }
+
+// CountEdges returns the number of distinct edges hit in this trace.
+func (t *Trace) CountEdges() int { return len(t.touched) }
+
+// bucket classifies a hit count into AFL's power-of-two buckets.
+func bucket(c byte) byte {
+	switch {
+	case c == 0:
+		return 0
+	case c == 1:
+		return 1
+	case c == 2:
+		return 2
+	case c == 3:
+		return 4
+	case c <= 7:
+		return 8
+	case c <= 15:
+		return 16
+	case c <= 31:
+		return 32
+	case c <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Virgin is the global coverage map of a fuzzing campaign: the union of all
+// bucketed hit patterns seen so far.
+type Virgin struct {
+	bits  [MapSize]byte
+	edges int
+}
+
+// Merge folds a trace into the virgin map. It returns hasNew (any new
+// bucket bit anywhere) and newEdge (an edge that had never been hit at
+// all), mirroring AFL's distinction between "new path" and "new coverage".
+func (v *Virgin) Merge(t *Trace) (hasNew, newEdge bool) {
+	for _, i := range t.touched {
+		c := t.bits[i]
+		b := bucket(c)
+		if v.bits[i]&b == 0 {
+			hasNew = true
+			if v.bits[i] == 0 {
+				newEdge = true
+				v.edges++
+			}
+			v.bits[i] |= b
+		}
+	}
+	return hasNew, newEdge
+}
+
+// Edges returns the number of distinct edges ever observed — the "branches"
+// metric plotted in the paper's Figure 5 and Table 2.
+func (v *Virgin) Edges() int { return v.edges }
+
+// Snapshot returns a copy of the virgin map (for A/B comparisons in tests).
+func (v *Virgin) Snapshot() []byte {
+	cp := make([]byte, MapSize)
+	copy(cp, v.bits[:])
+	return cp
+}

@@ -1,0 +1,165 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHitRecordsEdges(t *testing.T) {
+	var tr Trace
+	tr.Hit(1)
+	tr.Hit(2)
+	tr.Hit(1)
+	if got := tr.CountEdges(); got != 3 {
+		t.Fatalf("edges = %d, want 3 (1, 1->2, 2->1)", got)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	var tr Trace
+	tr.Hit(1)
+	tr.Reset()
+	if tr.CountEdges() != 0 {
+		t.Fatal("reset should clear trace")
+	}
+	// prev must also reset: same sequence yields same edges.
+	tr.Hit(5)
+	a := tr.CountEdges()
+	tr.Reset()
+	tr.Hit(5)
+	if tr.CountEdges() != a {
+		t.Fatal("reset should clear prev register")
+	}
+}
+
+func TestEdgeIsDirectional(t *testing.T) {
+	var a, b Trace
+	a.Hit(1)
+	a.Hit(2)
+	b.Hit(2)
+	b.Hit(1)
+	// (1->2) and (2->1) must hash differently (AFL's prev>>1 trick).
+	idxA, idxB := -1, -1
+	for i := range a.Bits() {
+		if a.Bits()[i] != 0 && b.Bits()[i] == 0 {
+			idxA = i
+		}
+		if b.Bits()[i] != 0 && a.Bits()[i] == 0 {
+			idxB = i
+		}
+	}
+	if idxA < 0 || idxB < 0 {
+		t.Fatal("directional edges should differ")
+	}
+}
+
+func TestVirginMergeNewEdges(t *testing.T) {
+	var v Virgin
+	var tr Trace
+	tr.Hit(1)
+	tr.Hit(2)
+	hasNew, newEdge := v.Merge(&tr)
+	if !hasNew || !newEdge {
+		t.Fatal("first merge should report new coverage")
+	}
+	edges := v.Edges()
+	if edges == 0 {
+		t.Fatal("edges should be counted")
+	}
+	// Same trace again: nothing new.
+	hasNew, newEdge = v.Merge(&tr)
+	if hasNew || newEdge {
+		t.Fatal("identical trace should not be new")
+	}
+	if v.Edges() != edges {
+		t.Fatal("edge count should not change")
+	}
+}
+
+func TestVirginBucketTransitions(t *testing.T) {
+	var v Virgin
+	var tr Trace
+	tr.Hit(7)
+	v.Merge(&tr)
+
+	// Same edge hit many more times: new bucket, but not a new edge.
+	tr.Reset()
+	for i := 0; i < 10; i++ {
+		tr.Hit(7)
+		tr.ResetPrev()
+	}
+	hasNew, newEdge := v.Merge(&tr)
+	if !hasNew {
+		t.Fatal("higher hit bucket should be new")
+	}
+	if newEdge {
+		t.Fatal("bucket change is not a new edge")
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := byte(0)
+	for c := 0; c < 256; c++ {
+		b := bucket(byte(c))
+		if c > 0 && b < prev {
+			t.Fatalf("bucket(%d) = %d < bucket(%d) = %d", c, b, c-1, prev)
+		}
+		prev = b
+	}
+	if bucket(0) != 0 || bucket(1) != 1 || bucket(255) != 128 {
+		t.Fatal("bucket boundaries wrong")
+	}
+}
+
+// Property: merging any trace twice is idempotent.
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var v Virgin
+		var tr Trace
+		for i := 0; i < 50; i++ {
+			tr.Hit(uint32(rng.Intn(1000)))
+		}
+		v.Merge(&tr)
+		snap := v.Snapshot()
+		hasNew, _ := v.Merge(&tr)
+		if hasNew {
+			return false
+		}
+		snap2 := v.Snapshot()
+		for i := range snap {
+			if snap[i] != snap2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: edge count is monotonically non-decreasing under merges.
+func TestEdgesMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var v Virgin
+		last := 0
+		for i := 0; i < 20; i++ {
+			var tr Trace
+			for j := 0; j < 10; j++ {
+				tr.Hit(uint32(rng.Intn(500)))
+			}
+			v.Merge(&tr)
+			if v.Edges() < last {
+				return false
+			}
+			last = v.Edges()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

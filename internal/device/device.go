@@ -1,0 +1,477 @@
+// Package device implements the emulated device models of the simulated VM:
+// a block device with the two-layer dirty-sector cache described in §4.2 of
+// the Nyx-Net paper, a virtual NIC, and a serial console.
+//
+// Each device supports two reset mechanisms so the ablation benchmarks can
+// compare them: the fast structured reset Nyx-Net uses, and a slow
+// QEMU-style full serialize/deserialize reset.
+package device
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// SectorSize is the block device sector size in bytes.
+const SectorSize = 512
+
+// Device is the interface all emulated devices implement. The snapshot
+// lifecycle mirrors the VM's: a root snapshot plus at most one incremental
+// snapshot layered on top.
+type Device interface {
+	// Name identifies the device for diagnostics.
+	Name() string
+
+	// TakeRoot captures the device's root snapshot state.
+	TakeRoot()
+	// RestoreRoot resets the device to the root snapshot using the fast
+	// structured mechanism.
+	RestoreRoot()
+	// TakeIncremental captures the secondary snapshot at current state.
+	TakeIncremental()
+	// RestoreIncremental resets the device to the secondary snapshot.
+	RestoreIncremental()
+	// DropIncremental discards the secondary snapshot (state unchanged).
+	DropIncremental()
+
+	// SaveState serializes the full device state (QEMU-style, slow).
+	SaveState() ([]byte, error)
+	// LoadState restores the full device state from SaveState output.
+	LoadState([]byte) error
+}
+
+// BlockDevice models an emulated disk. Sector writes since the root
+// snapshot land in a first hashmap layer; once an incremental snapshot is
+// taken, further writes land in a second layer so restoring the incremental
+// snapshot only needs to discard that layer. Reads check the layers
+// top-down and fall back to the base image, exactly the lookup order the
+// paper describes.
+type BlockDevice struct {
+	name     string
+	nsectors uint64
+
+	base map[uint64][]byte // content at root snapshot time
+	l1   map[uint64][]byte // dirtied since root snapshot
+	l2   map[uint64][]byte // dirtied since incremental snapshot
+
+	incActive bool
+
+	// WritesSinceRoot counts sector writes for cost accounting.
+	WritesSinceRoot uint64
+}
+
+// NewBlockDevice creates a disk with nsectors sectors, all zero.
+func NewBlockDevice(name string, nsectors uint64) *BlockDevice {
+	return &BlockDevice{
+		name:     name,
+		nsectors: nsectors,
+		base:     make(map[uint64][]byte),
+		l1:       make(map[uint64][]byte),
+		l2:       make(map[uint64][]byte),
+	}
+}
+
+// Name implements Device.
+func (d *BlockDevice) Name() string { return d.name }
+
+// NumSectors returns the disk capacity in sectors.
+func (d *BlockDevice) NumSectors() uint64 { return d.nsectors }
+
+// ReadSector copies sector sn into buf (which must be SectorSize long).
+func (d *BlockDevice) ReadSector(sn uint64, buf []byte) error {
+	if sn >= d.nsectors {
+		return fmt.Errorf("device %s: sector %d out of range", d.name, sn)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("device %s: bad buffer size %d", d.name, len(buf))
+	}
+	if s, ok := d.l2[sn]; ok {
+		copy(buf, s)
+		return nil
+	}
+	if s, ok := d.l1[sn]; ok {
+		copy(buf, s)
+		return nil
+	}
+	if s, ok := d.base[sn]; ok {
+		copy(buf, s)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// WriteSector writes buf (SectorSize bytes) to sector sn.
+func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
+	if sn >= d.nsectors {
+		return fmt.Errorf("device %s: sector %d out of range", d.name, sn)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("device %s: bad buffer size %d", d.name, len(buf))
+	}
+	layer := d.l1
+	if d.incActive {
+		layer = d.l2
+	}
+	s, ok := layer[sn]
+	if !ok {
+		s = make([]byte, SectorSize)
+		layer[sn] = s
+	}
+	copy(s, buf)
+	d.WritesSinceRoot++
+	return nil
+}
+
+// TakeRoot implements Device: current content becomes the base image.
+func (d *BlockDevice) TakeRoot() {
+	for sn, s := range d.l1 {
+		d.base[sn] = s
+	}
+	for sn, s := range d.l2 {
+		d.base[sn] = s
+	}
+	d.l1 = make(map[uint64][]byte)
+	d.l2 = make(map[uint64][]byte)
+	d.incActive = false
+	d.WritesSinceRoot = 0
+}
+
+// RestoreRoot implements Device: drop both dirty layers.
+func (d *BlockDevice) RestoreRoot() {
+	if len(d.l1) > 0 {
+		d.l1 = make(map[uint64][]byte)
+	}
+	if len(d.l2) > 0 {
+		d.l2 = make(map[uint64][]byte)
+	}
+	d.incActive = false
+	d.WritesSinceRoot = 0
+}
+
+// TakeIncremental implements Device: freeze l1 (folding any l2 writes in)
+// and direct subsequent writes to the second caching layer.
+func (d *BlockDevice) TakeIncremental() {
+	if d.incActive {
+		for sn, s := range d.l2 {
+			d.l1[sn] = s
+		}
+		d.l2 = make(map[uint64][]byte)
+	}
+	d.incActive = true
+}
+
+// RestoreIncremental implements Device: discard the second layer.
+func (d *BlockDevice) RestoreIncremental() {
+	if len(d.l2) > 0 {
+		d.l2 = make(map[uint64][]byte)
+	}
+}
+
+// DropIncremental implements Device: fold the second layer into the first
+// and deactivate.
+func (d *BlockDevice) DropIncremental() {
+	if !d.incActive {
+		return
+	}
+	for sn, s := range d.l2 {
+		d.l1[sn] = s
+	}
+	d.l2 = make(map[uint64][]byte)
+	d.incActive = false
+}
+
+// DirtySectors returns how many sectors differ from the root snapshot.
+func (d *BlockDevice) DirtySectors() int { return len(d.l1) + len(d.l2) }
+
+type blockState struct {
+	NSectors uint64
+	Sectors  map[uint64][]byte
+}
+
+// SaveState implements Device via gob serialization of the flattened image.
+func (d *BlockDevice) SaveState() ([]byte, error) {
+	st := blockState{NSectors: d.nsectors, Sectors: make(map[uint64][]byte)}
+	for sn, s := range d.base {
+		st.Sectors[sn] = s
+	}
+	for sn, s := range d.l1 {
+		st.Sectors[sn] = s
+	}
+	for sn, s := range d.l2 {
+		st.Sectors[sn] = s
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("device %s: save: %w", d.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState implements Device.
+func (d *BlockDevice) LoadState(b []byte) error {
+	var st blockState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("device %s: load: %w", d.name, err)
+	}
+	d.nsectors = st.NSectors
+	d.base = st.Sectors
+	d.l1 = make(map[uint64][]byte)
+	d.l2 = make(map[uint64][]byte)
+	d.incActive = false
+	return nil
+}
+
+// NIC models a virtual network interface: transmit/receive rings and
+// counters. Real traffic never flows through it while the emulation layer
+// is active; it exists so that device-reset costs and state fidelity are
+// accounted for like in the real system.
+type NIC struct {
+	name string
+
+	RxQueue [][]byte
+	TxQueue [][]byte
+	RxBytes uint64
+	TxBytes uint64
+	Up      bool
+
+	rootState nicState
+	incState  nicState
+	incActive bool
+}
+
+type nicState struct {
+	RxQueue [][]byte
+	TxQueue [][]byte
+	RxBytes uint64
+	TxBytes uint64
+	Up      bool
+}
+
+// NewNIC creates a NIC that is administratively up.
+func NewNIC(name string) *NIC {
+	return &NIC{name: name, Up: true}
+}
+
+// Name implements Device.
+func (n *NIC) Name() string { return n.name }
+
+// Transmit enqueues an outbound frame.
+func (n *NIC) Transmit(frame []byte) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	n.TxQueue = append(n.TxQueue, cp)
+	n.TxBytes += uint64(len(frame))
+}
+
+// Receive enqueues an inbound frame.
+func (n *NIC) Receive(frame []byte) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	n.RxQueue = append(n.RxQueue, cp)
+	n.RxBytes += uint64(len(frame))
+}
+
+func (n *NIC) capture() nicState {
+	st := nicState{RxBytes: n.RxBytes, TxBytes: n.TxBytes, Up: n.Up}
+	st.RxQueue = append([][]byte(nil), n.RxQueue...)
+	st.TxQueue = append([][]byte(nil), n.TxQueue...)
+	return st
+}
+
+func (n *NIC) apply(st nicState) {
+	n.RxQueue = append(n.RxQueue[:0:0], st.RxQueue...)
+	n.TxQueue = append(n.TxQueue[:0:0], st.TxQueue...)
+	n.RxBytes = st.RxBytes
+	n.TxBytes = st.TxBytes
+	n.Up = st.Up
+}
+
+// TakeRoot implements Device.
+func (n *NIC) TakeRoot() { n.rootState = n.capture(); n.incActive = false }
+
+// RestoreRoot implements Device.
+func (n *NIC) RestoreRoot() { n.apply(n.rootState); n.incActive = false }
+
+// TakeIncremental implements Device.
+func (n *NIC) TakeIncremental() { n.incState = n.capture(); n.incActive = true }
+
+// RestoreIncremental implements Device.
+func (n *NIC) RestoreIncremental() {
+	if n.incActive {
+		n.apply(n.incState)
+	}
+}
+
+// DropIncremental implements Device.
+func (n *NIC) DropIncremental() { n.incActive = false }
+
+// SaveState implements Device.
+func (n *NIC) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := n.capture()
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("device %s: save: %w", n.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState implements Device.
+func (n *NIC) LoadState(b []byte) error {
+	var st nicState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("device %s: load: %w", n.name, err)
+	}
+	n.apply(st)
+	return nil
+}
+
+// Serial models a write-only serial console; targets log through it and the
+// fuzzer reads crash reports from it.
+type Serial struct {
+	name string
+	Log  []byte
+
+	rootLen   int
+	incLen    int
+	incActive bool
+}
+
+// NewSerial creates an empty serial console.
+func NewSerial(name string) *Serial { return &Serial{name: name} }
+
+// Name implements Device.
+func (s *Serial) Name() string { return s.name }
+
+// WriteString appends to the console log.
+func (s *Serial) WriteString(msg string) { s.Log = append(s.Log, msg...) }
+
+// TakeRoot implements Device.
+func (s *Serial) TakeRoot() { s.rootLen = len(s.Log); s.incActive = false }
+
+// RestoreRoot implements Device.
+func (s *Serial) RestoreRoot() { s.Log = s.Log[:s.rootLen]; s.incActive = false }
+
+// TakeIncremental implements Device.
+func (s *Serial) TakeIncremental() { s.incLen = len(s.Log); s.incActive = true }
+
+// RestoreIncremental implements Device.
+func (s *Serial) RestoreIncremental() {
+	if s.incActive && len(s.Log) > s.incLen {
+		s.Log = s.Log[:s.incLen]
+	}
+}
+
+// DropIncremental implements Device.
+func (s *Serial) DropIncremental() { s.incActive = false }
+
+// SaveState implements Device.
+func (s *Serial) SaveState() ([]byte, error) {
+	cp := make([]byte, len(s.Log))
+	copy(cp, s.Log)
+	return cp, nil
+}
+
+// LoadState implements Device.
+func (s *Serial) LoadState(b []byte) error {
+	s.Log = append(s.Log[:0:0], b...)
+	return nil
+}
+
+// Set is an ordered collection of devices sharing a snapshot lifecycle.
+type Set struct {
+	devices []Device
+}
+
+// NewSet creates a device set.
+func NewSet(devs ...Device) *Set { return &Set{devices: devs} }
+
+// Add appends a device to the set.
+func (s *Set) Add(d Device) { s.devices = append(s.devices, d) }
+
+// Devices returns the devices in registration order.
+func (s *Set) Devices() []Device { return s.devices }
+
+// Lookup finds a device by name, or nil.
+func (s *Set) Lookup(name string) Device {
+	for _, d := range s.devices {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// TakeRoot snapshots all devices.
+func (s *Set) TakeRoot() {
+	for _, d := range s.devices {
+		d.TakeRoot()
+	}
+}
+
+// RestoreRoot resets all devices to the root snapshot (fast path).
+func (s *Set) RestoreRoot() {
+	for _, d := range s.devices {
+		d.RestoreRoot()
+	}
+}
+
+// TakeIncremental snapshots all devices incrementally.
+func (s *Set) TakeIncremental() {
+	for _, d := range s.devices {
+		d.TakeIncremental()
+	}
+}
+
+// RestoreIncremental resets all devices to the incremental snapshot.
+func (s *Set) RestoreIncremental() {
+	for _, d := range s.devices {
+		d.RestoreIncremental()
+	}
+}
+
+// DropIncremental discards the incremental snapshot on all devices.
+func (s *Set) DropIncremental() {
+	for _, d := range s.devices {
+		d.DropIncremental()
+	}
+}
+
+// SaveAll serializes every device (the slow QEMU-style baseline). Devices
+// are encoded in name order for determinism.
+func (s *Set) SaveAll() (map[string][]byte, error) {
+	names := make([]string, 0, len(s.devices))
+	byName := make(map[string]Device, len(s.devices))
+	for _, d := range s.devices {
+		names = append(names, d.Name())
+		byName[d.Name()] = d
+	}
+	sort.Strings(names)
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		b, err := byName[name].SaveState()
+		if err != nil {
+			return nil, err
+		}
+		out[name] = b
+	}
+	return out, nil
+}
+
+// LoadAll restores every device from a SaveAll image.
+func (s *Set) LoadAll(img map[string][]byte) error {
+	for _, d := range s.devices {
+		b, ok := img[d.Name()]
+		if !ok {
+			return fmt.Errorf("device set: no saved state for %q", d.Name())
+		}
+		if err := d.LoadState(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

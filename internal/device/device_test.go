@@ -1,0 +1,271 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sector(b byte) []byte { return bytes.Repeat([]byte{b}, SectorSize) }
+
+func readSector(t *testing.T, d *BlockDevice, sn uint64) []byte {
+	t.Helper()
+	buf := make([]byte, SectorSize)
+	if err := d.ReadSector(sn, buf); err != nil {
+		t.Fatalf("ReadSector(%d): %v", sn, err)
+	}
+	return buf
+}
+
+func TestBlockReadWriteRoundTrip(t *testing.T) {
+	d := NewBlockDevice("disk0", 128)
+	if err := d.WriteSector(7, sector(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, d, 7); got[0] != 0xAA {
+		t.Fatalf("got %#x want 0xAA", got[0])
+	}
+	if got := readSector(t, d, 8); got[0] != 0 {
+		t.Fatalf("unwritten sector should read zero, got %#x", got[0])
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	d := NewBlockDevice("disk0", 4)
+	if err := d.WriteSector(4, sector(1)); err == nil {
+		t.Fatal("expected out-of-range write error")
+	}
+	if err := d.ReadSector(4, make([]byte, SectorSize)); err == nil {
+		t.Fatal("expected out-of-range read error")
+	}
+	if err := d.WriteSector(0, []byte{1}); err == nil {
+		t.Fatal("expected bad buffer size error")
+	}
+}
+
+func TestBlockRootSnapshot(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.WriteSector(0, sector(0x11))
+	d.TakeRoot()
+	d.WriteSector(0, sector(0x22))
+	d.WriteSector(1, sector(0x33))
+	if d.DirtySectors() != 2 {
+		t.Fatalf("dirty sectors = %d, want 2", d.DirtySectors())
+	}
+	d.RestoreRoot()
+	if got := readSector(t, d, 0); got[0] != 0x11 {
+		t.Fatalf("sector 0 not restored: %#x", got[0])
+	}
+	if got := readSector(t, d, 1); got[0] != 0 {
+		t.Fatalf("sector 1 should be zero: %#x", got[0])
+	}
+	if d.DirtySectors() != 0 {
+		t.Fatal("dirty set should be empty after restore")
+	}
+}
+
+func TestBlockIncrementalLayering(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.TakeRoot()
+	d.WriteSector(0, sector(0x11)) // prefix write -> l1
+	d.TakeIncremental()
+	d.WriteSector(0, sector(0x22)) // fuzz write -> l2
+	d.WriteSector(1, sector(0x33))
+	d.RestoreIncremental()
+	if got := readSector(t, d, 0); got[0] != 0x11 {
+		t.Fatalf("sector 0 should hold incremental content 0x11: %#x", got[0])
+	}
+	if got := readSector(t, d, 1); got[0] != 0 {
+		t.Fatalf("sector 1 should fall back to root: %#x", got[0])
+	}
+	d.RestoreRoot()
+	if got := readSector(t, d, 0); got[0] != 0 {
+		t.Fatalf("sector 0 should be root zero: %#x", got[0])
+	}
+}
+
+func TestBlockRecreateIncremental(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.TakeRoot()
+	d.WriteSector(0, sector(0x11))
+	d.TakeIncremental()
+	d.WriteSector(1, sector(0x22))
+	// Recreate at current state: sector 1's write must survive restores.
+	d.TakeIncremental()
+	d.WriteSector(1, sector(0x99))
+	d.RestoreIncremental()
+	if got := readSector(t, d, 1); got[0] != 0x22 {
+		t.Fatalf("sector 1 should hold re-snapshotted 0x22: %#x", got[0])
+	}
+}
+
+func TestBlockSaveLoadState(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.WriteSector(3, sector(0x42))
+	img, err := d.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewBlockDevice("disk0", 1)
+	if err := d2.LoadState(img); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, d2, 3); got[0] != 0x42 {
+		t.Fatalf("loaded state mismatch: %#x", got[0])
+	}
+	if d2.NumSectors() != 16 {
+		t.Fatalf("nsectors = %d, want 16", d2.NumSectors())
+	}
+}
+
+// Property: restore-incremental always yields the exact image captured at
+// TakeIncremental time, for random write workloads.
+func TestBlockSnapshotIdentityProperty(t *testing.T) {
+	const nsec = 32
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewBlockDevice("disk0", nsec)
+		for i := 0; i < 10; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		d.TakeRoot()
+		for i := 0; i < 5; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		d.TakeIncremental()
+		ref := make([][]byte, nsec)
+		for sn := 0; sn < nsec; sn++ {
+			buf := make([]byte, SectorSize)
+			d.ReadSector(uint64(sn), buf)
+			ref[sn] = buf
+		}
+		for i := 0; i < 20; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		d.RestoreIncremental()
+		for sn := 0; sn < nsec; sn++ {
+			buf := make([]byte, SectorSize)
+			d.ReadSector(uint64(sn), buf)
+			if !bytes.Equal(buf, ref[sn]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICSnapshotCycle(t *testing.T) {
+	n := NewNIC("eth0")
+	n.Transmit([]byte("boot"))
+	n.TakeRoot()
+	n.Receive([]byte("pkt1"))
+	n.TakeIncremental()
+	n.Receive([]byte("pkt2"))
+	if len(n.RxQueue) != 2 {
+		t.Fatalf("rx queue len = %d, want 2", len(n.RxQueue))
+	}
+	n.RestoreIncremental()
+	if len(n.RxQueue) != 1 || string(n.RxQueue[0]) != "pkt1" {
+		t.Fatalf("incremental restore wrong rx queue: %v", n.RxQueue)
+	}
+	n.RestoreRoot()
+	if len(n.RxQueue) != 0 || len(n.TxQueue) != 1 {
+		t.Fatalf("root restore wrong queues: rx=%d tx=%d", len(n.RxQueue), len(n.TxQueue))
+	}
+	if n.TxBytes != 4 {
+		t.Fatalf("TxBytes = %d, want 4", n.TxBytes)
+	}
+}
+
+func TestNICSaveLoad(t *testing.T) {
+	n := NewNIC("eth0")
+	n.Receive([]byte("abc"))
+	img, err := n.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNIC("eth0")
+	if err := n2.LoadState(img); err != nil {
+		t.Fatal(err)
+	}
+	if n2.RxBytes != 3 || len(n2.RxQueue) != 1 {
+		t.Fatalf("loaded NIC mismatch: %+v", n2)
+	}
+}
+
+func TestSerialSnapshotTruncation(t *testing.T) {
+	s := NewSerial("ttyS0")
+	s.WriteString("boot\n")
+	s.TakeRoot()
+	s.WriteString("prefix\n")
+	s.TakeIncremental()
+	s.WriteString("case\n")
+	s.RestoreIncremental()
+	if string(s.Log) != "boot\nprefix\n" {
+		t.Fatalf("log = %q", s.Log)
+	}
+	s.RestoreRoot()
+	if string(s.Log) != "boot\n" {
+		t.Fatalf("log = %q", s.Log)
+	}
+}
+
+func TestSetLifecycle(t *testing.T) {
+	disk := NewBlockDevice("disk0", 8)
+	nic := NewNIC("eth0")
+	ser := NewSerial("ttyS0")
+	set := NewSet(disk, nic, ser)
+	if set.Lookup("eth0") != Device(nic) {
+		t.Fatal("lookup failed")
+	}
+	if set.Lookup("nope") != nil {
+		t.Fatal("lookup of missing device should be nil")
+	}
+
+	disk.WriteSector(0, sector(0x77))
+	set.TakeRoot()
+	disk.WriteSector(0, sector(0x88))
+	nic.Receive([]byte("x"))
+	ser.WriteString("y")
+	set.RestoreRoot()
+	if got := readSector(t, disk, 0); got[0] != 0x77 {
+		t.Fatalf("disk not restored: %#x", got[0])
+	}
+	if len(nic.RxQueue) != 0 || len(ser.Log) != 0 {
+		t.Fatal("nic/serial not restored")
+	}
+}
+
+func TestSetSaveLoadAll(t *testing.T) {
+	disk := NewBlockDevice("disk0", 8)
+	nic := NewNIC("eth0")
+	set := NewSet(disk, nic)
+	disk.WriteSector(1, sector(0x55))
+	nic.Transmit([]byte("hello"))
+	img, err := set.SaveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disk2 := NewBlockDevice("disk0", 8)
+	nic2 := NewNIC("eth0")
+	set2 := NewSet(disk2, nic2)
+	if err := set2.LoadAll(img); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, disk2, 1); got[0] != 0x55 {
+		t.Fatalf("disk state not loaded: %#x", got[0])
+	}
+	if nic2.TxBytes != 5 {
+		t.Fatalf("nic state not loaded: %d", nic2.TxBytes)
+	}
+
+	set3 := NewSet(NewBlockDevice("other", 8))
+	if err := set3.LoadAll(img); err == nil {
+		t.Fatal("expected missing-device error")
+	}
+}

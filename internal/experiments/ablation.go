@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/targets"
+	"repro/internal/vm"
+)
+
+// AblationResult is one configuration's outcome in an ablation sweep.
+type AblationResult struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// AblationDirtyTracking compares Nyx's dirty-page stack against the
+// KVM/Agamotto bitmap walk for root restores (virtual time per reset, on a
+// large VM with a small working set — the case §2.3 motivates).
+func AblationDirtyTracking() []AblationResult {
+	run := func(strategy mem.RestoreStrategy) float64 {
+		m := vm.New(vm.Config{MemoryPages: 1 << 18, RestoreStrategy: strategy})
+		m.TakeRoot() //nolint:errcheck // fresh machine
+		var total time.Duration
+		const resets = 100
+		for i := 0; i < resets; i++ {
+			m.Mem.WriteAt(make([]byte, 8*mem.PageSize), 0) //nolint:errcheck // in range
+			t0 := m.Clock.Now()
+			m.RestoreRoot() //nolint:errcheck // root exists
+			total += m.Clock.Now() - t0
+		}
+		return total.Seconds() / resets * 1e6 // microseconds per reset
+	}
+	return []AblationResult{
+		{Name: "dirty-stack reset (Nyx)", Value: run(mem.RestoreStack), Unit: "us/reset"},
+		{Name: "bitmap-walk reset (KVM/Agamotto)", Value: run(mem.RestoreBitmapWalk), Unit: "us/reset"},
+	}
+}
+
+// AblationDeviceReset compares Nyx-Net's structured device reset against
+// QEMU-style serialize/deserialize (§4.2).
+func AblationDeviceReset() []AblationResult {
+	run := func(mode vm.DeviceResetMode) float64 {
+		m := vm.New(vm.Config{MemoryPages: 1024, ResetMode: mode})
+		m.Serial.WriteString("boot")
+		m.TakeRoot() //nolint:errcheck // fresh machine
+		var total time.Duration
+		const resets = 100
+		for i := 0; i < resets; i++ {
+			m.Mem.WriteAt([]byte{1}, 0) //nolint:errcheck // in range
+			m.NIC.Receive([]byte("frame"))
+			t0 := m.Clock.Now()
+			m.RestoreRoot() //nolint:errcheck // root exists
+			total += m.Clock.Now() - t0
+		}
+		return total.Seconds() / resets * 1e6
+	}
+	return []AblationResult{
+		{Name: "structured device reset (Nyx-Net)", Value: run(vm.DeviceResetStructured), Unit: "us/reset"},
+		{Name: "serialize/deserialize reset (QEMU)", Value: run(vm.DeviceResetSerialize), Unit: "us/reset"},
+	}
+}
+
+// AblationSnapshotReuse sweeps the snapshot reuse count (§3.4 observes that
+// as few as 50 reuses already pays off) and reports throughput on a
+// long-input target.
+func AblationSnapshotReuse(reuses []int, dur time.Duration, seed int64) ([]AblationResult, error) {
+	if reuses == nil {
+		reuses = []int{1, 10, 50, 200}
+	}
+	if dur == 0 {
+		dur = 10 * time.Second
+	}
+	var out []AblationResult
+	for _, reuse := range reuses {
+		inst, err := targets.Launch("proftpd", targets.LaunchConfig{})
+		if err != nil {
+			return nil, err
+		}
+		f := core.New(inst.Agent, inst.Spec, core.Options{
+			Policy:        core.PolicyAggressive,
+			Seeds:         inst.Seeds(),
+			Rand:          rand.New(rand.NewSource(seed)),
+			Dict:          inst.Info.Dict,
+			SnapshotReuse: reuse,
+		})
+		if err := f.RunFor(dur); err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name:  fmt.Sprintf("snapshot reuse %d", reuse),
+			Value: f.ExecsPerSecond(),
+			Unit:  "execs/s",
+		})
+	}
+	return out, nil
+}
+
+// AblationReMirror sweeps the incremental-snapshot re-mirror interval
+// (§4.2 uses 2,000) and reports the peak overlay size on a churn workload,
+// showing the memory/time trade-off.
+func AblationReMirror(intervals []int) []AblationResult {
+	if intervals == nil {
+		intervals = []int{100, 500, 2000, 8000}
+	}
+	var out []AblationResult
+	for _, iv := range intervals {
+		m := mem.New(4096)
+		m.ReMirrorInterval = iv
+		m.TakeRoot()
+		peak := 0
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 4000; i++ {
+			// Each cycle dirties a few random pages and re-snapshots.
+			for j := 0; j < 4; j++ {
+				m.TouchPage(uint32(rng.Intn(4096)))[0] = byte(i)
+			}
+			m.TakeIncremental() //nolint:errcheck // root exists
+			if n := m.IncrementalOverlaySize(); n > peak {
+				peak = n
+			}
+		}
+		out = append(out, AblationResult{
+			Name:  fmt.Sprintf("re-mirror every %d", iv),
+			Value: float64(peak),
+			Unit:  "peak overlay pages",
+		})
+	}
+	return out
+}
+
+// RenderAblation formats ablation results.
+func RenderAblation(title string, rs []AblationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-40s %12.1f %s\n", r.Name, r.Value, r.Unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps unit-test experiment runs small; the bench harness and the
+// nyx-bench command run at full scale.
+func fastCfg(targets ...string) Config {
+	return Config{
+		CampaignTime: 4 * time.Second,
+		Reps:         2,
+		Seed:         3,
+		Targets:      targets,
+	}
+}
+
+func TestRunCampaignNyxVsAFLnet(t *testing.T) {
+	nyx, err := RunCampaign("lightftp", FNyxAggressive, 4*time.Second, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afl, err := RunCampaign("lightftp", FAFLnet, 4*time.Second, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nyx.EPS <= afl.EPS {
+		t.Fatalf("Nyx-Net (%.1f e/s) must out-execute AFLnet (%.1f e/s)", nyx.EPS, afl.EPS)
+	}
+	if ratio := nyx.EPS / afl.EPS; ratio < 10 {
+		t.Fatalf("throughput ratio %.1fx; paper reports orders of magnitude", ratio)
+	}
+	if nyx.Coverage < afl.Coverage {
+		t.Fatalf("Nyx coverage (%d) below AFLnet (%d)", nyx.Coverage, afl.Coverage)
+	}
+}
+
+func TestRunCampaignIncompatible(t *testing.T) {
+	r, err := RunCampaign("proftpd", FAFLpp, time.Second, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Incompatible {
+		t.Fatal("AFL++/desock on proftpd should be n/a")
+	}
+}
+
+func TestRunCampaignUnknownFuzzer(t *testing.T) {
+	if _, err := RunCampaign("lightftp", FuzzerID("bogus"), time.Second, 1, false); err == nil {
+		t.Fatal("expected error for unknown fuzzer")
+	}
+}
+
+func TestTable1FindsCrashes(t *testing.T) {
+	rows, err := Table1(fastCfg("dnsmasq", "tinydtls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no crash rows; shallow bugs should be found quickly")
+	}
+	found := map[string]string{}
+	for _, row := range rows {
+		found[row.Target] = row.Found[FNyxAggressive]
+	}
+	if found["dnsmasq"] != "✓" {
+		t.Fatalf("nyx should crash dnsmasq, got %q", found["dnsmasq"])
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "dnsmasq") {
+		t.Fatal("render missing target")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(fastCfg("lightftp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row.AFLnetMedian <= 0 {
+		t.Fatal("AFLnet found no coverage")
+	}
+	// The headline claim: Nyx-Net variants beat AFLnet on coverage.
+	for _, fz := range []FuzzerID{FNyxNone, FNyxBalanced, FNyxAggressive} {
+		if row.Delta[fz] <= 0 {
+			t.Errorf("%s delta = %+.1f%%, expected positive", fz, row.Delta[fz])
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "lightftp") {
+		t.Fatal("render missing target")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(fastCfg("lightftp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Mean[FNyxAggressive] <= row.Mean[FAFLnet] {
+		t.Fatalf("aggressive (%.1f) must beat aflnet (%.1f)",
+			row.Mean[FNyxAggressive], row.Mean[FAFLnet])
+	}
+	// AFLnet should be in the single/low double digits, as the paper
+	// observes (§2.1).
+	if row.Mean[FAFLnet] > 100 {
+		t.Fatalf("AFLnet at %.1f execs/s is implausibly fast", row.Mean[FAFLnet])
+	}
+	if !strings.Contains(RenderTable3(rows), "±") {
+		t.Fatal("render missing std dev")
+	}
+}
+
+func TestTable4MarioSolves(t *testing.T) {
+	cfg := Config{CampaignTime: 20 * time.Minute, Reps: 1, Seed: 11}
+	rows, err := Table4(cfg, []string{"1-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Solved[FNyxAggressive] == 0 {
+		t.Fatal("aggressive policy should solve 1-4")
+	}
+	out := RenderTable4(rows)
+	if !strings.Contains(out, "1-4") {
+		t.Fatal("render missing level")
+	}
+}
+
+func TestTable5Speedups(t *testing.T) {
+	rows, err := Table5(fastCfg("lightftp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	solvedAny := false
+	for _, fz := range []FuzzerID{FNyxNone, FNyxBalanced, FNyxAggressive} {
+		if row.Speedup[fz] > 1 {
+			solvedAny = true
+		}
+	}
+	if !solvedAny {
+		t.Fatalf("no Nyx variant reached AFLnet's coverage faster: %+v", row.Speedup)
+	}
+	if !strings.Contains(RenderTable5(rows), "x") {
+		t.Fatal("render missing speedup")
+	}
+}
+
+func TestFigure5SeriesMonotone(t *testing.T) {
+	series, err := Figure5(fastCfg("lightftp"), []FuzzerID{FAFLnet, FNyxAggressive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		for i := 1; i < len(s.Edges); i++ {
+			if s.Edges[i] < s.Edges[i-1] {
+				t.Fatalf("%s/%s: series not monotone at %d", s.Target, s.Fuzzer, i)
+			}
+		}
+		if s.Hours[len(s.Hours)-1] != 24 {
+			t.Fatalf("time axis should end at 24 scaled hours, got %v", s.Hours[len(s.Hours)-1])
+		}
+	}
+	csv := RenderFigure5CSV(series)
+	if !strings.HasPrefix(csv, "target,fuzzer") {
+		t.Fatal("bad CSV header")
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	points := Figure6([]int{2048, 8192}, []int{8, 64, 512}, 2)
+	if len(points) == 0 {
+		t.Fatal("no measurements")
+	}
+	// Index by (system, vmpages, dirty).
+	idx := map[string]Figure6Point{}
+	for _, p := range points {
+		idx[key3(p.System, p.VMPages, p.DirtyPages)] = p
+	}
+	// Shape 1: Nyx create/load throughput falls as dirty pages grow.
+	n8 := idx[key3("nyx", 2048, 8)]
+	n512 := idx[key3("nyx", 2048, 512)]
+	if n8.CreatePerS <= n512.CreatePerS {
+		t.Fatalf("nyx create should slow with more dirty pages: %v vs %v", n8.CreatePerS, n512.CreatePerS)
+	}
+	// Shape 2: at small dirty counts on the big VM, Nyx beats Agamotto
+	// (the bitmap walk dominates Agamotto).
+	nk := idx[key3("nyx", 8192, 8)]
+	ak := idx[key3("agamotto", 8192, 8)]
+	if nk.LoadPerS <= ak.LoadPerS {
+		t.Fatalf("nyx load (%.0f/s) should beat agamotto (%.0f/s) at small dirty sets on large VMs",
+			nk.LoadPerS, ak.LoadPerS)
+	}
+	if !strings.Contains(RenderFigure6CSV(points), "nyx") {
+		t.Fatal("bad CSV")
+	}
+}
+
+func key3(s string, a, b int) string {
+	return s + ":" + itoa(a) + ":" + itoa(b)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestScalability(t *testing.T) {
+	r, err := Scalability(80, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio > 2.5 {
+		t.Fatalf("80 instances cost %.1fx one instance; paper reports ~2x", r.Ratio)
+	}
+	if r.Ratio < 1 {
+		t.Fatalf("ratio %.2f below 1 is impossible", r.Ratio)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	dt := AblationDirtyTracking()
+	if dt[0].Value >= dt[1].Value {
+		t.Fatalf("dirty stack (%.1f) should beat bitmap walk (%.1f)", dt[0].Value, dt[1].Value)
+	}
+	dr := AblationDeviceReset()
+	if dr[0].Value >= dr[1].Value {
+		t.Fatalf("structured reset (%.1f) should beat serialize (%.1f)", dr[0].Value, dr[1].Value)
+	}
+	rm := AblationReMirror([]int{50, 2000})
+	if rm[0].Value > rm[1].Value {
+		t.Fatalf("smaller re-mirror interval should bound the overlay: %v vs %v", rm[0].Value, rm[1].Value)
+	}
+	sr, err := AblationSnapshotReuse([]int{1, 50}, 3*time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr[1].Value <= sr[0].Value {
+		t.Fatalf("reuse=50 (%.1f e/s) should beat reuse=1 (%.1f e/s)", sr[1].Value, sr[0].Value)
+	}
+	if !strings.Contains(RenderAblation("t", dt), "us/reset") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/builder"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/pcap"
+	"repro/internal/spec"
+	"repro/internal/targets"
+)
+
+// TestEndToEndPipeline exercises the full §5.4 workflow in one pass:
+// capture -> seeds -> campaign -> crash -> minimize -> serialize ->
+// fresh-VM replay.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. "Capture" a DNS exchange and write/read it as a real pcap file.
+	q := []byte{0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 3, 'w', 'w', 'w', 0, 0, 1, 0, 1}
+	capturePkts := []pcap.Packet{{
+		Proto: "udp", SrcIP: [4]byte{10, 0, 0, 1}, SrcPort: 40000, DstPort: 53, Data: q,
+	}}
+	var buf bytes.Buffer
+	if err := pcap.Write(&buf, capturePkts); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := pcap.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Convert to seeds against the launched target's spec.
+	inst, err := targets.Launch("dnsmasq", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := builder.FromPCAP(inst.Spec, inst.Info.Port, pkts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 1 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+
+	// 3. Fuzz until the label-overflow crash surfaces.
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy: core.PolicyAggressive,
+		Seeds:  seeds,
+		Rand:   rand.New(rand.NewSource(2)),
+		Dict:   inst.Info.Dict,
+	})
+	for f.Elapsed() < 20*time.Second && len(f.Crashes) == 0 {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.Crashes) == 0 {
+		t.Fatalf("no crash found in 20 virtual seconds (%d execs)", f.Execs())
+	}
+
+	// 4. Minimize the crash and serialize it.
+	minimized, err := f.MinimizeCrash(f.Crashes[0].Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := spec.Serialize(minimized)
+
+	// 5. Replay in a completely fresh VM (the nyx-replay path).
+	inst2, err := targets.Launch("dnsmasq", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := spec.Deserialize(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr coverage.Trace
+	res, err := inst2.Agent.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("minimized crash does not reproduce in a fresh VM")
+	}
+}
+
+// TestBaselineCampaignDeterminism pins the whole stack: two identical
+// AFLnet campaigns (target boot, cost model, mutators, queue scheduling)
+// produce bit-identical results.
+func TestBaselineCampaignDeterminism(t *testing.T) {
+	run := func() (uint64, int) {
+		r, err := RunCampaign("exim", FAFLnet, 3*time.Second, 9, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Execs, r.Coverage
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("baseline campaigns diverged: (%d,%d) vs (%d,%d)", e1, c1, e2, c2)
+	}
+}
+
+// TestSnapshotFuzzingNeverLeaksStateAcrossInputs is the paper's central
+// correctness claim (§3.2) checked at campaign scale: run a long aggressive
+// campaign on the stateful FTP target, then verify that a fresh VM replays
+// every queue entry to the same coverage signature the campaign recorded.
+func TestSnapshotFuzzingNeverLeaksStateAcrossInputs(t *testing.T) {
+	inst, err := targets.Launch("proftpd", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy: core.PolicyAggressive,
+		Seeds:  inst.Seeds(),
+		Rand:   rand.New(rand.NewSource(4)),
+		Dict:   inst.Info.Dict,
+	})
+	if err := f.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queue) < 5 {
+		t.Fatalf("queue too small: %d", len(f.Queue))
+	}
+
+	fresh, err := targets.Launch("proftpd", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trA, trB coverage.Trace
+	checked := 0
+	for _, e := range f.Queue {
+		if _, err := inst.Agent.RunFromRoot(e.Input, &trA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.Agent.RunFromRoot(e.Input, &trB); err != nil {
+			t.Fatal(err)
+		}
+		if trA.CountEdges() != trB.CountEdges() {
+			t.Fatalf("queue entry %d: campaign VM and fresh VM disagree (%d vs %d edges): state leaked",
+				e.ID, trA.CountEdges(), trB.CountEdges())
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+}

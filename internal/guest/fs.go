@@ -1,0 +1,157 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// FS is a minimal in-guest filesystem backed by the VM's block device.
+// File *data* lives in disk sectors (and therefore follows the device's
+// two-layer snapshot cache); file *metadata* is part of the kernel state
+// that is serialized into guest memory, so both halves are consistently
+// captured by VM snapshots.
+//
+// Sector allocation is a bump allocator: snapshot restores roll the
+// allocation cursor back, reclaiming sectors automatically — the simulated
+// analogue of "writing incoming data to a file system ... is correctly
+// handled" (§3.2).
+type FS struct {
+	disk *device.BlockDevice
+
+	files      map[string]*fileMeta
+	nextSector uint64
+}
+
+type fileMeta struct {
+	sectors []uint64
+	size    int64
+}
+
+// NewFS creates a filesystem on disk.
+func NewFS(disk *device.BlockDevice) *FS {
+	return &FS{disk: disk, files: make(map[string]*fileMeta)}
+}
+
+// WriteFile creates or replaces path with data.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	nsec := (len(data) + device.SectorSize - 1) / device.SectorSize
+	if fs.nextSector+uint64(nsec) > fs.disk.NumSectors() {
+		return fmt.Errorf("fs: disk full writing %q (%d sectors)", path, nsec)
+	}
+	meta := &fileMeta{size: int64(len(data))}
+	buf := make([]byte, device.SectorSize)
+	for i := 0; i < nsec; i++ {
+		sn := fs.nextSector
+		fs.nextSector++
+		for j := range buf {
+			buf[j] = 0
+		}
+		copy(buf, data[i*device.SectorSize:])
+		if err := fs.disk.WriteSector(sn, buf); err != nil {
+			return err
+		}
+		meta.sectors = append(meta.sectors, sn)
+	}
+	fs.files[path] = meta
+	return nil
+}
+
+// AppendFile appends data to path, creating it if absent.
+func (fs *FS) AppendFile(path string, data []byte) error {
+	old, err := fs.ReadFile(path)
+	if err != nil {
+		old = nil
+	}
+	return fs.WriteFile(path, append(old, data...))
+}
+
+// ReadFile returns the contents of path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	meta, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("fs: %q: no such file", path)
+	}
+	out := make([]byte, 0, meta.size)
+	buf := make([]byte, device.SectorSize)
+	remaining := meta.size
+	for _, sn := range meta.sectors {
+		if err := fs.disk.ReadSector(sn, buf); err != nil {
+			return nil, err
+		}
+		n := int64(device.SectorSize)
+		if n > remaining {
+			n = remaining
+		}
+		out = append(out, buf[:n]...)
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Exists reports whether path exists.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the size of path, or an error if absent.
+func (fs *FS) Size(path string) (int64, error) {
+	meta, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("fs: %q: no such file", path)
+	}
+	return meta.size, nil
+}
+
+// Unlink removes path. Sector space is reclaimed only by snapshot restore
+// (bump allocation), like a log-structured scratch disk.
+func (fs *FS) Unlink(path string) error {
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("fs: %q: no such file", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths in sorted order.
+func (fs *FS) List() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// marshal appends the FS metadata to w.
+func (fs *FS) marshal(w *StateWriter) {
+	w.U64(fs.nextSector)
+	w.U32(uint32(len(fs.files)))
+	for _, path := range SortedKeys(fs.files) {
+		meta := fs.files[path]
+		w.String(path)
+		w.I64(meta.size)
+		w.U32(uint32(len(meta.sectors)))
+		for _, sn := range meta.sectors {
+			w.U64(sn)
+		}
+	}
+}
+
+// unmarshal restores the FS metadata from r.
+func (fs *FS) unmarshal(r *StateReader) {
+	fs.nextSector = r.U64()
+	n := int(r.U32())
+	fs.files = make(map[string]*fileMeta, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		path := r.String()
+		meta := &fileMeta{size: r.I64()}
+		ns := int(r.U32())
+		for j := 0; j < ns && r.Err() == nil; j++ {
+			meta.sectors = append(meta.sectors, r.U64())
+		}
+		fs.files[path] = meta
+	}
+}

@@ -1,0 +1,472 @@
+package guest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coverage"
+	"repro/internal/vm"
+)
+
+// echoTarget is a minimal stateful target used by the kernel tests: it
+// echoes packets and counts them per connection.
+type echoTarget struct {
+	Counts   map[int]int
+	Greeting string
+}
+
+func newEchoTarget() *echoTarget {
+	return &echoTarget{Counts: make(map[int]int)}
+}
+
+func (t *echoTarget) Name() string  { return "echo" }
+func (t *echoTarget) Ports() []Port { return []Port{{TCP, 7}} }
+
+func (t *echoTarget) Init(env *Env) error {
+	t.Greeting = "hello"
+	return env.FS().WriteFile("/etc/echo.conf", []byte("greeting=hello\n"))
+}
+
+func (t *echoTarget) OnConnect(env *Env, c *Conn) {
+	env.Cov(1)
+	env.Send(c, []byte(t.Greeting))
+}
+
+func (t *echoTarget) OnPacket(env *Env, c *Conn, data []byte) {
+	env.Cov(2)
+	t.Counts[c.ID]++
+	env.Send(c, data)
+	if err := env.FS().AppendFile("/var/log/echo.log", data); err != nil {
+		panic(err)
+	}
+}
+
+func (t *echoTarget) OnDisconnect(env *Env, c *Conn) { env.Cov(3) }
+
+func (t *echoTarget) SaveState(w *StateWriter) {
+	w.String(t.Greeting)
+	w.U32(uint32(len(t.Counts)))
+	for _, id := range SortedIntKeys(t.Counts) {
+		w.Int(id)
+		w.Int(t.Counts[id])
+	}
+}
+
+func (t *echoTarget) LoadState(r *StateReader) {
+	t.Greeting = r.String()
+	n := int(r.U32())
+	t.Counts = make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		id := r.Int()
+		t.Counts[id] = r.Int()
+	}
+}
+
+func bootEcho(t *testing.T) (*vm.Machine, *Kernel, *echoTarget) {
+	t.Helper()
+	m := vm.New(vm.Config{MemoryPages: 1024, DiskSectors: 4096})
+	tgt := newEchoTarget()
+	k, err := NewKernel(m, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, tgt
+}
+
+func TestStatebufRoundTrip(t *testing.T) {
+	var w StateWriter
+	w.U8(7)
+	w.U16(513)
+	w.U32(1 << 20)
+	w.U64(1 << 40)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(3.25)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes32([]byte("abc"))
+	w.String("def")
+	w.StringSlice([]string{"x", "y"})
+	w.IntSlice([]int{1, -2, 3})
+
+	r := NewStateReader(w.Bytes())
+	if r.U8() != 7 || r.U16() != 513 || r.U32() != 1<<20 || r.U64() != 1<<40 {
+		t.Fatal("unsigned round trip failed")
+	}
+	if r.I64() != -42 || r.Int() != -7 || r.F64() != 3.25 {
+		t.Fatal("signed/float round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if string(r.Bytes32()) != "abc" || r.String() != "def" {
+		t.Fatal("bytes/string round trip failed")
+	}
+	ss := r.StringSlice()
+	if len(ss) != 2 || ss[0] != "x" || ss[1] != "y" {
+		t.Fatal("string slice round trip failed")
+	}
+	is := r.IntSlice()
+	if len(is) != 3 || is[1] != -2 {
+		t.Fatal("int slice round trip failed")
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestStatebufTruncation(t *testing.T) {
+	var w StateWriter
+	w.String("hello world")
+	b := w.Bytes()
+	r := NewStateReader(b[:5])
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Sticky error: further reads return zero values, no panic.
+	if r.U64() != 0 || r.Int() != 0 {
+		t.Fatal("reads after error should return zero")
+	}
+}
+
+// Property: arbitrary byte/string payloads round-trip.
+func TestStatebufRoundTripProperty(t *testing.T) {
+	f := func(b []byte, s string, v int64) bool {
+		var w StateWriter
+		w.Bytes32(b)
+		w.String(s)
+		w.I64(v)
+		r := NewStateReader(w.Bytes())
+		return bytes.Equal(r.Bytes32(), b) && r.String() == s && r.I64() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSReadWrite(t *testing.T) {
+	m := vm.New(vm.Config{MemoryPages: 64, DiskSectors: 1024})
+	fs := NewFS(m.Disk)
+	data := bytes.Repeat([]byte("0123456789"), 200) // spans several sectors
+	if err := fs.WriteFile("/a", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fs round trip mismatch")
+	}
+	if sz, _ := fs.Size("/a"); sz != int64(len(data)) {
+		t.Fatalf("size = %d want %d", sz, len(data))
+	}
+	if err := fs.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") {
+		t.Fatal("file should be gone")
+	}
+	if _, err := fs.ReadFile("/a"); err == nil {
+		t.Fatal("expected error reading unlinked file")
+	}
+}
+
+func TestFSDiskFull(t *testing.T) {
+	m := vm.New(vm.Config{MemoryPages: 64, DiskSectors: 4})
+	fs := NewFS(m.Disk)
+	if err := fs.WriteFile("/big", make([]byte, 10*512)); err == nil {
+		t.Fatal("expected disk-full error")
+	}
+}
+
+func TestKernelBootAndConnect(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	c, fd, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd < 3 {
+		t.Fatalf("fd = %d, expected >= 3", fd)
+	}
+	if len(c.Sent) != 1 || string(c.Sent[0]) != "hello" {
+		t.Fatalf("greeting not sent: %v", c.Sent)
+	}
+	if _, _, err := k.NewConnection(Port{TCP, 99}); err == nil {
+		t.Fatal("expected error connecting to unserved port")
+	}
+}
+
+func TestDeliverAndState(t *testing.T) {
+	_, k, tgt := bootEcho(t)
+	c, _, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.Deliver(c, []byte(fmt.Sprintf("pkt%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tgt.Counts[c.ID] != 3 {
+		t.Fatalf("count = %d want 3", tgt.Counts[c.ID])
+	}
+	log, err := k.FS.ReadFile("/var/log/echo.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(log) != "pkt0pkt1pkt2" {
+		t.Fatalf("log = %q", log)
+	}
+}
+
+// The central integration property: a VM snapshot restores ALL logical
+// state — target counters, fd tables, connections, and file system.
+func TestSnapshotRestoresAllGuestState(t *testing.T) {
+	m, k, tgt := bootEcho(t)
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, _, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Deliver(c, []byte("prefix1"))
+	k.Deliver(c, []byte("prefix2"))
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	connID := c.ID
+
+	// Fuzz case: more packets, more files, a fork.
+	k.Deliver(c, []byte("case1"))
+	k.Fork(k.InitProcess())
+	k.FS.WriteFile("/tmp/scratch", []byte("junk"))
+
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Counts[connID] != 2 {
+		t.Fatalf("target state not restored: count = %d want 2", tgt.Counts[connID])
+	}
+	if k.Processes() != 1 {
+		t.Fatalf("forked process should be gone: %d procs", k.Processes())
+	}
+	if k.FS.Exists("/tmp/scratch") {
+		t.Fatal("scratch file should be gone after restore")
+	}
+	log, err := k.FS.ReadFile("/var/log/echo.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(log) != "prefix1prefix2" {
+		t.Fatalf("log = %q, want prefix only", log)
+	}
+
+	// Root restore drops even the prefix and the connection.
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.Counts) != 0 {
+		t.Fatalf("counts should be empty at root: %v", tgt.Counts)
+	}
+	if k.Conn(connID) != nil {
+		t.Fatal("connection should not exist at root")
+	}
+	if k.FS.Exists("/var/log/echo.log") {
+		t.Fatal("log should not exist at root")
+	}
+	if !k.FS.Exists("/etc/echo.conf") {
+		t.Fatal("boot-time config must survive root restore")
+	}
+}
+
+func TestDupCloseAliasing(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	c, fd, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.InitProcess()
+	fd2, err := k.Dup(p, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.AliasCount(c); got != 2 {
+		t.Fatalf("alias count = %d want 2", got)
+	}
+	if err := k.Close(p, fd); err != nil {
+		t.Fatal(err)
+	}
+	if c.Closed {
+		t.Fatal("conn must stay open while an alias exists")
+	}
+	if err := k.Close(p, fd2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Closed {
+		t.Fatal("conn must close when last alias closes")
+	}
+	if err := k.Close(p, fd2); err == nil {
+		t.Fatal("double close should error")
+	}
+}
+
+func TestForkInheritsDescriptions(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	c, fd, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := k.InitProcess()
+	child := k.Fork(parent)
+	if got := k.AliasCount(c); got != 2 {
+		t.Fatalf("alias count after fork = %d want 2", got)
+	}
+	// Parent closes; child's inherited fd keeps the connection alive —
+	// the classic forking-server pattern §3.3 calls out.
+	if err := k.Close(parent, fd); err != nil {
+		t.Fatal(err)
+	}
+	if c.Closed {
+		t.Fatal("child alias should keep conn open")
+	}
+	k.Exit(child)
+	if !c.Closed {
+		t.Fatal("conn should close when child exits")
+	}
+}
+
+func TestEpollEmulation(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	c, fd, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.InitProcess()
+	epfd := k.EpollCreate(p)
+	ready, err := k.EpollReady(p, epfd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready {
+		t.Fatal("conn not registered yet")
+	}
+	if err := k.EpollAdd(p, epfd, fd); err != nil {
+		t.Fatal(err)
+	}
+	ready, err = k.EpollReady(p, epfd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready {
+		t.Fatal("conn should be watched")
+	}
+	if err := k.EpollAdd(p, fd, fd); err == nil {
+		t.Fatal("EpollAdd on non-epoll fd should fail")
+	}
+}
+
+func TestCrashModel(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	env := k.Env()
+
+	catch := func(f func()) (ce *CrashError) {
+		defer func() {
+			if r := recover(); r != nil {
+				ce = r.(*CrashError)
+			}
+		}()
+		f()
+		return nil
+	}
+
+	if ce := catch(func() { env.Alloc(-5) }); ce == nil || ce.Kind != CrashMallocUnder {
+		t.Fatalf("expected malloc underflow, got %v", ce)
+	}
+	k.AllocLimit = 1000
+	if ce := catch(func() { env.Alloc(2000) }); ce == nil || ce.Kind != CrashOOM {
+		t.Fatalf("expected OOM, got %v", ce)
+	}
+
+	// Without ASan, corruption accumulates before faulting.
+	k2Machine := vm.New(vm.Config{MemoryPages: 1024, DiskSectors: 1024})
+	k2, err := NewKernel(k2Machine, newEchoTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := k2.Env()
+	var crashed *CrashError
+	n := 0
+	for crashed == nil && n < 100 {
+		crashed = catch(func() { env2.CorruptMemory(1) })
+		n++
+	}
+	if crashed == nil || crashed.Kind != CrashHeapCorruption {
+		t.Fatalf("expected delayed corruption crash, got %v", crashed)
+	}
+	if n < 2 {
+		t.Fatalf("corruption should be delayed without ASan (faulted after %d)", n)
+	}
+
+	// With ASan the first corruption faults.
+	k3Machine := vm.New(vm.Config{MemoryPages: 1024, DiskSectors: 1024})
+	k3, err := NewKernel(k3Machine, newEchoTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3.Asan = true
+	if ce := catch(func() { k3.Env().CorruptMemory(1) }); ce == nil || ce.Kind != CrashHeapCorruption {
+		t.Fatalf("expected immediate ASan crash, got %v", ce)
+	}
+}
+
+func TestCorruptionResetBySnapshotRestore(t *testing.T) {
+	m, k, _ := bootEcho(t)
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		k.Env().CorruptMemory(3)
+	}()
+	if k.Corruption() != 3 {
+		t.Fatalf("corruption = %d want 3", k.Corruption())
+	}
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Corruption() != 0 {
+		t.Fatalf("snapshot restore must reset corruption, got %d", k.Corruption())
+	}
+}
+
+func TestCoverageTraceWiring(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	var tr coverage.Trace
+	k.Env().SetTrace(&tr)
+	c, _, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Deliver(c, []byte("x"))
+	if tr.CountEdges() == 0 {
+		t.Fatal("expected coverage edges from instrumented target")
+	}
+}
+
+func TestDeliverOnClosedConn(t *testing.T) {
+	_, k, _ := bootEcho(t)
+	c, _, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.CloseConn(c)
+	if err := k.Deliver(c, []byte("x")); err == nil {
+		t.Fatal("expected error delivering to closed conn")
+	}
+}

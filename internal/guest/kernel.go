@@ -1,0 +1,499 @@
+// Package guest implements the simulated in-VM operating system: processes,
+// file descriptors, sockets, epoll, a block-device-backed filesystem, and
+// the target model. The kernel serializes all logical state (its own plus
+// the target's) into guest physical memory after every mutation, so that
+// whole-VM snapshots taken by package vm capture and restore it with full
+// fidelity — the property §3.2 of the Nyx-Net paper relies on ("the
+// snapshot ensures that all state ... is correctly reset between test
+// cases").
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Proto is a transport protocol of the attack surface.
+type Proto string
+
+// Supported socket protocols.
+const (
+	TCP  Proto = "tcp"
+	UDP  Proto = "udp"
+	Unix Proto = "unix"
+)
+
+// Port names one element of the target's attack surface.
+type Port struct {
+	Proto Proto
+	Num   int
+}
+
+// String renders the port for diagnostics.
+func (p Port) String() string { return fmt.Sprintf("%s/%d", p.Proto, p.Num) }
+
+// FDKind discriminates open file description types.
+type FDKind uint8
+
+// Open description kinds.
+const (
+	FDConn FDKind = iota
+	FDFile
+	FDEpoll
+)
+
+// OpenDesc is an open file description, shared between aliasing fds (dup,
+// fork inheritance), as in POSIX.
+type OpenDesc struct {
+	ID     int
+	Kind   FDKind
+	ConnID int          // for FDConn
+	Path   string       // for FDFile
+	Watch  map[int]bool // for FDEpoll: set of desc IDs
+	Refs   int
+}
+
+// Process is a guest process: a pid and an fd table mapping fd numbers to
+// open description IDs.
+type Process struct {
+	PID    int
+	Parent int
+	FDs    map[int]int
+	nextFD int
+}
+
+// Conn is an emulated network connection on the attack surface.
+type Conn struct {
+	ID     int
+	Port   Port
+	DescID int
+	Closed bool
+	// Sent collects the target's responses during the current test case
+	// (cleared by snapshot restores along with everything else).
+	Sent [][]byte
+}
+
+// Kernel is the simulated guest OS.
+type Kernel struct {
+	M      *vm.Machine
+	FS     *FS
+	Target Target
+
+	// Asan enables AddressSanitizer-like instant detection of memory
+	// corruption; without it corruption accumulates silently (see
+	// Env.CorruptMemory and Table 1's dcmtk discussion).
+	Asan bool
+
+	// AllocLimit models the container memory limit; Env.Alloc beyond it
+	// raises an OOM crash. Zero means unlimited.
+	AllocLimit int64
+
+	procs    map[int]*Process
+	descs    map[int]*OpenDesc
+	conns    map[int]*Conn
+	nextPID  int
+	nextDesc int
+	nextConn int
+
+	corruption int   // accumulated undetected memory corruption
+	allocated  int64 // live allocation estimate
+
+	heapBase int64 // guest-physical address where state is serialized
+	booted   bool
+
+	env *Env
+}
+
+// NewKernel boots a kernel on machine m with the given target program.
+// Target initialization (its startup routine) runs before the root snapshot
+// is taken, exactly as in the paper: the expensive startup happens once.
+func NewKernel(m *vm.Machine, target Target) (*Kernel, error) {
+	k := &Kernel{
+		M:        m,
+		FS:       NewFS(m.Disk),
+		Target:   target,
+		procs:    make(map[int]*Process),
+		descs:    make(map[int]*OpenDesc),
+		conns:    make(map[int]*Conn),
+		nextPID:  1,
+		nextDesc: 1,
+		nextConn: 1,
+		heapBase: 4096, // page 0 reserved
+	}
+	k.env = &Env{k: k}
+	// Wire the kernel into the machine's snapshot lifecycle: memory is
+	// authoritative, so restores re-read kernel state from memory.
+	m.GuestHooks = vm.SnapshotHooks{
+		RestoreRoot:        func() { k.syncFromMemory() },
+		RestoreIncremental: func() { k.syncFromMemory() },
+	}
+	// Boot: create the init process and run target startup.
+	init := k.newProcess(0)
+	k.env.proc = init
+	if err := target.Init(k.env); err != nil {
+		return nil, fmt.Errorf("guest: target %s init: %w", target.Name(), err)
+	}
+	k.booted = true
+	k.syncToMemory()
+	return k, nil
+}
+
+// Env returns the target execution environment.
+func (k *Kernel) Env() *Env { return k.env }
+
+func (k *Kernel) newProcess(parent int) *Process {
+	p := &Process{PID: k.nextPID, Parent: parent, FDs: make(map[int]int), nextFD: 3}
+	k.nextPID++
+	k.procs[p.PID] = p
+	return p
+}
+
+// InitProcess returns the first process (pid 1).
+func (k *Kernel) InitProcess() *Process { return k.procs[1] }
+
+// Processes returns the number of live processes.
+func (k *Kernel) Processes() int { return len(k.procs) }
+
+// Conn returns the connection with the given ID, or nil.
+func (k *Kernel) Conn(id int) *Conn { return k.conns[id] }
+
+// Corruption returns the accumulated undetected memory corruption count.
+func (k *Kernel) Corruption() int { return k.corruption }
+
+// installFD adds desc to p's fd table and returns the fd number.
+func (k *Kernel) installFD(p *Process, desc *OpenDesc) int {
+	fd := p.nextFD
+	p.nextFD++
+	p.FDs[fd] = desc.ID
+	desc.Refs++
+	return fd
+}
+
+// desc resolves an fd in process p.
+func (k *Kernel) desc(p *Process, fd int) (*OpenDesc, error) {
+	id, ok := p.FDs[fd]
+	if !ok {
+		return nil, fmt.Errorf("guest: pid %d: bad fd %d", p.PID, fd)
+	}
+	d, ok := k.descs[id]
+	if !ok {
+		return nil, fmt.Errorf("guest: pid %d: fd %d references dead desc %d", p.PID, fd, id)
+	}
+	return d, nil
+}
+
+// NewConnection establishes a connection to port on behalf of the fuzzer
+// and returns it. The owning process is the init process; forked workers
+// inherit descriptions via Fork. Charges emulated-connect cost (cheap: the
+// whole point of the emulation layer).
+func (k *Kernel) NewConnection(port Port) (*Conn, int, error) {
+	if !k.portServed(port) {
+		return nil, 0, fmt.Errorf("guest: no listener on %s", port)
+	}
+	k.M.Clock.Advance(k.M.Cost.Syscall * 3) // socket+accept+fcntl, all hooked
+	c := &Conn{ID: k.nextConn, Port: port}
+	k.nextConn++
+	d := &OpenDesc{ID: k.nextDesc, Kind: FDConn, ConnID: c.ID}
+	k.nextDesc++
+	k.descs[d.ID] = d
+	c.DescID = d.ID
+	k.conns[c.ID] = c
+	p := k.InitProcess()
+	fd := k.installFD(p, d)
+	k.env.proc = p
+	k.Target.OnConnect(k.env, c)
+	k.syncToMemory()
+	return c, fd, nil
+}
+
+func (k *Kernel) portServed(port Port) bool {
+	for _, p := range k.Target.Ports() {
+		if p == port {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver hands one packet on conn c to the target, as if a hooked recv()
+// returned it. Packet boundaries are preserved exactly (§3.3). The returned
+// error is non-nil only for kernel-level faults; target crashes surface as
+// *CrashError panics that the netemu driver recovers.
+func (k *Kernel) Deliver(c *Conn, data []byte) error {
+	if c.Closed {
+		return fmt.Errorf("guest: delivery on closed conn %d", c.ID)
+	}
+	k.M.Clock.Advance(k.M.Cost.EmulatedPoll + k.M.Cost.EmulatedRecv + k.M.Cost.DeliveryOver)
+	k.env.proc = k.InitProcess()
+	k.Target.OnPacket(k.env, c, data)
+	k.syncToMemory()
+	return nil
+}
+
+// CloseConn closes the fuzzer side of a connection and notifies the target.
+func (k *Kernel) CloseConn(c *Conn) {
+	if c.Closed {
+		return
+	}
+	c.Closed = true
+	k.M.Clock.Advance(k.M.Cost.Syscall)
+	k.Target.OnDisconnect(k.env, c)
+	k.syncToMemory()
+}
+
+// Dup duplicates fd in process p, returning the new fd number.
+func (k *Kernel) Dup(p *Process, fd int) (int, error) {
+	d, err := k.desc(p, fd)
+	if err != nil {
+		return 0, err
+	}
+	k.M.Clock.Advance(k.M.Cost.Syscall)
+	return k.installFD(p, d), nil
+}
+
+// Close closes fd in process p, releasing the description at zero refs.
+func (k *Kernel) Close(p *Process, fd int) error {
+	d, err := k.desc(p, fd)
+	if err != nil {
+		return err
+	}
+	k.M.Clock.Advance(k.M.Cost.Syscall)
+	delete(p.FDs, fd)
+	d.Refs--
+	if d.Refs <= 0 {
+		delete(k.descs, d.ID)
+		if d.Kind == FDConn {
+			if c := k.conns[d.ConnID]; c != nil {
+				c.Closed = true
+			}
+		}
+	}
+	return nil
+}
+
+// Fork creates a child of p inheriting its fd table (descriptions shared,
+// as with real fork — the reason §3.3 needs cross-process packet-stream
+// synchronisation).
+func (k *Kernel) Fork(p *Process) *Process {
+	k.M.Clock.Advance(k.M.Cost.Fork)
+	child := k.newProcess(p.PID)
+	for fd, descID := range p.FDs {
+		child.FDs[fd] = descID
+		if d := k.descs[descID]; d != nil {
+			d.Refs++
+		}
+	}
+	child.nextFD = p.nextFD
+	return child
+}
+
+// Exit terminates process p, closing its fds.
+func (k *Kernel) Exit(p *Process) {
+	for fd := range p.FDs {
+		k.Close(p, fd) //nolint:errcheck // fds are valid by construction
+	}
+	delete(k.procs, p.PID)
+}
+
+// EpollCreate makes an epoll instance in p.
+func (k *Kernel) EpollCreate(p *Process) int {
+	k.M.Clock.Advance(k.M.Cost.Syscall)
+	d := &OpenDesc{ID: k.nextDesc, Kind: FDEpoll, Watch: make(map[int]bool)}
+	k.nextDesc++
+	k.descs[d.ID] = d
+	return k.installFD(p, d)
+}
+
+// EpollAdd registers fd with the epoll instance epfd.
+func (k *Kernel) EpollAdd(p *Process, epfd, fd int) error {
+	ep, err := k.desc(p, epfd)
+	if err != nil {
+		return err
+	}
+	if ep.Kind != FDEpoll {
+		return fmt.Errorf("guest: fd %d is not an epoll instance", epfd)
+	}
+	target, err := k.desc(p, fd)
+	if err != nil {
+		return err
+	}
+	k.M.Clock.Advance(k.M.Cost.Syscall)
+	ep.Watch[target.ID] = true
+	return nil
+}
+
+// EpollReady reports whether the epoll instance epfd watches the
+// description backing conn — used by the emulation layer to decide which
+// fd to signal as ready when the bytecode schedules a packet (§3.3: "more
+// complex APIs such as epoll() are emulated to indicate which fd is ready").
+func (k *Kernel) EpollReady(p *Process, epfd int, conn *Conn) (bool, error) {
+	ep, err := k.desc(p, epfd)
+	if err != nil {
+		return false, err
+	}
+	if ep.Kind != FDEpoll {
+		return false, fmt.Errorf("guest: fd %d is not an epoll instance", epfd)
+	}
+	k.M.Clock.Advance(k.M.Cost.EmulatedPoll)
+	return ep.Watch[conn.DescID], nil
+}
+
+// AliasCount returns how many fds across all processes reference conn — the
+// bookkeeping the dup/close hooks of §4.1 maintain.
+func (k *Kernel) AliasCount(conn *Conn) int {
+	n := 0
+	for _, p := range k.procs {
+		for _, descID := range p.FDs {
+			if descID == conn.DescID {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResetCorruption clears accumulated corruption; used by baseline fuzzers'
+// full server restarts (not by snapshot restores, which roll it back
+// naturally via state restore).
+func (k *Kernel) ResetCorruption() { k.corruption = 0; k.syncToMemory() }
+
+// ---- State serialization into guest memory ----
+
+// syncToMemory serializes the kernel + target state into guest physical
+// memory at heapBase. Every logical mutation calls this, so the memory
+// image is always authoritative and snapshots capture everything.
+func (k *Kernel) syncToMemory() {
+	if k.M == nil {
+		return
+	}
+	var w StateWriter
+	k.marshal(&w)
+	body := w.Bytes()
+	var hdr StateWriter
+	hdr.U32(uint32(len(body)))
+	if _, err := k.M.Mem.WriteAt(hdr.Bytes(), k.heapBase); err != nil {
+		panic(fmt.Sprintf("guest: state header write: %v", err))
+	}
+	if _, err := k.M.Mem.WriteAt(body, k.heapBase+4); err != nil {
+		panic(fmt.Sprintf("guest: state write (%d bytes): %v — enlarge VM memory", len(body), err))
+	}
+}
+
+// syncFromMemory re-reads kernel + target state after a snapshot restore.
+func (k *Kernel) syncFromMemory() {
+	hdr := make([]byte, 4)
+	if _, err := k.M.Mem.ReadAt(hdr, k.heapBase); err != nil {
+		panic(fmt.Sprintf("guest: state header read: %v", err))
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	body := make([]byte, n)
+	if _, err := k.M.Mem.ReadAt(body, k.heapBase+4); err != nil {
+		panic(fmt.Sprintf("guest: state read: %v", err))
+	}
+	r := NewStateReader(body)
+	k.unmarshal(r)
+	if err := r.Err(); err != nil {
+		panic(fmt.Sprintf("guest: state decode: %v", err))
+	}
+}
+
+func (k *Kernel) marshal(w *StateWriter) {
+	w.Int(k.nextPID)
+	w.Int(k.nextDesc)
+	w.Int(k.nextConn)
+	w.Int(k.corruption)
+	w.I64(k.allocated)
+
+	w.U32(uint32(len(k.descs)))
+	for _, id := range SortedIntKeys(k.descs) {
+		d := k.descs[id]
+		w.Int(d.ID)
+		w.U8(uint8(d.Kind))
+		w.Int(d.ConnID)
+		w.String(d.Path)
+		w.Int(d.Refs)
+		w.IntSlice(SortedIntKeys(d.Watch))
+	}
+
+	w.U32(uint32(len(k.procs)))
+	for _, pid := range SortedIntKeys(k.procs) {
+		p := k.procs[pid]
+		w.Int(p.PID)
+		w.Int(p.Parent)
+		w.Int(p.nextFD)
+		fds := SortedIntKeys(p.FDs)
+		w.U32(uint32(len(fds)))
+		for _, fd := range fds {
+			w.Int(fd)
+			w.Int(p.FDs[fd])
+		}
+	}
+
+	w.U32(uint32(len(k.conns)))
+	for _, id := range SortedIntKeys(k.conns) {
+		c := k.conns[id]
+		w.Int(c.ID)
+		w.String(string(c.Port.Proto))
+		w.Int(c.Port.Num)
+		w.Int(c.DescID)
+		w.Bool(c.Closed)
+		w.U32(uint32(len(c.Sent)))
+		for _, b := range c.Sent {
+			w.Bytes32(b)
+		}
+	}
+
+	k.FS.marshal(w)
+	k.Target.SaveState(w)
+}
+
+func (k *Kernel) unmarshal(r *StateReader) {
+	k.nextPID = r.Int()
+	k.nextDesc = r.Int()
+	k.nextConn = r.Int()
+	k.corruption = r.Int()
+	k.allocated = r.I64()
+
+	nd := int(r.U32())
+	k.descs = make(map[int]*OpenDesc, nd)
+	for i := 0; i < nd && r.Err() == nil; i++ {
+		d := &OpenDesc{ID: r.Int(), Kind: FDKind(r.U8()), ConnID: r.Int(), Path: r.String(), Refs: r.Int()}
+		d.Watch = make(map[int]bool)
+		for _, id := range r.IntSlice() {
+			d.Watch[id] = true
+		}
+		k.descs[d.ID] = d
+	}
+
+	np := int(r.U32())
+	k.procs = make(map[int]*Process, np)
+	for i := 0; i < np && r.Err() == nil; i++ {
+		p := &Process{PID: r.Int(), Parent: r.Int(), nextFD: r.Int(), FDs: make(map[int]int)}
+		nf := int(r.U32())
+		for j := 0; j < nf && r.Err() == nil; j++ {
+			fd := r.Int()
+			p.FDs[fd] = r.Int()
+		}
+		k.procs[p.PID] = p
+	}
+
+	nc := int(r.U32())
+	k.conns = make(map[int]*Conn, nc)
+	for i := 0; i < nc && r.Err() == nil; i++ {
+		c := &Conn{ID: r.Int(), Port: Port{}, DescID: 0}
+		c.Port.Proto = Proto(r.String())
+		c.Port.Num = r.Int()
+		c.DescID = r.Int()
+		c.Closed = r.Bool()
+		ns := int(r.U32())
+		for j := 0; j < ns && r.Err() == nil; j++ {
+			c.Sent = append(c.Sent, r.Bytes32())
+		}
+		k.conns[c.ID] = c
+	}
+
+	k.FS.unmarshal(r)
+	k.Target.LoadState(r)
+	k.env.proc = k.procs[1]
+}

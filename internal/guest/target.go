@@ -1,0 +1,164 @@
+package guest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coverage"
+)
+
+// Target is a fuzz target: an event-driven network service (or client, or
+// game) running inside the guest. Real Nyx-Net targets are unmodified
+// binaries whose event loops block in hooked recv/epoll calls; here targets
+// are written against the same semantics in event-handler form, which is
+// how most real servers structure their loops anyway.
+//
+// All mutable state must round-trip through SaveState/LoadState: the kernel
+// serializes it into guest memory after every event, which is what makes VM
+// snapshots authoritative.
+type Target interface {
+	// Name identifies the target (e.g. "lightftp").
+	Name() string
+	// Ports lists the attack surface the emulation layer hooks.
+	Ports() []Port
+	// Init runs the startup routine (before the root snapshot).
+	Init(env *Env) error
+	// OnConnect is invoked when the fuzzer opens a connection.
+	OnConnect(env *Env, c *Conn)
+	// OnPacket is invoked for each delivered packet, with exact packet
+	// boundaries preserved (§3.3).
+	OnPacket(env *Env, c *Conn, data []byte)
+	// OnDisconnect is invoked when a connection closes.
+	OnDisconnect(env *Env, c *Conn)
+	// SaveState serializes all mutable target state.
+	SaveState(w *StateWriter)
+	// LoadState restores state saved by SaveState.
+	LoadState(r *StateReader)
+}
+
+// CrashKind classifies target crashes for triage and Table 1.
+type CrashKind string
+
+// Crash kinds observed across the target suite.
+const (
+	CrashSegfault       CrashKind = "segfault"
+	CrashNullDeref      CrashKind = "null-deref"
+	CrashHeapCorruption CrashKind = "heap-corruption"
+	CrashMallocUnder    CrashKind = "malloc-underflow"
+	CrashOOM            CrashKind = "oom"
+	CrashOOMInternal    CrashKind = "oom-internal-limit"
+	CrashAssert         CrashKind = "assertion"
+)
+
+// CrashError is panicked by Env.Crash and recovered by the execution
+// driver; it is the simulated analogue of a signal plus ASan report.
+type CrashError struct {
+	Kind CrashKind
+	Msg  string
+}
+
+// Error implements error.
+func (c *CrashError) Error() string { return fmt.Sprintf("%s: %s", c.Kind, c.Msg) }
+
+// Env is the execution environment handed to target handlers: coverage
+// probes, virtual CPU accounting, response emission, and the crash /
+// allocator model.
+type Env struct {
+	k    *Kernel
+	proc *Process
+
+	trace *coverage.Trace
+}
+
+// Kernel returns the owning kernel (for fork/dup/epoll syscalls).
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// FS returns the guest filesystem.
+func (e *Env) FS() *FS { return e.k.FS }
+
+// Process returns the current process context.
+func (e *Env) Process() *Process { return e.proc }
+
+// Asan reports whether AddressSanitizer-like checking is enabled.
+func (e *Env) Asan() bool { return e.k.Asan }
+
+// SetTrace installs the per-execution coverage trace. The execution driver
+// calls this before each test case.
+func (e *Env) SetTrace(t *coverage.Trace) { e.trace = t }
+
+// Cov records execution of the basic block identified by loc.
+func (e *Env) Cov(loc uint32) {
+	if e.trace != nil {
+		e.trace.Hit(loc)
+	}
+}
+
+// Work charges d of virtual CPU time (the target "computing").
+func (e *Env) Work(d time.Duration) { e.k.M.Clock.Advance(d) }
+
+// Send emits a response on c (a hooked send(); cheap under emulation).
+func (e *Env) Send(c *Conn, data []byte) {
+	e.k.M.Clock.Advance(e.k.M.Cost.EmulatedRecv)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.Sent = append(c.Sent, cp)
+}
+
+// Sendf emits a formatted response on c.
+func (e *Env) Sendf(c *Conn, format string, args ...any) {
+	e.Send(c, []byte(fmt.Sprintf(format, args...)))
+}
+
+// Crash aborts the current execution with a crash of the given kind.
+func (e *Env) Crash(kind CrashKind, format string, args ...any) {
+	panic(&CrashError{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Alloc models the target's allocator. Negative sizes reproduce the
+// "negative amount of memory could be allocated" Lighttpd bug class
+// (§5.5); allocations beyond the kernel's AllocLimit raise the OOM the
+// ProFuzzBench docker limits cause (Table 1 note).
+func (e *Env) Alloc(size int64) {
+	if size < 0 {
+		e.Crash(CrashMallocUnder, "malloc(%d): integer underflow", size)
+	}
+	e.k.allocated += size
+	if e.k.AllocLimit > 0 && e.k.allocated > e.k.AllocLimit {
+		e.Crash(CrashOOM, "allocation of %d bytes exceeds container limit", size)
+	}
+}
+
+// Free returns size bytes to the allocator model.
+func (e *Env) Free(size int64) {
+	e.k.allocated -= size
+	if e.k.allocated < 0 {
+		e.k.allocated = 0
+	}
+}
+
+// CorruptMemory models a latent heap corruption bug. With ASan the crash
+// surfaces immediately. Without it, corruption accumulates silently in
+// target state; once enough has built up the process finally faults. This
+// reproduces Table 1's dcmtk footnote: a snapshot fuzzer resets the
+// corruption with every test case and therefore only sees the bug under
+// ASan, while a persistent-process fuzzer like AFLnet accumulates state
+// until it crashes even without ASan.
+func (e *Env) CorruptMemory(amount int) {
+	if e.k.Asan {
+		e.Crash(CrashHeapCorruption, "heap buffer overflow detected by ASan")
+	}
+	e.k.corruption += amount
+	if e.k.corruption >= CorruptionFaultThreshold {
+		e.Crash(CrashHeapCorruption, "delayed fault after %d accumulated corruptions", e.k.corruption)
+	}
+}
+
+// CorruptionFaultThreshold is how much silent corruption a process survives
+// before faulting (without ASan).
+const CorruptionFaultThreshold = 6
+
+// NullDeref reports a null-pointer dereference (the Firefox IPC bug class,
+// §5.7).
+func (e *Env) NullDeref(what string) {
+	e.Crash(CrashNullDeref, "null pointer dereference in %s", what)
+}

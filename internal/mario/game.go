@@ -1,0 +1,267 @@
+// Package mario implements the Super Mario Bros. experiment of §5.3: a
+// deterministic tile-based platformer whose input is a stream of controller
+// messages, played through the same target/agent machinery as the network
+// services. Feedback is Ijon-style position coverage; incremental snapshots
+// let the fuzzer replay only the hard part of a level (Figure 2).
+//
+// The engine reproduces the mechanics the experiment depends on: gravity,
+// running, jumping, pits, pipes, patrolling enemies, the goal flag — and
+// the wall-jump glitch that makes level 2-1 solvable even though its well
+// cannot be escaped by a legal jump (the paper: "Nyx-Net actually was able
+// to exploit this ability ... the authors of Ijon believed 2-1 might be
+// impossible to solve").
+package mario
+
+import "math"
+
+// Tile kinds in a level grid.
+type Tile uint8
+
+// Level tiles.
+const (
+	TileAir Tile = iota
+	TileGround
+	TilePipe
+	TileFlag
+)
+
+// Button bits in a control byte.
+const (
+	BtnRight = 1 << 0
+	BtnLeft  = 1 << 1
+	BtnJump  = 1 << 2
+	BtnRun   = 1 << 3
+)
+
+// FramesPerInput is how many physics frames one control byte is held.
+const FramesPerInput = 4
+
+// Physics constants (tiles and tiles/frame).
+const (
+	gravity    = 0.035
+	jumpVel    = -0.42
+	walkAccel  = 0.012
+	runAccel   = 0.02
+	maxWalk    = 0.14
+	maxRun     = 0.22
+	friction   = 0.85
+	enemySpeed = 0.04
+)
+
+// Enemy is a patrolling walker.
+type Enemy struct {
+	X, Y  float64
+	Dir   float64
+	Alive bool
+}
+
+// Level is an immutable tile map.
+type Level struct {
+	Name   string
+	Width  int
+	Height int
+	tiles  []Tile
+	FlagX  int
+	Spawns []Enemy
+}
+
+// At returns the tile at (x, y); out-of-range below the map is air (the
+// pit), side/top out-of-range is solid so the player cannot leave.
+func (l *Level) At(x, y int) Tile {
+	if y >= l.Height {
+		return TileAir // bottomless
+	}
+	if x < 0 || x >= l.Width || y < 0 {
+		return TileGround
+	}
+	return l.tiles[y*l.Width+x]
+}
+
+func (l *Level) set(x, y int, t Tile) {
+	if x >= 0 && x < l.Width && y >= 0 && y < l.Height {
+		l.tiles[y*l.Width+x] = t
+	}
+}
+
+func solid(t Tile) bool { return t == TileGround || t == TilePipe }
+
+// Game is a running play-through.
+type Game struct {
+	L *Level
+
+	X, Y     float64 // player position (tiles)
+	VX, VY   float64
+	OnGround bool
+
+	Enemies   []Enemy
+	Frame     int
+	MaxX      float64
+	Dead      bool
+	Won       bool
+	WallJumps int
+
+	// PrevJump tracks the jump button's previous frame state: the wall
+	// jump requires a *fresh* press, which is why the glitch is hard to
+	// trigger and why fuzzers find it only "somewhat regularly" (§5.3).
+	PrevJump bool
+}
+
+// NewGame starts a play-through of l.
+func NewGame(l *Level) *Game {
+	g := &Game{L: l, X: 2, Y: float64(groundLevel(l, 2)) - 1}
+	g.Enemies = append(g.Enemies, l.Spawns...)
+	g.MaxX = g.X
+	return g
+}
+
+// groundLevel finds the y of the first solid tile at column x.
+func groundLevel(l *Level, x int) int {
+	for y := 0; y < l.Height; y++ {
+		if solid(l.At(x, y)) {
+			return y
+		}
+	}
+	return l.Height
+}
+
+// Step advances one frame under the given buttons.
+func (g *Game) Step(buttons byte) {
+	if g.Dead || g.Won {
+		return
+	}
+	g.Frame++
+
+	// Horizontal control.
+	accel := walkAccel
+	maxV := maxWalk
+	if buttons&BtnRun != 0 {
+		accel = runAccel
+		maxV = maxRun
+	}
+	switch {
+	case buttons&BtnRight != 0:
+		g.VX += accel
+	case buttons&BtnLeft != 0:
+		g.VX -= accel
+	default:
+		g.VX *= friction
+		if math.Abs(g.VX) < 0.001 {
+			g.VX = 0
+		}
+	}
+	g.VX = clamp(g.VX, -maxV, maxV)
+
+	// Jumping.
+	if buttons&BtnJump != 0 {
+		if g.OnGround {
+			g.VY = jumpVel
+			g.OnGround = false
+		} else if g.VY > 0 && g.VY < 0.22 && !g.PrevJump {
+			// The wall-jump glitch: a fresh jump press in a narrow
+			// window just after the apex, pressed against a wall in the
+			// direction of travel. The tight timing is what makes the
+			// glitch rare enough that Ijon never found it (§5.3).
+			if (buttons&BtnRight != 0 && g.wallAt(+1)) ||
+				(buttons&BtnLeft != 0 && g.wallAt(-1)) {
+				g.VY = jumpVel
+				g.WallJumps++
+			}
+		}
+	}
+	g.PrevJump = buttons&BtnJump != 0
+
+	// Gravity.
+	g.VY += gravity
+	if g.VY > 0.5 {
+		g.VY = 0.5
+	}
+
+	// Horizontal movement with wall collision.
+	nx := g.X + g.VX
+	if g.VX > 0 && g.solidBody(nx+0.4, g.Y) {
+		nx = math.Floor(nx+0.4) - 0.4
+		g.VX = 0
+	} else if g.VX < 0 && g.solidBody(nx-0.4, g.Y) {
+		nx = math.Floor(nx-0.4) + 1.4
+		g.VX = 0
+	}
+	g.X = nx
+
+	// Vertical movement with floor/ceiling collision.
+	ny := g.Y + g.VY
+	g.OnGround = false
+	if g.VY > 0 && g.feetSolid(g.X, ny) {
+		ny = math.Floor(ny+1) - 1
+		g.VY = 0
+		g.OnGround = true
+	} else if g.VY < 0 && solid(g.L.At(int(g.X), int(ny-0.9))) {
+		ny = math.Floor(ny)
+		g.VY = 0
+	}
+	g.Y = ny
+
+	// Falling out of the world.
+	if g.Y > float64(g.L.Height)+2 {
+		g.Dead = true
+		return
+	}
+
+	// Enemies.
+	for i := range g.Enemies {
+		e := &g.Enemies[i]
+		if !e.Alive {
+			continue
+		}
+		e.X += e.Dir * enemySpeed
+		// Turn around at walls and pit edges.
+		ahead := e.X + e.Dir*0.5
+		if solid(g.L.At(int(ahead), int(e.Y))) || !solid(g.L.At(int(ahead), int(e.Y)+1)) {
+			e.Dir = -e.Dir
+		}
+		// Contact.
+		if math.Abs(e.X-g.X) < 0.6 && math.Abs(e.Y-g.Y) < 0.8 {
+			if g.VY > 0 && g.Y < e.Y-0.3 {
+				e.Alive = false // stomped
+				g.VY = jumpVel / 2
+			} else {
+				g.Dead = true
+				return
+			}
+		}
+	}
+
+	if g.X > g.MaxX {
+		g.MaxX = g.X
+	}
+	if int(g.X) >= g.L.FlagX {
+		g.Won = true
+	}
+}
+
+// wallAt reports whether a solid tile is directly beside the player.
+func (g *Game) wallAt(dir int) bool {
+	x := int(g.X + float64(dir)*0.55)
+	return solid(g.L.At(x, int(g.Y))) || solid(g.L.At(x, int(g.Y-0.9)))
+}
+
+// solidBody reports collision of the player's body column at x.
+func (g *Game) solidBody(x, y float64) bool {
+	return solid(g.L.At(int(x), int(y))) || solid(g.L.At(int(x), int(y-0.9)))
+}
+
+// feetSolid reports a solid tile under the player's feet at y.
+func (g *Game) feetSolid(x, y float64) bool {
+	return solid(g.L.At(int(x), int(y+1))) ||
+		solid(g.L.At(int(x-0.3), int(y+1))) ||
+		solid(g.L.At(int(x+0.3), int(y+1)))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package mario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NumWorlds and StagesPerWorld define the 8x4 level grid of the original
+// game, which Table 4 sweeps.
+const (
+	NumWorlds      = 8
+	StagesPerWorld = 4
+)
+
+// LevelName formats "w-s" as the paper's table does.
+func LevelName(world, stage int) string { return fmt.Sprintf("%d-%d", world, stage) }
+
+// BuildLevel deterministically generates level world-stage. Difficulty
+// (pit frequency and width, pipe height, enemy count) grows with the world
+// number; every level is completable by run-and-jump play except 2-1,
+// which contains the well that only the wall-jump glitch escapes.
+func BuildLevel(world, stage int) *Level {
+	if world < 1 || world > NumWorlds || stage < 1 || stage > StagesPerWorld {
+		panic(fmt.Sprintf("mario: no level %d-%d", world, stage))
+	}
+	rng := rand.New(rand.NewSource(int64(world*100 + stage)))
+	width := 90 + world*8 + stage*4
+	l := &Level{
+		Name:   LevelName(world, stage),
+		Width:  width,
+		Height: 20,
+		tiles:  make([]Tile, width*20),
+	}
+	groundY := 13
+
+	// Base ground.
+	for x := 0; x < width; x++ {
+		for y := groundY; y < l.Height; y++ {
+			l.set(x, y, TileGround)
+		}
+	}
+
+	// Features: pits and pipes, spaced out, never in the spawn or flag
+	// zones.
+	maxPit := 2
+	if world >= 3 {
+		maxPit = 3
+	}
+	x := 8
+	for x < width-10 {
+		// Hazard density grows with the world number; flat stretches
+		// shrink, so later levels are long gauntlets that demand the
+		// prefix-by-prefix search the position feedback enables.
+		switch rng.Intn(4 + (6-world/2)/2) {
+		case 0, 1: // pit
+			w := 2 + rng.Intn(maxPit-1)
+			for px := x; px < x+w && px < width-10; px++ {
+				for y := groundY; y < l.Height; y++ {
+					l.set(px, y, TileAir)
+				}
+			}
+			x += w + 3 + rng.Intn(3)
+		case 2: // pipe
+			h := 1 + rng.Intn(2)
+			for y := groundY - h; y < groundY; y++ {
+				l.set(x, y, TilePipe)
+			}
+			x += 4 + rng.Intn(3)
+		case 3: // enemy
+			l.Spawns = append(l.Spawns, Enemy{X: float64(x), Y: float64(groundY - 1), Dir: -1, Alive: true})
+			x += 4 + rng.Intn(3)
+		default: // flat stretch
+			x += 3 + rng.Intn(3)
+		}
+	}
+
+	// Level 2-1: the well. A pit too wide to jump across (7 tiles vs. a
+	// ~5-tile maximum jump) but with a floor: the player must drop in.
+	// Its walls are far taller than any legal jump, so the only way out
+	// is chaining the wall-jump glitch up a side.
+	if world == 2 && stage == 1 {
+		wx := width / 2
+		const wellWidth, wellDepth = 7, 5
+		// Ensure solid ground flanks the well (overwrite any generated
+		// pit) so the walls exist to jump off.
+		for px := wx - 3; px < wx; px++ {
+			for y := groundY; y < l.Height; y++ {
+				l.set(px, y, TileGround)
+			}
+		}
+		for px := wx + wellWidth; px < wx+wellWidth+3; px++ {
+			for y := groundY; y < l.Height; y++ {
+				l.set(px, y, TileGround)
+			}
+		}
+		// Dig the shaft and lay its floor.
+		for px := wx; px < wx+wellWidth; px++ {
+			for y := groundY; y < groundY+wellDepth; y++ {
+				l.set(px, y, TileAir)
+			}
+			l.set(px, groundY+wellDepth, TileGround)
+		}
+		// Fill below the floor.
+		for px := wx; px < wx+wellWidth; px++ {
+			for y := groundY + wellDepth + 1; y < l.Height; y++ {
+				l.set(px, y, TileGround)
+			}
+		}
+	}
+
+	// Flag zone: flat ground then the flag.
+	l.FlagX = width - 4
+	for y := groundY - 6; y < groundY; y++ {
+		l.set(l.FlagX, y, TileFlag)
+	}
+	return l
+}
+
+// AllLevels enumerates every (world, stage) pair in table order.
+func AllLevels() []string {
+	var out []string
+	for w := 1; w <= NumWorlds; w++ {
+		for s := 1; s <= StagesPerWorld; s++ {
+			out = append(out, LevelName(w, s))
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package mario
+
+import (
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// TracePoint is one sampled player position during a replay.
+type TracePoint struct {
+	X, Y  float64
+	Frame int
+}
+
+// Replay runs the controller bytes of the given input's packets through a
+// fresh play-through and samples the trajectory once per input byte. It is
+// the visualization path behind Figure 2 — no kernel needed, just the
+// engine.
+func Replay(world, stage int, in *spec.Input, s *spec.Spec) ([]TracePoint, *Game) {
+	g := NewGame(BuildLevel(world, stage))
+	var trace []TracePoint
+	for _, op := range in.Ops {
+		if int(op.Node) >= len(s.Nodes) || !s.Nodes[op.Node].HasData {
+			continue
+		}
+		for _, b := range op.Data {
+			for f := 0; f < FramesPerInput; f++ {
+				g.Step(b)
+			}
+			trace = append(trace, TracePoint{X: g.X, Y: g.Y, Frame: g.Frame})
+			if g.Dead || g.Won {
+				return trace, g
+			}
+		}
+	}
+	return trace, g
+}
+
+// Render draws the level as ASCII art with the trajectory overlaid
+// ('*' = visited, 'S' = spawn, 'F' = flag column), the reproduction's
+// version of Figure 2's path visualization.
+func Render(l *Level, trace []TracePoint) string {
+	grid := make([][]byte, l.Height)
+	for y := range grid {
+		grid[y] = make([]byte, l.Width)
+		for x := range grid[y] {
+			switch l.At(x, y) {
+			case TileGround:
+				grid[y][x] = '#'
+			case TilePipe:
+				grid[y][x] = 'H'
+			case TileFlag:
+				grid[y][x] = 'F'
+			default:
+				grid[y][x] = ' '
+			}
+		}
+	}
+	for _, p := range trace {
+		x, y := int(p.X), int(p.Y)
+		if x >= 0 && x < l.Width && y >= 0 && y < l.Height {
+			grid[y][x] = '*'
+		}
+	}
+	if len(trace) > 0 {
+		grid[int(trace[0].Y)][int(trace[0].X)] = 'S'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package mario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestReplayAndRender(t *testing.T) {
+	inst, err := Launch(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := inst.Seeds()[0]
+	trace, g := Replay(1, 1, seed, inst.Spec)
+	if len(trace) == 0 {
+		t.Fatal("replay produced no trace")
+	}
+	if g.Frame == 0 {
+		t.Fatal("replay did not advance the game")
+	}
+	// The trace moves right from spawn.
+	if trace[len(trace)-1].X <= trace[0].X {
+		t.Fatal("run-right seed should move right")
+	}
+
+	out := Render(BuildLevel(1, 1), trace)
+	if !strings.Contains(out, "*") {
+		t.Fatal("render missing trajectory")
+	}
+	if !strings.Contains(out, "S") {
+		t.Fatal("render missing spawn marker")
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "F") {
+		t.Fatal("render missing level geometry")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	l := BuildLevel(1, 1)
+	if len(lines) != l.Height {
+		t.Fatalf("render height %d, want %d", len(lines), l.Height)
+	}
+	for i, line := range lines {
+		if len(line) != l.Width {
+			t.Fatalf("render line %d width %d, want %d", i, len(line), l.Width)
+		}
+	}
+}
+
+func TestReplayStopsOnDeath(t *testing.T) {
+	inst, err := Launch(3, 1) // wider pits: blind running dies
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold plain right (no jumps) long enough to hit the first pit.
+	con, _ := inst.Spec.NodeByName("connect_unix_600")
+	pkt, _ := inst.Spec.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con})
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = BtnRight | BtnRun
+	}
+	for i := 0; i < 4; i++ {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: data})
+	}
+	trace, g := Replay(3, 1, in, inst.Spec)
+	if !g.Dead {
+		t.Skip("level 3-1 start happens to be jumpless-survivable")
+	}
+	// The trace must end at the death, not continue.
+	if len(trace) == 0 || int(trace[len(trace)-1].Frame) != g.Frame {
+		t.Fatal("trace should end at the death frame")
+	}
+}

@@ -1,0 +1,494 @@
+// Package mem implements the guest physical memory substrate used by the
+// Nyx-Net reproduction: 4 KiB pages with hardware-style dirty tracking and
+// the two-level (root + incremental) snapshot mechanism described in §2.3
+// and §4.2 of the paper.
+//
+// Dirty tracking follows the paper closely: a bitmap with one byte per page
+// (mirroring KVM's layout) plus Nyx's addition, a stack of dirty page
+// numbers that lets the restore path avoid walking the whole bitmap. Both
+// structures are maintained so that the ablation benchmarks can compare the
+// stack-based restore against an Agamotto-style full bitmap walk.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a guest physical page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Restore strategies select how the set of pages to reset is discovered.
+type RestoreStrategy int
+
+const (
+	// RestoreStack walks Nyx's stack of dirty page numbers (the paper's
+	// approach; cost proportional to the number of dirty pages).
+	RestoreStack RestoreStrategy = iota
+	// RestoreBitmapWalk scans the whole dirty bitmap as Agamotto and
+	// stock KVM do (cost proportional to total VM size).
+	RestoreBitmapWalk
+)
+
+// ErrNoRootSnapshot is returned when an operation requires a root snapshot
+// that has not been taken yet.
+var ErrNoRootSnapshot = errors.New("mem: no root snapshot taken")
+
+// ErrNoIncrementalSnapshot is returned when an operation requires an active
+// incremental snapshot.
+var ErrNoIncrementalSnapshot = errors.New("mem: no incremental snapshot active")
+
+// Memory models the physical memory of a guest VM.
+//
+// Pages are allocated lazily: a nil entry reads as all zeroes. Writes mark
+// pages dirty in both the bitmap and the dirty stack, mimicking the
+// hardware page-modification logging that Nyx builds on.
+type Memory struct {
+	npages int
+	pages  [][]byte
+
+	// Dirty tracking since the last snapshot point (root restore,
+	// incremental create, or incremental restore).
+	dirtyBitmap []byte
+	dirtyStack  []uint32
+
+	// Root snapshot: a full copy of the memory at TakeRoot time.
+	root       [][]byte
+	hasRoot    bool
+	rootEpochs uint64 // number of root restores, for stats
+
+	// backing, when non-nil, provides copy-on-write page content for
+	// pages this instance has not written yet. It aliases another
+	// Memory's root snapshot (see CloneSharedRoot, §5.3 Scalability).
+	backing    [][]byte
+	sharedRoot bool
+
+	// Incremental snapshot state (§4.2). The "mirror" is conceptually a
+	// copy-on-write remap of the root snapshot: incPages overlays root.
+	// Pages accumulate in the overlay across incremental snapshots and
+	// are re-mirrored (cleared) every ReMirrorInterval creations to bound
+	// the duplicate-copy worst case the paper describes.
+	incActive   bool
+	incPages    map[uint32][]byte
+	incCreated  uint64 // total incremental snapshots created
+	sinceMirror int    // creations since the overlay was last cleared
+
+	// ReMirrorInterval is the number of incremental snapshot creations
+	// between full overlay re-mirrors. The paper uses 2,000.
+	ReMirrorInterval int
+
+	// Strategy used by restore operations.
+	Strategy RestoreStrategy
+
+	stats Stats
+}
+
+// Stats aggregates counters about snapshot activity, exposed for the
+// benchmark harness and scalability experiments.
+type Stats struct {
+	RootRestores        uint64
+	IncrementalCreates  uint64
+	IncrementalRestores uint64
+	PagesReset          uint64
+	PagesCopied         uint64
+	ReMirrors           uint64
+}
+
+// New returns a Memory of npages pages (npages*PageSize bytes).
+func New(npages int) *Memory {
+	if npages <= 0 {
+		panic(fmt.Sprintf("mem: invalid page count %d", npages))
+	}
+	return &Memory{
+		npages:           npages,
+		pages:            make([][]byte, npages),
+		dirtyBitmap:      make([]byte, npages),
+		ReMirrorInterval: 2000,
+		Strategy:         RestoreStack,
+	}
+}
+
+// NumPages returns the number of physical pages.
+func (m *Memory) NumPages() int { return m.npages }
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int64 { return int64(m.npages) * PageSize }
+
+// Stats returns a copy of the accumulated snapshot statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// DirtyCount returns the number of pages dirtied since the last snapshot
+// point.
+func (m *Memory) DirtyCount() int { return len(m.dirtyStack) }
+
+// DirtyPages returns the page numbers dirtied since the last snapshot point.
+// The returned slice aliases internal state and is invalidated by restores.
+func (m *Memory) DirtyPages() []uint32 { return m.dirtyStack }
+
+// page returns the backing slice for page pn, allocating it if needed.
+// When a copy-on-write backing is present, the fresh page is populated from
+// it before the caller writes.
+func (m *Memory) page(pn uint32) []byte {
+	p := m.pages[pn]
+	if p == nil {
+		p = make([]byte, PageSize)
+		if m.backing != nil && m.backing[pn] != nil {
+			copy(p, m.backing[pn])
+		}
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// readPage returns the content of page pn for reading, which may come from
+// the CoW backing; nil means all-zero.
+func (m *Memory) readPage(pn uint32) []byte {
+	if p := m.pages[pn]; p != nil {
+		return p
+	}
+	if m.backing != nil {
+		return m.backing[pn]
+	}
+	return nil
+}
+
+// markDirty records a write to page pn.
+func (m *Memory) markDirty(pn uint32) {
+	if m.dirtyBitmap[pn] == 0 {
+		m.dirtyBitmap[pn] = 1
+		m.dirtyStack = append(m.dirtyStack, pn)
+	}
+}
+
+// TouchPage marks page pn dirty and returns its writable backing slice.
+// It is the fast path used by the guest kernel when it owns whole pages.
+func (m *Memory) TouchPage(pn uint32) []byte {
+	if int(pn) >= m.npages {
+		panic(fmt.Sprintf("mem: page %d out of range (%d pages)", pn, m.npages))
+	}
+	m.markDirty(pn)
+	return m.page(pn)
+}
+
+// ReadAt reads len(p) bytes at byte offset off. Reads beyond the end of
+// memory return an error.
+func (m *Memory) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > m.Size() {
+		return 0, fmt.Errorf("mem: read [%d,%d) out of range", off, off+int64(len(p)))
+	}
+	n := 0
+	for n < len(p) {
+		pn := uint32(off >> PageShift)
+		po := int(off & (PageSize - 1))
+		chunk := PageSize - po
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		if src := m.readPage(pn); src != nil {
+			copy(p[n:n+chunk], src[po:po+chunk])
+		} else {
+			for i := n; i < n+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		n += chunk
+		off += int64(chunk)
+	}
+	return n, nil
+}
+
+// WriteAt writes len(p) bytes at byte offset off, marking affected pages
+// dirty.
+func (m *Memory) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > m.Size() {
+		return 0, fmt.Errorf("mem: write [%d,%d) out of range", off, off+int64(len(p)))
+	}
+	n := 0
+	for n < len(p) {
+		pn := uint32(off >> PageShift)
+		po := int(off & (PageSize - 1))
+		chunk := PageSize - po
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		m.markDirty(pn)
+		copy(m.page(pn)[po:po+chunk], p[n:n+chunk])
+		n += chunk
+		off += int64(chunk)
+	}
+	return n, nil
+}
+
+// clearDirty resets the dirty bitmap and stack. The bitmap is cleared via
+// the stack so the cost stays proportional to the number of dirty pages.
+func (m *Memory) clearDirty() {
+	for _, pn := range m.dirtyStack {
+		m.dirtyBitmap[pn] = 0
+	}
+	m.dirtyStack = m.dirtyStack[:0]
+}
+
+// TakeRoot captures the root snapshot: a full copy of the physical memory,
+// as creating a root snapshot is allowed to be expensive (§4.2). Dirty
+// tracking restarts from this point.
+func (m *Memory) TakeRoot() {
+	root := make([][]byte, m.npages)
+	for i := range m.pages {
+		if p := m.readPage(uint32(i)); p != nil {
+			cp := make([]byte, PageSize)
+			copy(cp, p)
+			root[i] = cp
+		}
+	}
+	m.sharedRoot = false
+	m.root = root
+	m.hasRoot = true
+	m.incActive = false
+	m.incPages = nil
+	m.sinceMirror = 0
+	m.clearDirty()
+}
+
+// HasRoot reports whether a root snapshot has been taken.
+func (m *Memory) HasRoot() bool { return m.hasRoot }
+
+// rootPage returns the root snapshot content of page pn (nil = all zero).
+func (m *Memory) rootPage(pn uint32) []byte { return m.root[pn] }
+
+// resetPage restores page pn to the content of src (nil = zero page).
+func (m *Memory) resetPage(pn uint32, src []byte) {
+	dst := m.pages[pn]
+	if src == nil {
+		if dst != nil {
+			for i := range dst {
+				dst[i] = 0
+			}
+		} else if m.backing != nil && m.backing[pn] != nil {
+			// The CoW backing would otherwise shine through.
+			m.pages[pn] = make([]byte, PageSize)
+		}
+		return
+	}
+	if dst == nil {
+		dst = make([]byte, PageSize)
+		m.pages[pn] = dst
+	}
+	copy(dst, src)
+}
+
+// snapshotPageFor returns the content page pn must be restored to under the
+// currently selected snapshot (incremental overlay first, then root).
+func (m *Memory) snapshotPageFor(pn uint32) []byte {
+	if m.incActive {
+		if p, ok := m.incPages[pn]; ok {
+			return p
+		}
+	}
+	return m.rootPage(pn)
+}
+
+// restoreDirty resets every dirty page to the active snapshot content using
+// the configured strategy, then clears dirty tracking.
+func (m *Memory) restoreDirty() {
+	switch m.Strategy {
+	case RestoreStack:
+		for _, pn := range m.dirtyStack {
+			m.resetPage(pn, m.snapshotPageFor(pn))
+			m.dirtyBitmap[pn] = 0
+			m.stats.PagesReset++
+		}
+		m.dirtyStack = m.dirtyStack[:0]
+	case RestoreBitmapWalk:
+		for pn := 0; pn < m.npages; pn++ {
+			if m.dirtyBitmap[pn] != 0 {
+				m.resetPage(uint32(pn), m.snapshotPageFor(uint32(pn)))
+				m.dirtyBitmap[pn] = 0
+				m.stats.PagesReset++
+			}
+		}
+		m.dirtyStack = m.dirtyStack[:0]
+	default:
+		panic("mem: unknown restore strategy")
+	}
+}
+
+// RestoreRoot resets the VM memory to the root snapshot. Only pages dirtied
+// since the last snapshot point are touched. If an incremental snapshot is
+// active it is discarded first (the paper keeps at most one secondary
+// snapshot and returns to the root when scheduling a new input).
+func (m *Memory) RestoreRoot() error {
+	if !m.hasRoot {
+		return ErrNoRootSnapshot
+	}
+	if m.incActive {
+		// Pages dirtied since the incremental snapshot must go back to
+		// root content, as must the pages the incremental snapshot had
+		// overlaid.
+		m.incActive = false
+		for _, pn := range m.dirtyStack {
+			m.resetPage(pn, m.rootPage(pn))
+			m.dirtyBitmap[pn] = 0
+			m.stats.PagesReset++
+		}
+		m.dirtyStack = m.dirtyStack[:0]
+		for pn := range m.incPages {
+			m.resetPage(pn, m.rootPage(pn))
+			m.stats.PagesReset++
+		}
+	} else {
+		m.restoreDirty()
+	}
+	m.stats.RootRestores++
+	m.rootEpochs++
+	return nil
+}
+
+// TakeIncremental creates (or recreates) the secondary snapshot at the
+// current VM state. Per §4.2 this is about as cheap as a reset: only the
+// pages dirtied since the root snapshot are copied into the overlay.
+// Existing overlay buffers are reused to avoid fresh allocations; the
+// overlay accumulates copies across creations and is cleared ("re-mirrored")
+// every ReMirrorInterval creations.
+func (m *Memory) TakeIncremental() error {
+	if !m.hasRoot {
+		return ErrNoRootSnapshot
+	}
+	if m.incPages == nil {
+		m.incPages = make(map[uint32][]byte)
+	}
+	m.sinceMirror++
+	if m.sinceMirror >= m.ReMirrorInterval {
+		// Re-mirror: drop accumulated copies so the overlay cannot
+		// grow into a second full copy of the root snapshot.
+		m.incPages = make(map[uint32][]byte)
+		m.sinceMirror = 0
+		m.stats.ReMirrors++
+	} else {
+		// Pages left over from a previous incremental snapshot that
+		// are not re-dirtied now must read as root content again.
+		// Overwrite them in place (reusing copies avoids the page
+		// table churn the paper mentions). This must happen even when
+		// the previous snapshot was already discarded by a root
+		// restore: the overlay map retains its buffers for reuse.
+		for pn, buf := range m.incPages {
+			if m.dirtyBitmap[pn] == 0 {
+				src := m.rootPage(pn)
+				if src == nil {
+					for i := range buf {
+						buf[i] = 0
+					}
+				} else {
+					copy(buf, src)
+				}
+			}
+		}
+	}
+	for _, pn := range m.dirtyStack {
+		buf, ok := m.incPages[pn]
+		if !ok {
+			buf = make([]byte, PageSize)
+			m.incPages[pn] = buf
+		}
+		src := m.pages[pn]
+		if src == nil {
+			for i := range buf {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf, src)
+		}
+		m.dirtyBitmap[pn] = 0
+		m.stats.PagesCopied++
+	}
+	m.dirtyStack = m.dirtyStack[:0]
+	m.incActive = true
+	m.incCreated++
+	m.stats.IncrementalCreates++
+	return nil
+}
+
+// HasIncremental reports whether an incremental snapshot is active.
+func (m *Memory) HasIncremental() bool { return m.incActive }
+
+// RestoreIncremental resets the VM memory to the active incremental
+// snapshot: dirty pages are restored from the overlay where present and
+// from the root snapshot otherwise (the CoW-mirror lookup of §4.2).
+func (m *Memory) RestoreIncremental() error {
+	if !m.incActive {
+		return ErrNoIncrementalSnapshot
+	}
+	m.restoreDirty()
+	m.stats.IncrementalRestores++
+	return nil
+}
+
+// DropIncremental discards the incremental snapshot without resetting
+// memory. Subsequent restores go to the root snapshot; the overlay pages
+// are retained for reuse by the next TakeIncremental (until re-mirror).
+//
+// Note the next RestoreRoot must still reset the overlaid pages, so they
+// are folded into the dirty set here.
+func (m *Memory) DropIncremental() {
+	if !m.incActive {
+		return
+	}
+	m.incActive = false
+	for pn := range m.incPages {
+		m.markDirty(pn)
+	}
+}
+
+// IncrementalOverlaySize returns the number of pages currently held in the
+// incremental snapshot overlay (the accumulated real copies).
+func (m *Memory) IncrementalOverlaySize() int { return len(m.incPages) }
+
+// CloneSharedRoot creates a new Memory that shares this Memory's root
+// snapshot copy-on-write instead of duplicating it. The clone starts at
+// root state with empty dirty tracking. This is the mechanism behind §5.3:
+// 80 parallel fuzzer instances only need about twice the memory of one,
+// because the (large) root snapshot exists once.
+//
+// The parent's root snapshot must not be retaken while clones are alive.
+func (m *Memory) CloneSharedRoot() (*Memory, error) {
+	if !m.hasRoot {
+		return nil, ErrNoRootSnapshot
+	}
+	c := New(m.npages)
+	c.root = m.root // aliased, treated as read-only
+	c.backing = m.root
+	c.hasRoot = true
+	c.sharedRoot = true
+	c.ReMirrorInterval = m.ReMirrorInterval
+	c.Strategy = m.Strategy
+	return c, nil
+}
+
+// SharesRoot reports whether this Memory borrows its root snapshot from
+// another instance.
+func (m *Memory) SharesRoot() bool { return m.sharedRoot }
+
+// OwnedBytes estimates the heap bytes this instance owns exclusively:
+// materialized pages, the incremental overlay, and (unless shared) the root
+// snapshot. Used by the scalability experiment.
+func (m *Memory) OwnedBytes() int64 {
+	var n int64
+	for _, p := range m.pages {
+		if p != nil {
+			n += PageSize
+		}
+	}
+	n += int64(len(m.incPages)) * PageSize
+	if m.hasRoot && !m.sharedRoot {
+		for _, p := range m.root {
+			if p != nil {
+				n += PageSize
+			}
+		}
+	}
+	n += int64(m.npages) // dirty bitmap
+	n += int64(cap(m.dirtyStack)) * 4
+	return n
+}

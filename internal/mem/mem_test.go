@@ -1,0 +1,437 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fill(t *testing.T, m *Memory, off int64, b byte, n int) {
+	t.Helper()
+	buf := bytes.Repeat([]byte{b}, n)
+	if _, err := m.WriteAt(buf, off); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+}
+
+func readByte(t *testing.T, m *Memory, off int64) byte {
+	t.Helper()
+	var b [1]byte
+	if _, err := m.ReadAt(b[:], off); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	return b[0]
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(16)
+	data := []byte("hello, guest physical memory")
+	if _, err := m.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := m.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q != %q", got, data)
+	}
+}
+
+func TestZeroPagesReadAsZero(t *testing.T) {
+	m := New(4)
+	buf := []byte{1, 2, 3, 4}
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("expected zeroes, got %v", buf)
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	m := New(4)
+	data := bytes.Repeat([]byte{0xAB}, PageSize+100)
+	off := int64(PageSize - 50)
+	if _, err := m.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := m.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+	if m.DirtyCount() != 3 {
+		t.Fatalf("expected 3 dirty pages, got %d", m.DirtyCount())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := New(2)
+	if _, err := m.WriteAt([]byte{1}, m.Size()); err == nil {
+		t.Fatal("expected error writing past end")
+	}
+	if _, err := m.ReadAt(make([]byte, 10), m.Size()-5); err == nil {
+		t.Fatal("expected error reading past end")
+	}
+	if _, err := m.WriteAt([]byte{1}, -1); err == nil {
+		t.Fatal("expected error at negative offset")
+	}
+}
+
+func TestDirtyTrackingDeduplicates(t *testing.T) {
+	m := New(8)
+	for i := 0; i < 10; i++ {
+		fill(t, m, 0, byte(i), 8)
+	}
+	if m.DirtyCount() != 1 {
+		t.Fatalf("page written 10x should be dirty once, got %d", m.DirtyCount())
+	}
+}
+
+func TestDirtyStackMatchesBitmap(t *testing.T) {
+	m := New(64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		pn := uint32(rng.Intn(64))
+		m.TouchPage(pn)[0] = byte(i)
+	}
+	seen := map[uint32]bool{}
+	for _, pn := range m.DirtyPages() {
+		if seen[pn] {
+			t.Fatalf("page %d appears twice in dirty stack", pn)
+		}
+		seen[pn] = true
+		if m.dirtyBitmap[pn] == 0 {
+			t.Fatalf("page %d in stack but not bitmap", pn)
+		}
+	}
+	for pn, b := range m.dirtyBitmap {
+		if b != 0 && !seen[uint32(pn)] {
+			t.Fatalf("page %d in bitmap but not stack", pn)
+		}
+	}
+}
+
+func TestRootRestoreRequiresSnapshot(t *testing.T) {
+	m := New(4)
+	if err := m.RestoreRoot(); err != ErrNoRootSnapshot {
+		t.Fatalf("expected ErrNoRootSnapshot, got %v", err)
+	}
+	if err := m.TakeIncremental(); err != ErrNoRootSnapshot {
+		t.Fatalf("expected ErrNoRootSnapshot, got %v", err)
+	}
+	if err := m.RestoreIncremental(); err != ErrNoIncrementalSnapshot {
+		t.Fatalf("expected ErrNoIncrementalSnapshot, got %v", err)
+	}
+}
+
+func TestRootSnapshotRestore(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x11, 100)
+	m.TakeRoot()
+	fill(t, m, 0, 0x22, 100)
+	fill(t, m, 3*PageSize, 0x33, 100)
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x11 {
+		t.Fatalf("page 0 not restored: %#x", got)
+	}
+	if got := readByte(t, m, 3*PageSize); got != 0 {
+		t.Fatalf("page 3 should be zero after restore: %#x", got)
+	}
+	if m.DirtyCount() != 0 {
+		t.Fatalf("dirty set should be empty after restore, got %d", m.DirtyCount())
+	}
+}
+
+func TestRestoreOnlyTouchesDirtyPages(t *testing.T) {
+	m := New(1024)
+	fill(t, m, 0, 0x11, PageSize)
+	m.TakeRoot()
+	fill(t, m, 500*PageSize, 0x22, 10)
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().PagesReset; got != 1 {
+		t.Fatalf("expected exactly 1 page reset, got %d", got)
+	}
+}
+
+func TestBitmapWalkStrategyEquivalent(t *testing.T) {
+	for _, strat := range []RestoreStrategy{RestoreStack, RestoreBitmapWalk} {
+		m := New(32)
+		m.Strategy = strat
+		fill(t, m, 0, 0xAA, 32*PageSize)
+		m.TakeRoot()
+		fill(t, m, 5*PageSize, 0xBB, 4*PageSize)
+		if err := m.RestoreRoot(); err != nil {
+			t.Fatal(err)
+		}
+		for pn := 0; pn < 32; pn++ {
+			if got := readByte(t, m, int64(pn)*PageSize); got != 0xAA {
+				t.Fatalf("strategy %v: page %d not restored: %#x", strat, pn, got)
+			}
+		}
+	}
+}
+
+func TestIncrementalSnapshotBasic(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x01, 10) // root state
+	m.TakeRoot()
+
+	fill(t, m, 0, 0x02, 10) // prefix execution
+	fill(t, m, PageSize, 0x03, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+
+	fill(t, m, 0, 0x04, 10) // fuzz case dirties page 0
+	fill(t, m, 2*PageSize, 0x05, 10)
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := readByte(t, m, 0); got != 0x02 {
+		t.Fatalf("page 0 should hold incremental content 0x02, got %#x", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0x03 {
+		t.Fatalf("page 1 should hold incremental content 0x03, got %#x", got)
+	}
+	if got := readByte(t, m, 2*PageSize); got != 0 {
+		t.Fatalf("page 2 should be restored to root zero, got %#x", got)
+	}
+}
+
+func TestRestoreRootDiscardsIncremental(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x01, 10)
+	m.TakeRoot()
+	fill(t, m, 0, 0x02, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, m, PageSize, 0x09, 10)
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if m.HasIncremental() {
+		t.Fatal("incremental snapshot should be discarded by root restore")
+	}
+	if got := readByte(t, m, 0); got != 0x01 {
+		t.Fatalf("page 0 should hold root content 0x01, got %#x", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0 {
+		t.Fatalf("page 1 should be zero, got %#x", got)
+	}
+}
+
+func TestRecreateIncrementalResetsStalePages(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	// First incremental snapshot overlays page 0.
+	fill(t, m, 0, 0x11, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	// Return to root, then create a second snapshot overlaying page 1 only.
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, m, PageSize, 0x22, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty page 0 in the fuzz case; restore must bring back ROOT content
+	// for page 0 (0x00), not the stale 0x11 from the first snapshot.
+	fill(t, m, 0, 0x33, 10)
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x00 {
+		t.Fatalf("stale overlay page leaked: got %#x, want 0x00", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0x22 {
+		t.Fatalf("page 1 lost incremental content: %#x", got)
+	}
+}
+
+func TestReMirrorClearsOverlay(t *testing.T) {
+	m := New(8)
+	m.ReMirrorInterval = 5
+	m.TakeRoot()
+	for i := 0; i < 12; i++ {
+		fill(t, m, int64(i%8)*PageSize, byte(i+1), 10)
+		if err := m.TakeIncremental(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().ReMirrors != 2 {
+		t.Fatalf("expected 2 re-mirrors, got %d", m.Stats().ReMirrors)
+	}
+	if m.IncrementalOverlaySize() > 5 {
+		t.Fatalf("overlay should be bounded after re-mirror, got %d", m.IncrementalOverlaySize())
+	}
+}
+
+func TestDropIncremental(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x01, 10)
+	m.TakeRoot()
+	fill(t, m, 0, 0x02, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	m.DropIncremental()
+	if m.HasIncremental() {
+		t.Fatal("incremental should be inactive after drop")
+	}
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x01 {
+		t.Fatalf("root restore after drop: got %#x want 0x01", got)
+	}
+}
+
+func TestIncrementalCreateCostProportionalToDirty(t *testing.T) {
+	m := New(4096)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, 7*PageSize)
+	before := m.Stats().PagesCopied
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().PagesCopied - before; got != 7 {
+		t.Fatalf("expected 7 pages copied, got %d", got)
+	}
+}
+
+// TestSnapshotRestoreIdentity is the core property: for any sequence of
+// writes after a snapshot, restoring yields exactly the snapshotted memory
+// image.
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	const npages = 32
+	f := func(seed int64, useIncremental bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(npages)
+		// Random initial state.
+		for i := 0; i < 10; i++ {
+			off := int64(rng.Intn(npages * PageSize))
+			n := rng.Intn(256) + 1
+			if off+int64(n) > m.Size() {
+				n = int(m.Size() - off)
+			}
+			buf := make([]byte, n)
+			rng.Read(buf)
+			m.WriteAt(buf, off)
+		}
+		m.TakeRoot()
+		if useIncremental {
+			for i := 0; i < 5; i++ {
+				off := int64(rng.Intn(npages * PageSize / 2))
+				buf := make([]byte, 64)
+				rng.Read(buf)
+				m.WriteAt(buf, off)
+			}
+			if err := m.TakeIncremental(); err != nil {
+				return false
+			}
+		}
+		// Capture reference image.
+		ref := make([]byte, m.Size())
+		m.ReadAt(ref, 0)
+		// Random mutations.
+		for i := 0; i < 20; i++ {
+			off := int64(rng.Intn(npages * PageSize))
+			n := rng.Intn(512) + 1
+			if off+int64(n) > m.Size() {
+				n = int(m.Size() - off)
+			}
+			buf := make([]byte, n)
+			rng.Read(buf)
+			m.WriteAt(buf, off)
+		}
+		// Restore and compare.
+		var err error
+		if useIncremental {
+			err = m.RestoreIncremental()
+		} else {
+			err = m.RestoreRoot()
+		}
+		if err != nil {
+			return false
+		}
+		got := make([]byte, m.Size())
+		m.ReadAt(got, 0)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedIncrementalCycles exercises many create/restore/drop cycles,
+// checking that root content is never corrupted.
+func TestRepeatedIncrementalCycles(t *testing.T) {
+	m := New(64)
+	rng := rand.New(rand.NewSource(42))
+	rootImg := make([]byte, m.Size())
+	for i := 0; i < 30; i++ {
+		buf := make([]byte, 128)
+		rng.Read(buf)
+		m.WriteAt(buf, int64(rng.Intn(60*PageSize)))
+	}
+	m.TakeRoot()
+	m.ReadAt(rootImg, 0)
+
+	for cycle := 0; cycle < 50; cycle++ {
+		// Prefix.
+		for i := 0; i < 5; i++ {
+			buf := make([]byte, 64)
+			rng.Read(buf)
+			m.WriteAt(buf, int64(rng.Intn(60*PageSize)))
+		}
+		if err := m.TakeIncremental(); err != nil {
+			t.Fatal(err)
+		}
+		incImg := make([]byte, m.Size())
+		m.ReadAt(incImg, 0)
+		// Several fuzz cases against this snapshot.
+		for fc := 0; fc < 4; fc++ {
+			buf := make([]byte, 256)
+			rng.Read(buf)
+			m.WriteAt(buf, int64(rng.Intn(60*PageSize)))
+			if err := m.RestoreIncremental(); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, m.Size())
+			m.ReadAt(got, 0)
+			if !bytes.Equal(got, incImg) {
+				t.Fatalf("cycle %d case %d: incremental restore mismatch", cycle, fc)
+			}
+		}
+		if err := m.RestoreRoot(); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, m.Size())
+		m.ReadAt(got, 0)
+		if !bytes.Equal(got, rootImg) {
+			t.Fatalf("cycle %d: root restore mismatch", cycle)
+		}
+	}
+}
+
+func BenchmarkWriteAt(b *testing.B) {
+	m := New(1024)
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		m.WriteAt(buf, int64(i%1000)*PageSize)
+	}
+}

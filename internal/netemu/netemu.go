@@ -1,0 +1,279 @@
+// Package netemu is the in-guest agent of the Nyx-Net reproduction: it
+// executes bytecode inputs against a guest kernel, emulating the network
+// interactions of the target connection (§3.3). Connect opcodes establish
+// emulated connections, packet opcodes deliver payloads to the hooked
+// receive path with exact packet boundaries, and the special snapshot
+// opcode triggers the incremental-snapshot hypercall (§4.3).
+//
+// The agent recovers target crashes, accounts virtual time, and keeps the
+// value environment (connection handles) consistent across snapshot
+// restores — the Go analogue of synchronizing bytecode-stream state across
+// processes.
+package netemu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/guest"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// Value is a runtime value produced by an opcode: a connection handle or a
+// custom integer (used by non-network targets such as Super Mario).
+type Value struct {
+	Edge   spec.EdgeID
+	ConnID int
+	V      int64
+}
+
+// CustomHandler executes a KindCustom opcode. It receives the resolved
+// argument values and returns the values for the node's declared outputs.
+type CustomHandler func(env *guest.Env, data []byte, args []Value) []Value
+
+// Result describes one test-case execution.
+type Result struct {
+	// Crashed is set when the target raised a crash; Crash holds details.
+	Crashed bool
+	Crash   *guest.CrashError
+	// CrashOp is the index of the op that crashed (-1 otherwise).
+	CrashOp int
+	// OpsExecuted counts successfully executed ops (including the ops
+	// skipped by a suffix run, which were executed when the snapshot was
+	// created).
+	OpsExecuted int
+	// PacketsDelivered counts data-carrying ops that reached the target.
+	PacketsDelivered int
+	// SnapshotTaken is set when this run created an incremental snapshot.
+	SnapshotTaken bool
+	// FromSnapshot is set when this run resumed from the incremental
+	// snapshot instead of the root.
+	FromSnapshot bool
+	// VirtTime is the virtual time the execution consumed.
+	VirtTime time.Duration
+}
+
+// Agent drives a kernel + machine with bytecode inputs.
+type Agent struct {
+	M *vm.Machine
+	K *guest.Kernel
+	S *spec.Spec
+
+	custom map[spec.NodeID]CustomHandler
+
+	// Snapshot bookkeeping: the value environment at the snapshot point,
+	// and how many ops the snapshotted prefix contained.
+	snapValues []Value
+	snapOps    int
+	snapValid  bool
+}
+
+// ErrNoSnapshot is returned by RunSuffix without a prior snapshot.
+var ErrNoSnapshot = errors.New("netemu: no incremental snapshot available")
+
+// New creates an agent.
+func New(m *vm.Machine, k *guest.Kernel, s *spec.Spec) *Agent {
+	return &Agent{M: m, K: k, S: s, custom: make(map[spec.NodeID]CustomHandler)}
+}
+
+// RegisterCustom installs a handler for a KindCustom node.
+func (a *Agent) RegisterCustom(n spec.NodeID, h CustomHandler) { a.custom[n] = h }
+
+// HasSnapshot reports whether an incremental snapshot is available for
+// suffix runs.
+func (a *Agent) HasSnapshot() bool { return a.snapValid && a.M.HasIncremental() }
+
+// SnapshotOps returns the prefix length (in ops) of the active snapshot.
+func (a *Agent) SnapshotOps() int { return a.snapOps }
+
+// DropSnapshot releases the incremental snapshot (the fuzzer does this when
+// scheduling a new input, §3.4).
+func (a *Agent) DropSnapshot() {
+	if a.snapValid {
+		a.M.Hypercall(vm.HcReleaseSnapshot) //nolint:errcheck // release cannot fail
+		a.snapValid = false
+		a.snapValues = nil
+		a.snapOps = 0
+	}
+}
+
+// RunFromRoot executes in from the root snapshot. If in.SnapshotAt >= 0 and
+// execution reaches that op, an incremental snapshot is created there and
+// later RunSuffix calls resume from it.
+func (a *Agent) RunFromRoot(in *spec.Input, tr *coverage.Trace) (Result, error) {
+	a.DropSnapshot()
+	if err := a.M.RestoreRoot(); err != nil {
+		return Result{}, fmt.Errorf("netemu: root restore: %w", err)
+	}
+	return a.run(in, tr, 0, nil)
+}
+
+// RunSuffix executes only in.Ops[SnapshotAt:], resuming from the
+// incremental snapshot created by a previous RunFromRoot. The caller must
+// keep the prefix unchanged (the fuzzer's mutators only touch the suffix
+// while a snapshot is held).
+func (a *Agent) RunSuffix(in *spec.Input, tr *coverage.Trace) (Result, error) {
+	if !a.HasSnapshot() {
+		return Result{}, ErrNoSnapshot
+	}
+	if in.SnapshotAt != a.snapOps {
+		return Result{}, fmt.Errorf("netemu: input snapshot marker %d does not match held snapshot prefix %d",
+			in.SnapshotAt, a.snapOps)
+	}
+	if err := a.M.RestoreIncremental(); err != nil {
+		return Result{}, fmt.Errorf("netemu: incremental restore: %w", err)
+	}
+	vals := append([]Value(nil), a.snapValues...)
+	res, err := a.run(in, tr, a.snapOps, vals)
+	res.FromSnapshot = true
+	res.OpsExecuted += a.snapOps
+	return res, err
+}
+
+// run executes ops[start:] with the given initial value environment.
+func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Value) (res Result, err error) {
+	res.CrashOp = -1
+	t0 := a.M.Clock.Now()
+	env := a.K.Env()
+	if tr != nil {
+		tr.Reset()
+	}
+	env.SetTrace(tr)
+	defer func() {
+		env.SetTrace(nil)
+		res.VirtTime = a.M.Clock.Now() - t0
+		a.M.Hypercall(vm.HcExecDone) //nolint:errcheck // informational
+	}()
+
+	for i := start; i < len(in.Ops); i++ {
+		if in.SnapshotAt == i && start == 0 {
+			// The snapshot opcode: request an incremental snapshot via
+			// hypercall and remember the value environment.
+			if hcErr := a.M.Hypercall(vm.HcSnapshot); hcErr != nil {
+				return res, fmt.Errorf("netemu: snapshot hypercall: %w", hcErr)
+			}
+			a.snapValues = append([]Value(nil), values...)
+			a.snapOps = i
+			a.snapValid = true
+			res.SnapshotTaken = true
+		}
+		op := in.Ops[i]
+		crashed, outs, execErr := a.execOp(env, op, values)
+		if execErr != nil {
+			return res, fmt.Errorf("netemu: op %d: %w", i, execErr)
+		}
+		if crashed != nil {
+			res.Crashed = true
+			res.Crash = crashed
+			res.CrashOp = i
+			a.M.Hypercall(vm.HcPanic) //nolint:errcheck // informational
+			return res, nil
+		}
+		values = append(values, outs...)
+		res.OpsExecuted++
+		if int(op.Node) < len(a.S.Nodes) && a.S.Nodes[op.Node].HasData {
+			res.PacketsDelivered++
+		}
+	}
+	// Snapshot marker positioned after the last op.
+	if in.SnapshotAt == len(in.Ops) && start == 0 {
+		if hcErr := a.M.Hypercall(vm.HcSnapshot); hcErr != nil {
+			return res, fmt.Errorf("netemu: snapshot hypercall: %w", hcErr)
+		}
+		a.snapValues = append([]Value(nil), values...)
+		a.snapOps = len(in.Ops)
+		a.snapValid = true
+		res.SnapshotTaken = true
+	}
+	return res, nil
+}
+
+// execOp executes a single opcode, recovering target crashes.
+func (a *Agent) execOp(env *guest.Env, op spec.Op, values []Value) (crash *guest.CrashError, outs []Value, err error) {
+	if int(op.Node) >= len(a.S.Nodes) {
+		return nil, nil, fmt.Errorf("unknown node %d", op.Node)
+	}
+	nt := a.S.Nodes[op.Node]
+
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*guest.CrashError); ok {
+				crash = ce
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	resolve := func(j int) (Value, error) {
+		if j >= len(op.Args) || int(op.Args[j]) >= len(values) {
+			return Value{}, fmt.Errorf("op %s: unresolved arg %d", nt.Name, j)
+		}
+		return values[op.Args[j]], nil
+	}
+
+	switch nt.Kind {
+	case spec.KindConnect:
+		c, _, cerr := a.K.NewConnection(nt.Port)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		out := Value{ConnID: c.ID}
+		if len(nt.Outputs) > 0 {
+			out.Edge = nt.Outputs[0]
+		}
+		return nil, []Value{out}, nil
+
+	case spec.KindPacket:
+		v, rerr := resolve(0)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		c := a.K.Conn(v.ConnID)
+		if c == nil || c.Closed {
+			// Delivering to a dead connection is a semantic no-op, like
+			// writing to a closed socket: the emulation layer swallows
+			// it rather than aborting the whole test case.
+			return nil, nil, nil
+		}
+		if derr := a.K.Deliver(c, op.Data); derr != nil {
+			return nil, nil, derr
+		}
+		return nil, nil, nil
+
+	case spec.KindClose:
+		v, rerr := resolve(0)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		if c := a.K.Conn(v.ConnID); c != nil {
+			a.K.CloseConn(c)
+		}
+		return nil, nil, nil
+
+	case spec.KindCustom:
+		h, ok := a.custom[op.Node]
+		if !ok {
+			return nil, nil, fmt.Errorf("no handler for custom node %s", nt.Name)
+		}
+		args := make([]Value, len(op.Args))
+		for j := range op.Args {
+			v, rerr := resolve(j)
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			args[j] = v
+		}
+		return nil, h(env, op.Data, args), nil
+
+	default:
+		return nil, nil, fmt.Errorf("unknown node kind %d", nt.Kind)
+	}
+}
+
+// Now returns the machine's virtual time (the Executor interface of the
+// core fuzzer).
+func (a *Agent) Now() time.Duration { return a.M.Clock.Now() }

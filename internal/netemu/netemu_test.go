@@ -1,0 +1,337 @@
+package netemu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/guest"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// ftpish is a tiny stateful protocol target: USER -> PASS -> STOR sequence;
+// a crash hides behind the full sequence plus a magic payload.
+type ftpish struct {
+	Auth  map[int]int // conn -> 0 anon, 1 user-given, 2 authed
+	Stors int
+}
+
+func newFtpish() *ftpish { return &ftpish{Auth: make(map[int]int)} }
+
+func (t *ftpish) Name() string        { return "ftpish" }
+func (t *ftpish) Ports() []guest.Port { return []guest.Port{{Proto: guest.TCP, Num: 21}} }
+func (t *ftpish) Init(env *guest.Env) error {
+	return env.FS().WriteFile("/etc/motd", []byte("welcome"))
+}
+func (t *ftpish) OnConnect(env *guest.Env, c *guest.Conn) {
+	env.Cov(10)
+	env.Send(c, []byte("220 ready\r\n"))
+}
+func (t *ftpish) OnDisconnect(env *guest.Env, c *guest.Conn) {}
+
+func (t *ftpish) OnPacket(env *guest.Env, c *guest.Conn, data []byte) {
+	cmd := string(data)
+	switch {
+	case strings.HasPrefix(cmd, "USER "):
+		env.Cov(20)
+		t.Auth[c.ID] = 1
+		env.Send(c, []byte("331 pw?\r\n"))
+	case strings.HasPrefix(cmd, "PASS ") && t.Auth[c.ID] == 1:
+		env.Cov(30)
+		t.Auth[c.ID] = 2
+		env.Send(c, []byte("230 ok\r\n"))
+	case strings.HasPrefix(cmd, "STOR ") && t.Auth[c.ID] == 2:
+		env.Cov(40)
+		t.Stors++
+		if strings.Contains(cmd, "BOOM") {
+			env.Cov(50)
+			env.Crash(guest.CrashSegfault, "stor of doom")
+		}
+		env.FS().WriteFile("/srv/upload", data) //nolint:errcheck
+		env.Send(c, []byte("150 go\r\n"))
+	default:
+		env.Cov(60)
+		env.Send(c, []byte("500 ?\r\n"))
+	}
+}
+
+func (t *ftpish) SaveState(w *guest.StateWriter) {
+	w.Int(t.Stors)
+	w.U32(uint32(len(t.Auth)))
+	for _, id := range guest.SortedIntKeys(t.Auth) {
+		w.Int(id)
+		w.Int(t.Auth[id])
+	}
+}
+
+func (t *ftpish) LoadState(r *guest.StateReader) {
+	t.Stors = r.Int()
+	n := int(r.U32())
+	t.Auth = make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		id := r.Int()
+		t.Auth[id] = r.Int()
+	}
+}
+
+func setup(t *testing.T) (*Agent, *spec.Spec, *ftpish) {
+	t.Helper()
+	m := vm.New(vm.Config{MemoryPages: 1024, DiskSectors: 4096})
+	tgt := newFtpish()
+	k, err := guest.NewKernel(m, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Hypercall(vm.HcReady); err != nil {
+		t.Fatal(err)
+	}
+	s := spec.RawPacketSpec("ftpish", tgt.Ports())
+	return New(m, k, s), s, tgt
+}
+
+func seq(s *spec.Spec, payloads ...string) *spec.Input {
+	con, _ := s.NodeByName("connect_tcp_21")
+	pkt, _ := s.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con})
+	for _, p := range payloads {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte(p)})
+	}
+	return in
+}
+
+func TestRunFromRootBasic(t *testing.T) {
+	a, s, tgt := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR f")
+	res, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatalf("unexpected crash: %v", res.Crash)
+	}
+	if res.OpsExecuted != 4 || res.PacketsDelivered != 3 {
+		t.Fatalf("ops=%d pkts=%d", res.OpsExecuted, res.PacketsDelivered)
+	}
+	if tgt.Stors != 1 {
+		t.Fatalf("stors = %d", tgt.Stors)
+	}
+	if tr.CountEdges() == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	if res.VirtTime <= 0 {
+		t.Fatal("virtual time not charged")
+	}
+}
+
+func TestStateResetBetweenRuns(t *testing.T) {
+	a, s, tgt := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR f")
+	for i := 0; i < 5; i++ {
+		if _, err := a.RunFromRoot(in, &tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stors must not accumulate across runs: every run starts pristine.
+	if tgt.Stors != 1 {
+		t.Fatalf("state leaked across executions: stors = %d", tgt.Stors)
+	}
+	if a.K.FS.Exists("/srv/upload") {
+		// The last run's file exists until the next restore; run an
+		// empty input to restore and verify it is gone.
+		if _, err := a.RunFromRoot(spec.NewInput(), &tr); err != nil {
+			t.Fatal(err)
+		}
+		if a.K.FS.Exists("/srv/upload") {
+			t.Fatal("filesystem state leaked across executions")
+		}
+	}
+}
+
+func TestCrashDetection(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR BOOM")
+	res, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed || res.Crash.Kind != guest.CrashSegfault {
+		t.Fatalf("expected segfault, got %+v", res)
+	}
+	if res.CrashOp != 3 {
+		t.Fatalf("crash op = %d, want 3", res.CrashOp)
+	}
+	// The machine must still be usable after a crash.
+	res2, err := a.RunFromRoot(seq(s, "USER a"), &tr)
+	if err != nil || res2.Crashed {
+		t.Fatalf("machine unusable after crash: %v %+v", err, res2)
+	}
+}
+
+func TestIncrementalSnapshotSuffixRuns(t *testing.T) {
+	a, s, tgt := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR f")
+	in.SnapshotAt = 3 // after connect + USER + PASS
+
+	res, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotTaken || !a.HasSnapshot() {
+		t.Fatal("snapshot not taken at marker")
+	}
+
+	// Mutate only the suffix and rerun from the snapshot many times.
+	for i := 0; i < 10; i++ {
+		mut := in.Clone()
+		mut.Ops[3].Data = []byte("STOR g")
+		res, err := a.RunSuffix(mut, &tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FromSnapshot {
+			t.Fatal("expected snapshot resume")
+		}
+		if res.Crashed {
+			t.Fatalf("unexpected crash: %v", res.Crash)
+		}
+		// Auth state from the prefix must be live: STOR must succeed.
+		if tgt.Stors != 1 {
+			t.Fatalf("iteration %d: stors = %d (prefix state lost or leaked)", i, tgt.Stors)
+		}
+	}
+
+	// A crash found from the snapshot must reproduce from root.
+	mut := in.Clone()
+	mut.Ops[3].Data = []byte("STOR BOOM")
+	resS, err := a.RunSuffix(mut, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resS.Crashed {
+		t.Fatal("suffix run should crash")
+	}
+	full := mut.Clone()
+	full.SnapshotAt = -1
+	resF, err := a.RunFromRoot(full, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resF.Crashed || resF.Crash.Kind != resS.Crash.Kind {
+		t.Fatal("crash does not reproduce from root")
+	}
+}
+
+func TestSuffixRequiresSnapshot(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a")
+	in.SnapshotAt = 1
+	if _, err := a.RunSuffix(in, &tr); err != ErrNoSnapshot {
+		t.Fatalf("expected ErrNoSnapshot, got %v", err)
+	}
+}
+
+func TestSuffixMarkerMismatch(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b")
+	in.SnapshotAt = 2
+	if _, err := a.RunFromRoot(in, &tr); err != nil {
+		t.Fatal(err)
+	}
+	bad := in.Clone()
+	bad.SnapshotAt = 1
+	if _, err := a.RunSuffix(bad, &tr); err == nil {
+		t.Fatal("expected marker mismatch error")
+	}
+}
+
+func TestDropSnapshot(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a")
+	in.SnapshotAt = 1
+	if _, err := a.RunFromRoot(in, &tr); err != nil {
+		t.Fatal(err)
+	}
+	a.DropSnapshot()
+	if a.HasSnapshot() {
+		t.Fatal("snapshot should be dropped")
+	}
+	if _, err := a.RunSuffix(in, &tr); err != ErrNoSnapshot {
+		t.Fatalf("expected ErrNoSnapshot after drop, got %v", err)
+	}
+}
+
+func TestSnapshotAfterLastOp(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a")
+	in.SnapshotAt = 2 // after all ops
+	res, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotTaken || a.SnapshotOps() != 2 {
+		t.Fatalf("snapshot at end not taken: %+v", res)
+	}
+	// Suffix run executes zero new ops.
+	res2, err := a.RunSuffix(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PacketsDelivered != 0 {
+		t.Fatalf("suffix after full prefix delivered %d packets", res2.PacketsDelivered)
+	}
+}
+
+func TestPacketToClosedConnIsNoop(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	con, _ := s.NodeByName("connect_tcp_21")
+	pkt, _ := s.NodeByName("packet")
+	cls, _ := s.NodeByName("close")
+	in := spec.NewInput(
+		spec.Op{Node: con},
+		spec.Op{Node: cls, Args: []uint16{0}},
+		spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte("USER x")},
+	)
+	res, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatal("noop delivery should not crash")
+	}
+}
+
+func TestSuffixRunsAreCheaperThanFullRuns(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	// Long prefix, short suffix.
+	payloads := make([]string, 40)
+	for i := range payloads {
+		payloads[i] = "USER spam"
+	}
+	payloads = append(payloads, "STOR x")
+	in := seq(s, payloads...)
+	in.SnapshotAt = len(in.Ops) - 1
+
+	resFull, err := a.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSuffix, err := a.RunSuffix(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSuffix.VirtTime >= resFull.VirtTime {
+		t.Fatalf("suffix run (%v) should be cheaper than full run (%v)",
+			resSuffix.VirtTime, resFull.VirtTime)
+	}
+}

@@ -1,0 +1,355 @@
+package spec
+
+import (
+	"math/rand"
+)
+
+// Mutator generates and mutates inputs against a Spec, keeping every output
+// valid by construction. This mirrors Nyx's auto-generated custom mutators
+// (§2.2): structure-aware at the opcode level, havoc-style at the payload
+// level.
+type Mutator struct {
+	S *Spec
+	R *rand.Rand
+	// MaxOps bounds generated input length.
+	MaxOps int
+	// MaxData bounds generated payload length.
+	MaxData int
+	// Dict holds protocol tokens (AFL-dictionary style) that the havoc
+	// stage splices into payloads. ProFuzzBench-style campaigns ship
+	// per-protocol dictionaries; targets provide them here.
+	Dict [][]byte
+}
+
+// NewMutator builds a mutator with sensible bounds.
+func NewMutator(s *Spec, r *rand.Rand) *Mutator {
+	return &Mutator{S: s, R: r, MaxOps: 32, MaxData: 256}
+}
+
+// interesting byte values used by the havoc stage (AFL's classic set).
+var interesting = []byte{0, 1, 0x7f, 0x80, 0xff, ' ', '\n', '\r', '0', '9', 'A', 'z'}
+
+// nodesProducing returns node IDs that output the given edge type.
+func (m *Mutator) nodesProducing(e EdgeID) []NodeID {
+	var out []NodeID
+	for i, nt := range m.S.Nodes {
+		for _, o := range nt.Outputs {
+			if o == e {
+				out = append(out, NodeID(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Generate builds a random valid input with up to nops ops.
+func (m *Mutator) Generate(nops int) *Input {
+	if nops <= 0 {
+		nops = 1 + m.R.Intn(m.MaxOps)
+	}
+	in := NewInput()
+	var values []EdgeID
+	for len(in.Ops) < nops {
+		nid := NodeID(m.R.Intn(len(m.S.Nodes)))
+		nt := m.S.Nodes[nid]
+		op := Op{Node: nid}
+		ok := true
+		for _, need := range nt.Borrows {
+			// Pick a random existing value of the needed type; if none
+			// exists, emit a producer first.
+			idx := m.pickValue(values, need)
+			if idx < 0 {
+				prods := m.nodesProducing(need)
+				if len(prods) == 0 {
+					ok = false
+					break
+				}
+				prod := prods[m.R.Intn(len(prods))]
+				pnt := m.S.Nodes[prod]
+				pop := Op{Node: prod}
+				// Producers with borrows of their own are skipped for
+				// simplicity; all specs in this repo have borrow-free
+				// producers (connection opcodes).
+				if len(pnt.Borrows) > 0 {
+					ok = false
+					break
+				}
+				if pnt.HasData {
+					pop.Data = m.randData()
+				}
+				in.Ops = append(in.Ops, pop)
+				values = append(values, pnt.Outputs...)
+				idx = m.pickValue(values, need)
+				if idx < 0 {
+					ok = false
+					break
+				}
+			}
+			op.Args = append(op.Args, uint16(idx))
+		}
+		if !ok {
+			continue
+		}
+		if nt.HasData {
+			op.Data = m.randData()
+		}
+		in.Ops = append(in.Ops, op)
+		values = append(values, nt.Outputs...)
+	}
+	return in
+}
+
+func (m *Mutator) pickValue(values []EdgeID, want EdgeID) int {
+	var cands []int
+	for i, v := range values {
+		if v == want {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[m.R.Intn(len(cands))]
+}
+
+func (m *Mutator) randData() []byte {
+	n := 1 + m.R.Intn(m.MaxData)
+	b := make([]byte, n)
+	for i := range b {
+		if m.R.Intn(4) == 0 {
+			b[i] = interesting[m.R.Intn(len(interesting))]
+		} else {
+			b[i] = byte(m.R.Intn(256))
+		}
+	}
+	return b
+}
+
+// Mutate returns a mutated copy of in. It applies 1–4 stacked mutations
+// and repairs argument references afterwards so the result always
+// validates.
+func (m *Mutator) Mutate(in *Input) *Input {
+	return m.MutateSuffix(in, 0)
+}
+
+// MutateSuffix mutates only ops at index >= start, leaving the prefix
+// byte-for-byte intact. This is what fuzzing on top of an incremental
+// snapshot requires: the snapshotted prefix has already executed, so only
+// the remaining packets may change (§3.4, Figure 4).
+func (m *Mutator) MutateSuffix(in *Input, start int) *Input {
+	out := in.Clone()
+	if start <= 0 {
+		out.SnapshotAt = -1 // placement policy re-inserts the marker
+	}
+	if start >= len(out.Ops) {
+		// Nothing mutable: append fresh ops after the prefix.
+		m.appendOps(out)
+		m.repairFrom(out, start)
+		return out
+	}
+	n := 1 + m.R.Intn(4)
+	for i := 0; i < n; i++ {
+		switch m.R.Intn(10) {
+		case 0, 1, 2, 3, 4: // payload havoc dominates, like AFL
+			m.havocDataFrom(out, start)
+		case 5:
+			m.dupOpFrom(out, start)
+		case 6:
+			m.dropOpFrom(out, start)
+		case 7:
+			m.swapOpsFrom(out, start)
+		case 8:
+			m.truncateTailFrom(out, start)
+		case 9:
+			m.appendOps(out)
+		}
+	}
+	m.repairFrom(out, start)
+	if len(out.Ops) == 0 {
+		return m.Generate(0)
+	}
+	return out
+}
+
+// Splice crosses two inputs: a prefix of a followed by a suffix of b.
+func (m *Mutator) Splice(a, b *Input) *Input {
+	if len(a.Ops) == 0 {
+		return b.Clone()
+	}
+	if len(b.Ops) == 0 {
+		return a.Clone()
+	}
+	cutA := m.R.Intn(len(a.Ops)) + 1
+	cutB := m.R.Intn(len(b.Ops))
+	out := NewInput()
+	out.Ops = append(out.Ops, a.Clone().Ops[:cutA]...)
+	out.Ops = append(out.Ops, b.Clone().Ops[cutB:]...)
+	m.repairFrom(out, 0)
+	if len(out.Ops) == 0 {
+		return a.Clone()
+	}
+	return out
+}
+
+// dataOpsFrom returns indices >= start of ops with payloads.
+func (m *Mutator) dataOpsFrom(in *Input, start int) []int {
+	var idx []int
+	for i := start; i < len(in.Ops); i++ {
+		op := in.Ops[i]
+		if int(op.Node) < len(m.S.Nodes) && m.S.Nodes[op.Node].HasData {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (m *Mutator) havocDataFrom(in *Input, start int) {
+	idx := m.dataOpsFrom(in, start)
+	if len(idx) == 0 {
+		return
+	}
+	op := &in.Ops[idx[m.R.Intn(len(idx))]]
+	if len(op.Data) == 0 {
+		op.Data = m.randData()
+		return
+	}
+	nCases := 6
+	if len(m.Dict) > 0 {
+		nCases = 7
+	}
+	switch m.R.Intn(nCases) {
+	case 0: // bit flip
+		i := m.R.Intn(len(op.Data))
+		op.Data[i] ^= 1 << m.R.Intn(8)
+	case 1: // byte set
+		op.Data[m.R.Intn(len(op.Data))] = byte(m.R.Intn(256))
+	case 2: // interesting value
+		op.Data[m.R.Intn(len(op.Data))] = interesting[m.R.Intn(len(interesting))]
+	case 3: // insert
+		i := m.R.Intn(len(op.Data) + 1)
+		op.Data = append(op.Data[:i], append([]byte{byte(m.R.Intn(256))}, op.Data[i:]...)...)
+	case 4: // delete
+		i := m.R.Intn(len(op.Data))
+		op.Data = append(op.Data[:i], op.Data[i+1:]...)
+	case 5: // duplicate a chunk
+		if len(op.Data) > 1 {
+			i := m.R.Intn(len(op.Data) - 1)
+			n := 1 + m.R.Intn(len(op.Data)-i-1)
+			chunk := append([]byte(nil), op.Data[i:i+n]...)
+			op.Data = append(op.Data[:i+n], append(chunk, op.Data[i+n:]...)...)
+		}
+	case 6: // splice in a dictionary token
+		tok := m.Dict[m.R.Intn(len(m.Dict))]
+		i := m.R.Intn(len(op.Data))
+		if m.R.Intn(2) == 0 {
+			// overwrite
+			data := append([]byte(nil), op.Data[:i]...)
+			data = append(data, tok...)
+			if i+len(tok) < len(op.Data) {
+				data = append(data, op.Data[i+len(tok):]...)
+			}
+			op.Data = data
+		} else {
+			// insert
+			op.Data = append(op.Data[:i], append(append([]byte(nil), tok...), op.Data[i:]...)...)
+		}
+	}
+	if max := m.S.Nodes[op.Node].MaxData; max > 0 && len(op.Data) > max {
+		op.Data = op.Data[:max]
+	}
+}
+
+func (m *Mutator) dupOpFrom(in *Input, start int) {
+	if start >= len(in.Ops) || len(in.Ops) >= m.MaxOps*2 {
+		return
+	}
+	i := start + m.R.Intn(len(in.Ops)-start)
+	cp := in.Clone().Ops[i]
+	in.Ops = append(in.Ops[:i+1], append([]Op{cp}, in.Ops[i+1:]...)...)
+}
+
+func (m *Mutator) dropOpFrom(in *Input, start int) {
+	if len(in.Ops) <= 1 || start >= len(in.Ops) {
+		return
+	}
+	i := start + m.R.Intn(len(in.Ops)-start)
+	in.Ops = append(in.Ops[:i], in.Ops[i+1:]...)
+}
+
+func (m *Mutator) swapOpsFrom(in *Input, start int) {
+	if len(in.Ops)-start < 2 {
+		return
+	}
+	i := start + m.R.Intn(len(in.Ops)-start-1)
+	in.Ops[i], in.Ops[i+1] = in.Ops[i+1], in.Ops[i]
+}
+
+func (m *Mutator) truncateTailFrom(in *Input, start int) {
+	min := start + 1
+	if min < 1 {
+		min = 1
+	}
+	if len(in.Ops) <= min {
+		return
+	}
+	in.Ops = in.Ops[:min+m.R.Intn(len(in.Ops)-min)]
+}
+
+func (m *Mutator) appendOps(in *Input) {
+	extra := m.Generate(1 + m.R.Intn(3))
+	in.Ops = append(in.Ops, extra.Ops...)
+}
+
+// repairFrom rewrites argument references at index >= start so the input
+// validates: ops whose borrows cannot be satisfied by any earlier value are
+// deleted. Deleting can orphan later ops, so repair iterates until stable.
+// Ops before start are assumed valid and never modified (they form the
+// snapshotted prefix).
+func (m *Mutator) repairFrom(in *Input, start int) {
+	for {
+		changed := false
+		values := m.S.valuesBefore(in, start)
+		kept := in.Ops[:start]
+		for _, op := range in.Ops[start:] {
+			if int(op.Node) >= len(m.S.Nodes) {
+				changed = true
+				continue
+			}
+			nt := m.S.Nodes[op.Node]
+			if len(op.Args) != len(nt.Borrows) {
+				op.Args = make([]uint16, len(nt.Borrows))
+				for j := range op.Args {
+					op.Args[j] = uint16(len(values)) // definitely invalid; fixed below
+				}
+			}
+			ok := true
+			for j, need := range nt.Borrows {
+				a := int(op.Args[j])
+				if a < len(values) && values[a] == need {
+					continue // already valid
+				}
+				idx := m.pickValue(values, need)
+				if idx < 0 {
+					ok = false
+					break
+				}
+				op.Args[j] = uint16(idx)
+				changed = true
+			}
+			if !ok {
+				changed = true
+				continue
+			}
+			if !nt.HasData {
+				op.Data = nil
+			}
+			kept = append(kept, op)
+			values = append(values, nt.Outputs...)
+		}
+		in.Ops = kept
+		if !changed {
+			return
+		}
+	}
+}

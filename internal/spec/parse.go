@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/guest"
+)
+
+// Parse reads a declarative specification from its textual form — the
+// reproduction's equivalent of Nyx's spec files (Listing 1). Format, one
+// declaration per line ('#' comments):
+//
+//	spec <name>
+//	edge <edgename>
+//	node <name> connect <proto> <port> -> <edge>
+//	node <name> packet  borrows <edge> data <maxlen>
+//	node <name> close   borrows <edge>
+//	node <name> custom  [borrows <edge>...] [data <maxlen>] [-> <edge>...]
+//
+// Example (the multi-connection network spec of Listing 1):
+//
+//	spec multi
+//	edge con
+//	node connection connect tcp 21 -> con
+//	node pkt packet borrows con data 65536
+func Parse(text string) (*Spec, error) {
+	var s *Spec
+	edges := map[string]EdgeID{}
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spec: line %d: %s", lineno+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "spec":
+			if len(fields) != 2 {
+				return nil, fail("spec wants a name")
+			}
+			if s != nil {
+				return nil, fail("duplicate spec declaration")
+			}
+			s = NewSpec(fields[1])
+		case "edge":
+			if s == nil {
+				return nil, fail("edge before spec")
+			}
+			if len(fields) != 2 {
+				return nil, fail("edge wants a name")
+			}
+			if _, dup := edges[fields[1]]; dup {
+				return nil, fail("duplicate edge %q", fields[1])
+			}
+			edges[fields[1]] = s.Edge(fields[1])
+		case "node":
+			if s == nil {
+				return nil, fail("node before spec")
+			}
+			if len(fields) < 3 {
+				return nil, fail("node wants a name and a kind")
+			}
+			nt := NodeType{Name: fields[1]}
+			args := fields[3:]
+			switch fields[2] {
+			case "connect":
+				nt.Kind = KindConnect
+				if len(args) < 4 || args[2] != "->" {
+					return nil, fail("connect wants: <proto> <port> -> <edge>")
+				}
+				port, err := strconv.Atoi(args[1])
+				if err != nil {
+					return nil, fail("bad port %q", args[1])
+				}
+				nt.Port = guest.Port{Proto: guest.Proto(args[0]), Num: port}
+				// Outputs are collected by the shared "->" clause below.
+			case "packet":
+				nt.Kind = KindPacket
+				nt.HasData = true
+			case "close":
+				nt.Kind = KindClose
+			case "custom":
+				nt.Kind = KindCustom
+			default:
+				return nil, fail("unknown node kind %q", fields[2])
+			}
+			// Shared clauses: borrows / data / -> outputs.
+			for i := 0; i < len(args); i++ {
+				switch args[i] {
+				case "borrows":
+					if i+1 >= len(args) {
+						return nil, fail("borrows wants an edge")
+					}
+					e, ok := edges[args[i+1]]
+					if !ok {
+						return nil, fail("unknown edge %q", args[i+1])
+					}
+					nt.Borrows = append(nt.Borrows, e)
+					i++
+				case "data":
+					if i+1 >= len(args) {
+						return nil, fail("data wants a max length")
+					}
+					n, err := strconv.Atoi(args[i+1])
+					if err != nil || n < 0 {
+						return nil, fail("bad data length %q", args[i+1])
+					}
+					nt.HasData = true
+					nt.MaxData = n
+					i++
+				case "->":
+					for _, name := range args[i+1:] {
+						e, ok := edges[name]
+						if !ok {
+							return nil, fail("unknown edge %q", name)
+						}
+						nt.Outputs = append(nt.Outputs, e)
+					}
+					i = len(args)
+				}
+			}
+			s.Node(nt)
+		default:
+			return nil, fail("unknown declaration %q", fields[0])
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("spec: empty specification")
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("spec: %s declares no nodes", s.Name)
+	}
+	return s, nil
+}
+
+// Format renders a Spec back to its textual form (Parse∘Format = identity
+// up to whitespace).
+func (s *Spec) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec %s\n", s.Name)
+	for _, e := range s.Edges {
+		fmt.Fprintf(&b, "edge %s\n", e.Name)
+	}
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "node %s ", n.Name)
+		switch n.Kind {
+		case KindConnect:
+			fmt.Fprintf(&b, "connect %s %d", n.Port.Proto, n.Port.Num)
+		case KindPacket:
+			b.WriteString("packet")
+		case KindClose:
+			b.WriteString("close")
+		case KindCustom:
+			b.WriteString("custom")
+		}
+		for _, e := range n.Borrows {
+			fmt.Fprintf(&b, " borrows %s", s.Edges[e].Name)
+		}
+		if n.HasData && n.Kind != KindPacket {
+			fmt.Fprintf(&b, " data %d", n.MaxData)
+		} else if n.Kind == KindPacket && n.MaxData > 0 {
+			fmt.Fprintf(&b, " data %d", n.MaxData)
+		}
+		if len(n.Outputs) > 0 {
+			b.WriteString(" ->")
+			for _, e := range n.Outputs {
+				fmt.Fprintf(&b, " %s", s.Edges[e].Name)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

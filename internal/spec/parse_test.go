@@ -1,0 +1,131 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+const listing1 = `
+# The multi-connection network spec of the paper's Listing 1.
+spec multi
+edge con
+node connection connect tcp 21 -> con
+node pkt packet borrows con data 65536
+node bye close borrows con
+`
+
+func TestParseListing1(t *testing.T) {
+	s, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "multi" || len(s.Edges) != 1 || len(s.Nodes) != 3 {
+		t.Fatalf("parsed shape wrong: %+v", s)
+	}
+	con := s.Nodes[0]
+	if con.Kind != KindConnect || con.Port != (guest.Port{Proto: guest.TCP, Num: 21}) || len(con.Outputs) != 1 {
+		t.Fatalf("connect node wrong: %+v", con)
+	}
+	pkt := s.Nodes[1]
+	if pkt.Kind != KindPacket || !pkt.HasData || pkt.MaxData != 65536 || len(pkt.Borrows) != 1 {
+		t.Fatalf("packet node wrong: %+v", pkt)
+	}
+	if s.Nodes[2].Kind != KindClose {
+		t.Fatalf("close node wrong: %+v", s.Nodes[2])
+	}
+
+	// The parsed spec is usable: build and validate an input.
+	in := NewInput(
+		Op{Node: 0},
+		Op{Node: 1, Args: []uint16{0}, Data: []byte("GET /")},
+		Op{Node: 2, Args: []uint16{0}},
+	)
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	s, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s.Format())
+	if err != nil {
+		t.Fatalf("re-parsing formatted spec: %v\n%s", err, s.Format())
+	}
+	if s2.Name != s.Name || len(s2.Nodes) != len(s.Nodes) || len(s2.Edges) != len(s.Edges) {
+		t.Fatal("round trip changed the spec shape")
+	}
+	for i := range s.Nodes {
+		a, b := s.Nodes[i], s2.Nodes[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.HasData != b.HasData ||
+			a.MaxData != b.MaxData || len(a.Borrows) != len(b.Borrows) ||
+			len(a.Outputs) != len(b.Outputs) || a.Port != b.Port {
+			t.Fatalf("node %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseRawPacketSpecFormat(t *testing.T) {
+	// Generated specs survive the textual round trip too.
+	s := RawPacketSpec("ftp", []guest.Port{{Proto: guest.TCP, Num: 21}})
+	s2, err := Parse(s.Format())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, s.Format())
+	}
+	if len(s2.Nodes) != len(s.Nodes) {
+		t.Fatal("node count changed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"empty", "", "empty"},
+		{"no nodes", "spec x\nedge e\n", "declares no nodes"},
+		{"edge before spec", "edge e\n", "before spec"},
+		{"node before spec", "node n packet\n", "before spec"},
+		{"duplicate spec", "spec a\nspec b\n", "duplicate"},
+		{"duplicate edge", "spec a\nedge e\nedge e\n", "duplicate edge"},
+		{"unknown kind", "spec a\nnode n frobnicate\n", "unknown node kind"},
+		{"unknown edge", "spec a\nnode n connect tcp 1 -> nope\n", "unknown edge"},
+		{"bad port", "spec a\nedge e\nnode n connect tcp x -> e\n", "bad port"},
+		{"bad borrow", "spec a\nedge e\nnode n packet borrows nope\n", "unknown edge"},
+		{"bad data", "spec a\nedge e\nnode c connect tcp 1 -> e\nnode n packet borrows e data x\n", "bad data"},
+		{"unknown decl", "spec a\nfrob x\n", "unknown declaration"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseCustomNode(t *testing.T) {
+	s, err := Parse(`
+spec game
+edge pad
+node start custom -> pad
+node frames custom borrows pad data 64
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes[0].Kind != KindCustom || len(s.Nodes[0].Outputs) != 1 {
+		t.Fatalf("custom producer wrong: %+v", s.Nodes[0])
+	}
+	if !s.Nodes[1].HasData || s.Nodes[1].MaxData != 64 {
+		t.Fatalf("custom consumer wrong: %+v", s.Nodes[1])
+	}
+}

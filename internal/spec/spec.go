@@ -1,0 +1,221 @@
+// Package spec implements Nyx's affine-typed bytecode input model as used
+// by Nyx-Net (§2.2, §3.5, §4.3 of the paper): a specification declares
+// typed opcodes ("nodes") that produce and borrow typed values ("edges");
+// inputs are sequences of opcodes serialized to a flat bytecode; the fuzzer
+// mutates inputs structurally while keeping them valid by construction.
+//
+// The package also defines the special snapshot opcode the fuzzer injects
+// to request an incremental snapshot at an arbitrary position in the input
+// stream (§4.3).
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// EdgeID identifies a value type (e.g. "connection handle").
+type EdgeID uint16
+
+// NodeID identifies an opcode within a Spec.
+type NodeID uint16
+
+// SnapshotNode is the reserved opcode ID of the snapshot marker.
+const SnapshotNode NodeID = 0xFFFF
+
+// NodeKind tells the emulation layer how to interpret an opcode.
+type NodeKind uint8
+
+// Opcode kinds understood by the network emulation layer. Custom kinds are
+// dispatched to registered handlers (used by the Super Mario target, whose
+// opcodes are controller inputs rather than packets).
+const (
+	KindConnect NodeKind = iota
+	KindPacket
+	KindClose
+	KindCustom
+)
+
+// EdgeType declares a value type.
+type EdgeType struct {
+	Name string
+}
+
+// NodeType declares an opcode: what it borrows, what it outputs, and
+// whether it carries a data payload.
+type NodeType struct {
+	Name    string
+	Kind    NodeKind
+	Borrows []EdgeID
+	Outputs []EdgeID
+	HasData bool
+	MaxData int
+	// Port is the attack-surface port for KindConnect nodes.
+	Port guest.Port
+}
+
+// Spec is a full input-format specification.
+type Spec struct {
+	Name  string
+	Edges []EdgeType
+	Nodes []NodeType
+}
+
+// NewSpec creates an empty specification.
+func NewSpec(name string) *Spec { return &Spec{Name: name} }
+
+// Edge declares a value type and returns its ID.
+func (s *Spec) Edge(name string) EdgeID {
+	s.Edges = append(s.Edges, EdgeType{Name: name})
+	return EdgeID(len(s.Edges) - 1)
+}
+
+// Node declares an opcode and returns its ID.
+func (s *Spec) Node(nt NodeType) NodeID {
+	s.Nodes = append(s.Nodes, nt)
+	return NodeID(len(s.Nodes) - 1)
+}
+
+// NodeByName finds a node ID by name.
+func (s *Spec) NodeByName(name string) (NodeID, bool) {
+	for i, n := range s.Nodes {
+		if n.Name == name {
+			return NodeID(i), true
+		}
+	}
+	return 0, false
+}
+
+// RawPacketSpec builds the "generic default specification that assumes raw
+// packets" the paper's MySQL case study uses (§5.4): one connect opcode per
+// attack-surface port and one raw packet opcode borrowing the connection.
+func RawPacketSpec(name string, ports []guest.Port) *Spec {
+	s := NewSpec(name)
+	eCon := s.Edge("con")
+	for _, p := range ports {
+		s.Node(NodeType{
+			Name:    fmt.Sprintf("connect_%s_%d", p.Proto, p.Num),
+			Kind:    KindConnect,
+			Outputs: []EdgeID{eCon},
+			Port:    p,
+		})
+	}
+	s.Node(NodeType{
+		Name:    "packet",
+		Kind:    KindPacket,
+		Borrows: []EdgeID{eCon},
+		HasData: true,
+		MaxData: 1 << 16,
+	})
+	s.Node(NodeType{
+		Name:    "close",
+		Kind:    KindClose,
+		Borrows: []EdgeID{eCon},
+	})
+	return s
+}
+
+// Op is one opcode invocation in an input: the node, the value references
+// it borrows (indices into the sequence of previously produced values), and
+// its payload.
+type Op struct {
+	Node NodeID
+	Args []uint16
+	Data []byte
+}
+
+// Input is a runnable test case: a sequence of ops plus the position of the
+// snapshot marker (-1 = none). SnapshotAt == i means the incremental
+// snapshot is taken after executing ops[0:i], i.e. before op i.
+type Input struct {
+	Ops        []Op
+	SnapshotAt int
+}
+
+// NewInput creates an input with no snapshot marker.
+func NewInput(ops ...Op) *Input { return &Input{Ops: ops, SnapshotAt: -1} }
+
+// Clone deep-copies the input.
+func (in *Input) Clone() *Input {
+	out := &Input{Ops: make([]Op, len(in.Ops)), SnapshotAt: in.SnapshotAt}
+	for i, op := range in.Ops {
+		cp := Op{Node: op.Node}
+		cp.Args = append([]uint16(nil), op.Args...)
+		cp.Data = append([]byte(nil), op.Data...)
+		out.Ops[i] = cp
+	}
+	return out
+}
+
+// Packets counts the ops that deliver data (the paper's notion of input
+// length in packets, used by the snapshot placement policies).
+func (in *Input) Packets(s *Spec) int {
+	n := 0
+	for _, op := range in.Ops {
+		if int(op.Node) < len(s.Nodes) && s.Nodes[op.Node].HasData {
+			n++
+		}
+	}
+	return n
+}
+
+// Validation errors.
+var (
+	ErrUnknownNode = errors.New("spec: unknown node")
+	ErrBadArg      = errors.New("spec: argument references unavailable value")
+	ErrArity       = errors.New("spec: wrong number of arguments")
+	ErrDataSize    = errors.New("spec: payload exceeds MaxData")
+	ErrNoData      = errors.New("spec: payload on dataless node")
+)
+
+// Validate checks that the input is well-typed against s: every borrow
+// references a value output by an earlier op with the matching edge type.
+func (s *Spec) Validate(in *Input) error {
+	var values []EdgeID // value i has type values[i]
+	for i, op := range in.Ops {
+		if int(op.Node) >= len(s.Nodes) {
+			return fmt.Errorf("%w: op %d node %d", ErrUnknownNode, i, op.Node)
+		}
+		nt := s.Nodes[op.Node]
+		if len(op.Args) != len(nt.Borrows) {
+			return fmt.Errorf("%w: op %d (%s) has %d args, wants %d",
+				ErrArity, i, nt.Name, len(op.Args), len(nt.Borrows))
+		}
+		for j, a := range op.Args {
+			if int(a) >= len(values) {
+				return fmt.Errorf("%w: op %d (%s) arg %d = v%d (only %d values)",
+					ErrBadArg, i, nt.Name, j, a, len(values))
+			}
+			if values[a] != nt.Borrows[j] {
+				return fmt.Errorf("%w: op %d (%s) arg %d has type %d, wants %d",
+					ErrBadArg, i, nt.Name, j, values[a], nt.Borrows[j])
+			}
+		}
+		if !nt.HasData && len(op.Data) > 0 {
+			return fmt.Errorf("%w: op %d (%s)", ErrNoData, i, nt.Name)
+		}
+		if nt.HasData && nt.MaxData > 0 && len(op.Data) > nt.MaxData {
+			return fmt.Errorf("%w: op %d (%s) has %d bytes", ErrDataSize, i, nt.Name, len(op.Data))
+		}
+		values = append(values, nt.Outputs...)
+	}
+	if in.SnapshotAt < -1 || in.SnapshotAt > len(in.Ops) {
+		return fmt.Errorf("spec: snapshot marker %d out of range", in.SnapshotAt)
+	}
+	return nil
+}
+
+// valuesBefore returns, for each value index produced before op index i,
+// its edge type. Used by the mutators to repair references.
+func (s *Spec) valuesBefore(in *Input, i int) []EdgeID {
+	var values []EdgeID
+	for j := 0; j < i && j < len(in.Ops); j++ {
+		op := in.Ops[j]
+		if int(op.Node) < len(s.Nodes) {
+			values = append(values, s.Nodes[op.Node].Outputs...)
+		}
+	}
+	return values
+}

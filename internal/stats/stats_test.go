@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 2, 3}, 2.5},
+		{[]float64{7}, 7},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(xs); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Std = %v, want ~2.138", got)
+	}
+	if Std([]float64{1}) != 0 {
+		t.Error("Std of single sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+}
+
+func TestMannWhitneyClearlySeparated(t *testing.T) {
+	a := []float64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	p := MannWhitneyU(a, b)
+	if p >= 0.001 {
+		t.Fatalf("clearly separated samples: p = %v, want < 0.001", p)
+	}
+	if !Significant(a, b) {
+		t.Fatal("should be significant")
+	}
+}
+
+func TestMannWhitneyIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rejected := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 10)
+		b := make([]float64, 10)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+			b[j] = rng.NormFloat64()
+		}
+		if Significant(a, b) {
+			rejected++
+		}
+	}
+	// Under the null, the rejection rate should be near 5%.
+	if rejected > trials/5 {
+		t.Fatalf("null rejection rate too high: %d/%d", rejected, trials)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{5, 5, 5}
+	b := []float64{5, 5, 5}
+	if p := MannWhitneyU(a, b); p != 1 {
+		t.Fatalf("all-tied samples: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	a := []float64{1, 5, 3, 8, 2}
+	b := []float64{4, 9, 2, 7, 6}
+	if p1, p2 := MannWhitneyU(a, b), MannWhitneyU(b, a); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("test should be symmetric: %v vs %v", p1, p2)
+	}
+}
+
+func TestMannWhitneyEmpty(t *testing.T) {
+	if p := MannWhitneyU(nil, []float64{1}); p != 1 {
+		t.Fatalf("empty sample: p = %v, want 1", p)
+	}
+}

@@ -1,0 +1,364 @@
+package targets
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/guest"
+	"repro/internal/netemu"
+	"repro/internal/spec"
+)
+
+// TestRegistryComplete checks the ProFuzzBench suite plus case studies are
+// all registered.
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range ProFuzzBench() {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("ProFuzzBench target %q not registered", name)
+		}
+	}
+	for _, name := range []string{"echo", "mysql-client", "lighttpd", "firefox-ipc"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("case-study target %q not registered", name)
+		}
+	}
+	if _, ok := Lookup("no-such-target"); ok {
+		t.Error("lookup of unknown target should fail")
+	}
+	if len(Names()) < 17 {
+		t.Errorf("registry has %d targets, want >= 17", len(Names()))
+	}
+}
+
+// TestEveryTargetBootsAndRunsSeeds launches every registered target, runs
+// its seeds, and checks basic invariants: seeds validate, produce coverage,
+// and do not crash (crashes must be found by fuzzing, not handed out).
+func TestEveryTargetBootsAndRunsSeeds(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := Launch(name, LaunchConfig{})
+			if err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			seeds := inst.Seeds()
+			if len(seeds) == 0 {
+				t.Fatal("no seeds")
+			}
+			var tr coverage.Trace
+			var virgin coverage.Virgin
+			for i, seed := range seeds {
+				if err := inst.Spec.Validate(seed); err != nil {
+					t.Fatalf("seed %d invalid: %v", i, err)
+				}
+				res, err := inst.Agent.RunFromRoot(seed, &tr)
+				if err != nil {
+					t.Fatalf("seed %d: %v", i, err)
+				}
+				if res.Crashed {
+					t.Fatalf("seed %d crashes the target: %v", i, res.Crash)
+				}
+				virgin.Merge(&tr)
+			}
+			if virgin.Edges() < 5 {
+				t.Fatalf("seeds found only %d edges; instrumentation too sparse", virgin.Edges())
+			}
+		})
+	}
+}
+
+// TestEveryTargetStateRoundTrip runs a seed, snapshots mid-input, perturbs,
+// restores, and checks the target replays identically — the per-target
+// variant of the guest-state identity property.
+func TestEveryTargetStateRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := Launch(name, LaunchConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := inst.Seeds()[0].Clone()
+			if len(seed.Ops) < 3 {
+				t.Skip("seed too short to split")
+			}
+			seed.SnapshotAt = len(seed.Ops) - 1
+			var tr coverage.Trace
+			res, err := inst.Agent.RunFromRoot(seed, &tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashed {
+				t.Fatalf("seed crashed: %v", res.Crash)
+			}
+			if !res.SnapshotTaken {
+				t.Fatal("snapshot not taken")
+			}
+			// Re-run the suffix twice; identical coverage both times
+			// proves the restore is exact.
+			var tr1, tr2 coverage.Trace
+			if _, err := inst.Agent.RunSuffix(seed, &tr1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inst.Agent.RunSuffix(seed, &tr2); err != nil {
+				t.Fatal(err)
+			}
+			if tr1.CountEdges() != tr2.CountEdges() {
+				t.Fatalf("suffix replay diverged: %d vs %d edges", tr1.CountEdges(), tr2.CountEdges())
+			}
+		})
+	}
+}
+
+// runPackets drives raw payloads at a fresh instance and returns the result
+// of the last packet.
+func runPackets(t *testing.T, name string, asan bool, payloads ...[]byte) netemu.Result {
+	t.Helper()
+	inst, err := Launch(name, LaunchConfig{Asan: asan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := Lookup(name)
+	conName := "connect_" + string(info.Port.Proto) + "_" + itoa(info.Port.Num)
+	con, ok := inst.Spec.NodeByName(conName)
+	if !ok {
+		t.Fatalf("no node %s", conName)
+	}
+	pkt, _ := inst.Spec.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con})
+	for _, p := range payloads {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: p})
+	}
+	var tr coverage.Trace
+	res, err := inst.Agent.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestDnsmasqLabelOverflowCrash(t *testing.T) {
+	q := dnsQuery(1, "host")
+	q[12] = 100 // label length 64..127: the bug window
+	res := runPackets(t, "dnsmasq", false, q)
+	if !res.Crashed || res.Crash.Kind != guest.CrashSegfault {
+		t.Fatalf("expected segfault, got %+v", res)
+	}
+}
+
+func TestLive555EscapeCrash(t *testing.T) {
+	res := runPackets(t, "live555", false,
+		[]byte("DESCRIBE rtsp://h/test.264%Z RTSP/1.0\r\nCSeq: 1\r\n\r\n"))
+	if !res.Crashed {
+		t.Fatal("truncated escape should crash")
+	}
+	// Valid escape must NOT crash.
+	res = runPackets(t, "live555", false,
+		[]byte("DESCRIBE rtsp://h/test%41.264 RTSP/1.0\r\nCSeq: 1\r\n\r\n"))
+	if res.Crashed {
+		t.Fatalf("valid escape crashed: %v", res.Crash)
+	}
+}
+
+func TestTinydtlsCookieCrash(t *testing.T) {
+	res := runPackets(t, "tinydtls", false, dtlsClientHello(nil), func() []byte {
+		hello := dtlsClientHello([]byte{1, 2})
+		// Claim a huge cookie length.
+		hello[len(hello)-3] = 200
+		return hello
+	}())
+	if !res.Crashed {
+		t.Fatal("oversized cookie claim should crash")
+	}
+}
+
+func TestEximDeepCrashRequiresFullEnvelope(t *testing.T) {
+	full := [][]byte{
+		[]byte("EHLO h\r\n"), []byte("MAIL FROM:<a@b>\r\n"), []byte("RCPT TO:<c@d>\r\n"),
+		[]byte("DATA\r\n"), []byte(" leading continuation\r\n"),
+	}
+	res := runPackets(t, "exim", false, full...)
+	if !res.Crashed {
+		t.Fatal("full envelope + bad continuation should crash")
+	}
+	// Without DATA the same body line is harmless.
+	res = runPackets(t, "exim", false, []byte("EHLO h\r\n"), []byte(" leading continuation\r\n"))
+	if res.Crashed {
+		t.Fatal("continuation outside DATA must not crash")
+	}
+}
+
+func TestProftpdStaircase(t *testing.T) {
+	steps := [][]byte{
+		[]byte("USER a\r\n"), []byte("PASS b\r\n"),
+		[]byte("SITE UTIME x\r\n"), []byte("SITE CHMOD x\r\n"),
+		[]byte("SITE CHGRP x\r\n"), []byte("SITE SYMLINK x\r\n"),
+		[]byte("MFMT 20260612 f\r\n"),
+	}
+	if res := runPackets(t, "proftpd", false, steps...); !res.Crashed {
+		t.Fatal("full staircase should crash")
+	}
+	// Breaking the order must not crash.
+	broken := [][]byte{
+		steps[0], steps[1], steps[3], steps[2], steps[4], steps[5], steps[6],
+	}
+	if res := runPackets(t, "proftpd", false, broken...); res.Crashed {
+		t.Fatal("out-of-order staircase must not crash")
+	}
+}
+
+// TestDcmtkAsanBehavior reproduces Table 1's footnote: with ASan the
+// corruption faults immediately; without it a single test case survives.
+func TestDcmtkAsanBehavior(t *testing.T) {
+	bad := dicomPDU(pduData, []byte{0, 0, 0, 2, 1, 0x02})
+	// Declared length lies (larger than the body).
+	bad[2], bad[3], bad[4], bad[5] = 0, 0, 0x40, 0
+
+	if res := runPackets(t, "dcmtk", true, dicomAssociateRQ(), bad); !res.Crashed {
+		t.Fatal("ASan build should crash immediately")
+	}
+	if res := runPackets(t, "dcmtk", false, dicomAssociateRQ(), bad); res.Crashed {
+		t.Fatal("non-ASan build should survive one corruption")
+	}
+
+	// A persistent process accumulating corruptions eventually faults
+	// even without ASan (what AFLnet's long-lived server does).
+	inst, err := Launch("dcmtk", LaunchConfig{Asan: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, _ := inst.Spec.NodeByName("connect_tcp_104")
+	pkt, _ := inst.Spec.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con}, spec.Op{Node: pkt, Args: []uint16{0}, Data: dicomAssociateRQ()})
+	for i := 0; i < 8; i++ {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: bad})
+	}
+	var tr coverage.Trace
+	res, err := inst.Agent.RunFromRoot(in, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed || res.Crash.Kind != guest.CrashHeapCorruption {
+		t.Fatalf("accumulated corruption should fault: %+v", res)
+	}
+}
+
+func TestLighttpdAllocUnderflow(t *testing.T) {
+	// Content-Length smaller than the body already received.
+	res := runPackets(t, "lighttpd", false,
+		[]byte("POST /f HTTP/1.1\r\nHost: h\r\nContent-Length: 1\r\n\r\nmuch-longer-body"))
+	if !res.Crashed || res.Crash.Kind != guest.CrashMallocUnder {
+		t.Fatalf("expected malloc underflow, got %+v", res)
+	}
+}
+
+func TestMysqlClientOOBRead(t *testing.T) {
+	// Greeting whose version string never terminates.
+	p := []byte{10}
+	p = append(p, []byte("8.0.36-unterminated")...)
+	res := runPackets(t, "mysql-client", false, mysqlPacket(0, p))
+	if !res.Crashed {
+		t.Fatal("unterminated version string should crash the client parser")
+	}
+}
+
+func TestFirefoxIPCNullDerefs(t *testing.T) {
+	// Destroy-before-construct on the PContent socket.
+	res := runPackets(t, "firefox-ipc", false, ipcMsg(1, 9, 0, nil))
+	if !res.Crashed || res.Crash.Kind != guest.CrashNullDeref {
+		t.Fatalf("expected null deref, got %+v", res)
+	}
+	if !strings.Contains(res.Crash.Msg, "ActorLifecycle") {
+		t.Fatalf("wrong bug: %v", res.Crash)
+	}
+	// Shmem without handle.
+	res = runPackets(t, "firefox-ipc", false, ipcMsg(2, 9, 0, []byte{1}))
+	if !res.Crashed {
+		t.Fatal("short shmem message should crash")
+	}
+}
+
+func TestFirefoxIPCMultiConnection(t *testing.T) {
+	inst, err := Launch("firefox-ipc", LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := inst.Seeds()[0]
+	var tr coverage.Trace
+	res, err := inst.Agent.RunFromRoot(seed, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatalf("multi-connection seed crashed: %v", res.Crash)
+	}
+	if res.PacketsDelivered != 5 {
+		t.Fatalf("delivered %d packets, want 5", res.PacketsDelivered)
+	}
+}
+
+// TestPureFtpdLeakOnlyInPersistentMode: a snapshot fuzzer never accumulates
+// the leak; a persistent session does.
+func TestPureFtpdLeakOnlyInPersistentMode(t *testing.T) {
+	inst, err := Launch("pure-ftpd", LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := []byte("XYZZY garbage\r\n")
+	con, _ := inst.Spec.NodeByName("connect_tcp_2122")
+	pkt, _ := inst.Spec.NodeByName("packet")
+	small := spec.NewInput(spec.Op{Node: con},
+		spec.Op{Node: pkt, Args: []uint16{0}, Data: junk},
+		spec.Op{Node: pkt, Args: []uint16{0}, Data: junk})
+
+	// Snapshot mode: hundreds of executions, each reset — never OOM.
+	var tr coverage.Trace
+	for i := 0; i < 100; i++ {
+		res, err := inst.Agent.RunFromRoot(small, &tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashed {
+			t.Fatalf("snapshot-mode exec %d crashed: %v", i, res.Crash)
+		}
+	}
+
+	// Persistent mode: one giant session accumulates the leak.
+	big := spec.NewInput(spec.Op{Node: con})
+	for i := 0; i < 900; i++ {
+		big.Ops = append(big.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: junk})
+	}
+	res, err := inst.Agent.RunFromRoot(big, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed || res.Crash.Kind != guest.CrashOOMInternal {
+		t.Fatalf("persistent session should hit the internal limit, got %+v", res)
+	}
+}
+
+func TestSplitCmd(t *testing.T) {
+	v, a := splitCmd([]byte("USER anon\r\n"))
+	if v != "USER" || a != "anon" {
+		t.Fatalf("splitCmd: %q %q", v, a)
+	}
+	v, a = splitCmd([]byte("QUIT"))
+	if v != "QUIT" || a != "" {
+		t.Fatalf("splitCmd bare: %q %q", v, a)
+	}
+}

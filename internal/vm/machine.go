@@ -1,0 +1,299 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mem"
+)
+
+// Hypercall identifies a request from the in-guest agent to the hypervisor,
+// the VM-exit analogue of §2.3 ("hypercalls are like syscalls but for VMs").
+type Hypercall int
+
+// Hypercall numbers understood by the machine.
+const (
+	// HcReady signals that the target finished initialization and is
+	// about to consume the first byte of fuzz input; the hypervisor
+	// responds by taking the root snapshot.
+	HcReady Hypercall = iota
+	// HcSnapshot requests an incremental snapshot at the current state
+	// (emitted by the special snapshot opcode, §4.3).
+	HcSnapshot
+	// HcReleaseSnapshot discards the incremental snapshot.
+	HcReleaseSnapshot
+	// HcExecDone signals the end of a test case.
+	HcExecDone
+	// HcPanic reports a crash in the target.
+	HcPanic
+)
+
+// ErrNotReady is returned when snapshot operations are attempted before the
+// agent signalled readiness.
+var ErrNotReady = errors.New("vm: agent has not signalled readiness (no root snapshot)")
+
+// DeviceResetMode selects between Nyx-Net's fast structured device reset
+// and the QEMU-style serialize/deserialize baseline (ablation, §4.2).
+type DeviceResetMode int
+
+const (
+	// DeviceResetStructured is the fast custom reset (paper default).
+	DeviceResetStructured DeviceResetMode = iota
+	// DeviceResetSerialize reloads devices from a serialized image, as
+	// stock QEMU migration code would.
+	DeviceResetSerialize
+)
+
+// Config describes a machine to build.
+type Config struct {
+	// MemoryPages is the number of 4 KiB guest physical pages.
+	MemoryPages int
+	// DiskSectors is the size of the primary disk.
+	DiskSectors uint64
+	// Cost is the virtual-time cost model; zero value means default.
+	Cost CostModel
+	// ResetMode selects the device reset implementation.
+	ResetMode DeviceResetMode
+	// RestoreStrategy selects dirty-page discovery during resets.
+	RestoreStrategy mem.RestoreStrategy
+}
+
+// Machine is the simulated whole-system VM: memory, devices, virtual clock.
+// A fuzzer drives it through the snapshot lifecycle; the guest kernel
+// (package guest) runs targets inside it.
+type Machine struct {
+	Mem     *mem.Memory
+	Devices *device.Set
+	Disk    *device.BlockDevice
+	NIC     *device.NIC
+	Serial  *device.Serial
+	Clock   *Clock
+	Cost    CostModel
+
+	resetMode DeviceResetMode
+
+	rootTaken    bool
+	rootDevImage map[string][]byte // for the serialize-reset baseline
+
+	// GuestHooks let the guest kernel participate in snapshots: its
+	// non-memory bookkeeping (process table, fd table, scheduler state)
+	// must be captured and restored alongside memory and devices.
+	GuestHooks SnapshotHooks
+
+	stats MachineStats
+}
+
+// SnapshotHooks are callbacks a guest kernel registers so its state follows
+// the VM snapshot lifecycle. Any hook may be nil.
+type SnapshotHooks struct {
+	TakeRoot           func()
+	RestoreRoot        func()
+	TakeIncremental    func()
+	RestoreIncremental func()
+	DropIncremental    func()
+}
+
+// MachineStats aggregates snapshot counters and timing.
+type MachineStats struct {
+	RootRestores    uint64
+	IncCreates      uint64
+	IncRestores     uint64
+	Hypercalls      uint64
+	VirtualTimeUsed time.Duration
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.MemoryPages == 0 {
+		cfg.MemoryPages = 16384 // 64 MiB default
+	}
+	if cfg.DiskSectors == 0 {
+		cfg.DiskSectors = 1 << 16
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	m := &Machine{
+		Mem:       mem.New(cfg.MemoryPages),
+		Disk:      device.NewBlockDevice("disk0", cfg.DiskSectors),
+		NIC:       device.NewNIC("eth0"),
+		Serial:    device.NewSerial("ttyS0"),
+		Clock:     &Clock{},
+		Cost:      cfg.Cost,
+		resetMode: cfg.ResetMode,
+	}
+	m.Mem.Strategy = cfg.RestoreStrategy
+	m.Devices = device.NewSet(m.Disk, m.NIC, m.Serial)
+	return m
+}
+
+// Stats returns a copy of the machine statistics.
+func (m *Machine) Stats() MachineStats {
+	st := m.stats
+	st.VirtualTimeUsed = m.Clock.Now()
+	return st
+}
+
+// HasRoot reports whether the root snapshot exists.
+func (m *Machine) HasRoot() bool { return m.rootTaken }
+
+// HasIncremental reports whether an incremental snapshot is active.
+func (m *Machine) HasIncremental() bool { return m.Mem.HasIncremental() }
+
+// DirtyPages returns the number of guest pages dirtied since the last
+// snapshot point.
+func (m *Machine) DirtyPages() int { return m.Mem.DirtyCount() }
+
+// TakeRoot captures the root snapshot of the whole VM. Expensive (full
+// memory copy) but performed once per campaign.
+func (m *Machine) TakeRoot() error {
+	m.Mem.TakeRoot()
+	m.Devices.TakeRoot()
+	if m.resetMode == DeviceResetSerialize {
+		img, err := m.Devices.SaveAll()
+		if err != nil {
+			return fmt.Errorf("vm: capturing device image: %w", err)
+		}
+		m.rootDevImage = img
+	}
+	if m.GuestHooks.TakeRoot != nil {
+		m.GuestHooks.TakeRoot()
+	}
+	m.rootTaken = true
+	return nil
+}
+
+// chargeReset charges the virtual clock for resetting n dirty pages plus
+// device reset cost under the active strategy/mode.
+func (m *Machine) chargeReset(base time.Duration, ndirty int) {
+	d := base + time.Duration(ndirty)*m.Cost.PerDirtyPage
+	if m.Mem.Strategy == mem.RestoreBitmapWalk {
+		d += time.Duration(m.Mem.NumPages()) * m.Cost.PerBitmapPage
+	}
+	if m.resetMode == DeviceResetSerialize {
+		d += m.Cost.DeviceResetSerial
+	} else {
+		d += m.Cost.DeviceResetFast
+	}
+	d += time.Duration(m.Disk.DirtySectors()) * m.Cost.PerDirtySector
+	m.Clock.Advance(d)
+}
+
+// RestoreRoot resets the whole VM to the root snapshot.
+func (m *Machine) RestoreRoot() error {
+	if !m.rootTaken {
+		return ErrNotReady
+	}
+	m.chargeReset(m.Cost.RootRestoreBase, m.Mem.DirtyCount())
+	if err := m.Mem.RestoreRoot(); err != nil {
+		return err
+	}
+	if m.resetMode == DeviceResetSerialize {
+		if err := m.Devices.LoadAll(m.rootDevImage); err != nil {
+			return err
+		}
+	} else {
+		m.Devices.RestoreRoot()
+	}
+	if m.GuestHooks.RestoreRoot != nil {
+		m.GuestHooks.RestoreRoot()
+	}
+	m.stats.RootRestores++
+	return nil
+}
+
+// TakeIncremental creates the secondary snapshot at the current state.
+func (m *Machine) TakeIncremental() error {
+	if !m.rootTaken {
+		return ErrNotReady
+	}
+	m.Clock.Advance(m.Cost.IncCreateBase +
+		time.Duration(m.Mem.DirtyCount())*m.Cost.PerDirtyPage)
+	if err := m.Mem.TakeIncremental(); err != nil {
+		return err
+	}
+	m.Devices.TakeIncremental()
+	if m.GuestHooks.TakeIncremental != nil {
+		m.GuestHooks.TakeIncremental()
+	}
+	m.stats.IncCreates++
+	return nil
+}
+
+// RestoreIncremental resets the VM to the secondary snapshot.
+func (m *Machine) RestoreIncremental() error {
+	if !m.Mem.HasIncremental() {
+		return mem.ErrNoIncrementalSnapshot
+	}
+	m.chargeReset(m.Cost.IncRestoreBase, m.Mem.DirtyCount())
+	if err := m.Mem.RestoreIncremental(); err != nil {
+		return err
+	}
+	m.Devices.RestoreIncremental()
+	if m.GuestHooks.RestoreIncremental != nil {
+		m.GuestHooks.RestoreIncremental()
+	}
+	m.stats.IncRestores++
+	return nil
+}
+
+// DropIncremental discards the secondary snapshot.
+func (m *Machine) DropIncremental() {
+	m.Mem.DropIncremental()
+	m.Devices.DropIncremental()
+	if m.GuestHooks.DropIncremental != nil {
+		m.GuestHooks.DropIncremental()
+	}
+}
+
+// Hypercall dispatches an agent hypercall, charging VM-exit cost.
+func (m *Machine) Hypercall(hc Hypercall) error {
+	m.Clock.Advance(m.Cost.HypercallEntry)
+	m.stats.Hypercalls++
+	switch hc {
+	case HcReady:
+		return m.TakeRoot()
+	case HcSnapshot:
+		return m.TakeIncremental()
+	case HcReleaseSnapshot:
+		m.DropIncremental()
+		return nil
+	case HcExecDone, HcPanic:
+		return nil // handled by the fuzzer run loop
+	default:
+		return fmt.Errorf("vm: unknown hypercall %d", hc)
+	}
+}
+
+// CloneSharedRoot builds a second machine that shares this machine's root
+// snapshot copy-on-write (§5.3 Scalability). Devices are rebuilt at root
+// state; the clone gets its own virtual clock.
+func (m *Machine) CloneSharedRoot() (*Machine, error) {
+	if !m.rootTaken {
+		return nil, ErrNotReady
+	}
+	cm, err := m.Mem.CloneSharedRoot()
+	if err != nil {
+		return nil, err
+	}
+	c := &Machine{
+		Mem:       cm,
+		Disk:      device.NewBlockDevice("disk0", m.Disk.NumSectors()),
+		NIC:       device.NewNIC("eth0"),
+		Serial:    device.NewSerial("ttyS0"),
+		Clock:     &Clock{},
+		Cost:      m.Cost,
+		resetMode: m.resetMode,
+		rootTaken: true,
+	}
+	c.Devices = device.NewSet(c.Disk, c.NIC, c.Serial)
+	c.Devices.TakeRoot()
+	return c, nil
+}
+
+// OwnedBytes estimates the memory owned exclusively by this machine (the
+// scalability metric: N clones sharing one root should cost far less than N
+// full copies).
+func (m *Machine) OwnedBytes() int64 { return m.Mem.OwnedBytes() }

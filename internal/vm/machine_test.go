@@ -1,0 +1,245 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	return New(Config{MemoryPages: 256, DiskSectors: 64})
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.RestoreRoot(); err != ErrNotReady {
+		t.Fatalf("expected ErrNotReady, got %v", err)
+	}
+
+	m.Mem.WriteAt([]byte("init"), 0)
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasRoot() {
+		t.Fatal("root snapshot missing after HcReady")
+	}
+
+	m.Mem.WriteAt([]byte("pref"), 0)
+	if err := m.Hypercall(HcSnapshot); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte("case"), 0)
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	m.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("pref")) {
+		t.Fatalf("incremental restore: got %q want %q", buf, "pref")
+	}
+
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("init")) {
+		t.Fatalf("root restore: got %q want %q", buf, "init")
+	}
+}
+
+func TestClockAdvancesOnResets(t *testing.T) {
+	m := newTestMachine(t)
+	m.TakeRoot()
+	t0 := m.Clock.Now()
+	m.Mem.WriteAt(make([]byte, 10*mem.PageSize), 0)
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := m.Clock.Now() - t0
+	want := m.Cost.RootRestoreBase // at least the base cost
+	if elapsed < want {
+		t.Fatalf("reset charged %v, want >= %v", elapsed, want)
+	}
+}
+
+func TestResetCostScalesWithDirtyPages(t *testing.T) {
+	timeFor := func(pages int) time.Duration {
+		m := newTestMachine(t)
+		m.TakeRoot()
+		t0 := m.Clock.Now()
+		m.Mem.WriteAt(make([]byte, pages*mem.PageSize), 0)
+		m.RestoreRoot()
+		return m.Clock.Now() - t0
+	}
+	small, large := timeFor(2), timeFor(200)
+	if large <= small {
+		t.Fatalf("200-page reset (%v) should cost more than 2-page (%v)", large, small)
+	}
+}
+
+func TestBitmapWalkCostsMoreOnLargeVMs(t *testing.T) {
+	run := func(strategy mem.RestoreStrategy) time.Duration {
+		m := New(Config{MemoryPages: 1 << 18, RestoreStrategy: strategy})
+		m.TakeRoot()
+		m.Mem.WriteAt(make([]byte, 4*mem.PageSize), 0)
+		t0 := m.Clock.Now()
+		m.RestoreRoot()
+		return m.Clock.Now() - t0
+	}
+	stack, walk := run(mem.RestoreStack), run(mem.RestoreBitmapWalk)
+	if walk <= stack {
+		t.Fatalf("bitmap walk (%v) should cost more than dirty stack (%v)", walk, stack)
+	}
+}
+
+func TestSerializeResetCostsMore(t *testing.T) {
+	run := func(mode DeviceResetMode) time.Duration {
+		m := New(Config{MemoryPages: 128, ResetMode: mode})
+		if err := m.TakeRoot(); err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.WriteAt([]byte{1}, 0)
+		t0 := m.Clock.Now()
+		if err := m.RestoreRoot(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Clock.Now() - t0
+	}
+	fast, slow := run(DeviceResetStructured), run(DeviceResetSerialize)
+	if slow <= fast {
+		t.Fatalf("serialize reset (%v) should cost more than structured (%v)", slow, fast)
+	}
+}
+
+func TestSerializeResetRestoresDevices(t *testing.T) {
+	m := New(Config{MemoryPages: 128, ResetMode: DeviceResetSerialize})
+	m.Serial.WriteString("boot")
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Serial.WriteString("-dirty")
+	m.NIC.Receive([]byte("frame"))
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Serial.Log) != "boot" {
+		t.Fatalf("serial log = %q, want %q", m.Serial.Log, "boot")
+	}
+	if len(m.NIC.RxQueue) != 0 {
+		t.Fatal("NIC queue should be reset")
+	}
+}
+
+func TestGuestHooksInvoked(t *testing.T) {
+	m := newTestMachine(t)
+	var calls []string
+	m.GuestHooks = SnapshotHooks{
+		TakeRoot:           func() { calls = append(calls, "take-root") },
+		RestoreRoot:        func() { calls = append(calls, "restore-root") },
+		TakeIncremental:    func() { calls = append(calls, "take-inc") },
+		RestoreIncremental: func() { calls = append(calls, "restore-inc") },
+		DropIncremental:    func() { calls = append(calls, "drop-inc") },
+	}
+	m.TakeRoot()
+	m.Mem.WriteAt([]byte{1}, 0)
+	m.TakeIncremental()
+	m.Mem.WriteAt([]byte{2}, 0)
+	m.RestoreIncremental()
+	m.DropIncremental()
+	m.RestoreRoot()
+	want := []string{"take-root", "take-inc", "restore-inc", "drop-inc", "restore-root"}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestUnknownHypercall(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Hypercall(Hypercall(99)); err == nil {
+		t.Fatal("expected error for unknown hypercall")
+	}
+}
+
+func TestCloneSharedRootIsolation(t *testing.T) {
+	m := newTestMachine(t)
+	m.Mem.WriteAt([]byte("root"), 0)
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.CloneSharedRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clone sees root content.
+	buf := make([]byte, 4)
+	c.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("root")) {
+		t.Fatalf("clone reads %q, want %q", buf, "root")
+	}
+
+	// Writes in the clone do not affect the parent and vice versa.
+	c.Mem.WriteAt([]byte("CCCC"), 0)
+	m.Mem.WriteAt([]byte("PPPP"), 8)
+	m.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("root")) {
+		t.Fatalf("parent corrupted by clone write: %q", buf)
+	}
+	c.Mem.ReadAt(buf, 8)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("clone sees parent write: %q", buf)
+	}
+
+	// Clone restores to the shared root.
+	if err := c.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	c.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("root")) {
+		t.Fatalf("clone root restore: got %q", buf)
+	}
+}
+
+func TestCloneSharedRootMemoryFootprint(t *testing.T) {
+	// An 80-instance fleet sharing a root snapshot should use roughly 2x
+	// the memory of one instance, not 80x (§5.3).
+	m := New(Config{MemoryPages: 2048})
+	big := make([]byte, 1024*mem.PageSize)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	m.Mem.WriteAt(big, 0)
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+	single := m.OwnedBytes()
+
+	total := single
+	for i := 0; i < 79; i++ {
+		c, err := m.CloneSharedRoot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each instance dirties a handful of pages while fuzzing.
+		c.Mem.WriteAt(make([]byte, 4*mem.PageSize), 0)
+		total += c.OwnedBytes()
+	}
+	if total > 2*single {
+		t.Fatalf("80 instances use %d bytes, want <= 2x single instance (%d)", total, 2*single)
+	}
+}
+
+func TestCloneRequiresRoot(t *testing.T) {
+	m := newTestMachine(t)
+	if _, err := m.CloneSharedRoot(); err != ErrNotReady {
+		t.Fatalf("expected ErrNotReady, got %v", err)
+	}
+}
