@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mem"
 )
@@ -172,6 +174,48 @@ func BenchmarkFigure6AgamottoComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points := experiments.Figure6([]int{4096, 16384}, []int{16, 256}, 2)
 		b.ReportMetric(float64(len(points)), "points")
+	}
+}
+
+// BenchmarkCampaignScaling measures the parallel campaign orchestrator the
+// way §5.3 deploys it: N cores fuzzing for the same duration as one. The
+// 4-worker aggregated campaign must reach at least the coverage of a single
+// worker given the same per-worker execution budget (4 x T vs 1 x T), and
+// the aggregate must dominate every one of its own workers. The
+// equal-total-budget comparison (4 x T/4 vs 1 x T) is reported as the
+// cov-equal-budget metric: parallel fuzzing trades early queue depth for
+// breadth, so this ratio climbs towards 1.0 as campaigns lengthen.
+func BenchmarkCampaignScaling(b *testing.B) {
+	const dur = 8 * time.Second
+	const workers = 4
+	runCampaign := func(n int, d time.Duration) *campaign.Campaign {
+		c, err := campaign.New(campaign.Config{
+			Target: "lightftp", Workers: n, Policy: core.PolicyAggressive, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RunFor(d); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	for i := 0; i < b.N; i++ {
+		solo := runCampaign(1, dur)
+		multi := runCampaign(workers, dur)
+		if multi.Coverage() < solo.Coverage() {
+			b.Fatalf("4 workers x %v found %d edges < single worker's %d", dur, multi.Coverage(), solo.Coverage())
+		}
+		for _, st := range multi.PerWorker() {
+			if st.Coverage > multi.Coverage() {
+				b.Fatalf("worker %d coverage %d exceeds the aggregate %d", st.ID, st.Coverage, multi.Coverage())
+			}
+		}
+		budget := runCampaign(workers, dur/workers)
+		b.ReportMetric(float64(multi.Coverage())/float64(solo.Coverage()), "cov-4wxT/1wxT")
+		b.ReportMetric(multi.ExecsPerSecond()/solo.ExecsPerSecond(), "eps-4w/1w")
+		b.ReportMetric(float64(budget.Coverage())/float64(solo.Coverage()), "cov-equal-budget")
+		b.ReportMetric(float64(multi.Coverage()), "edges-4w")
 	}
 }
 

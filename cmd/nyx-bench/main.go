@@ -6,6 +6,7 @@
 //	nyx-bench -table 2 -time 30s -reps 3
 //	nyx-bench -figure 6
 //	nyx-bench -ablation all
+//	nyx-bench -campaign 1,2,4,8
 //	nyx-bench -all
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +32,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		tgts     = flag.String("targets", "", "comma-separated target subset (default: all 13)")
 		levels   = flag.String("levels", "", "comma-separated Mario levels for table 4 (default subset)")
+		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -122,6 +125,27 @@ func main() {
 		}
 		fmt.Printf("== §5.3 scalability: %d instances use %.2fx the memory of one ==\n\n",
 			sc.Instances, sc.Ratio)
+	}
+
+	if *camp != "" || *all {
+		ran = true
+		var counts []int
+		for _, s := range strings.Split(*camp, ",") {
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				fatalf("bad -campaign worker count %q", s)
+			}
+			counts = append(counts, n)
+		}
+		rows, err := experiments.ParallelScaling(cfg, counts)
+		if err != nil {
+			fatalf("campaign scaling: %v", err)
+		}
+		fmt.Println("== Parallel campaign scaling (aggregated coverage + throughput) ==")
+		fmt.Println(experiments.RenderParallelScaling(rows))
 	}
 
 	abl := *ablation

@@ -3,9 +3,21 @@
 // generic raw-packet spec and seeds are bundled with it, and the fuzzer
 // runs against the launched VM.
 //
+// With -workers N > 1 the campaign runs as N parallel fuzzer instances
+// (each in its own VM, with an RNG derived from the master seed)
+// orchestrated by the corpus broker in internal/campaign: workers exchange
+// globally fresh inputs every -sync of virtual time, crashes are
+// deduplicated across workers, and coverage is aggregated. A campaign
+// checkpoints its corpus, crashes and global coverage to -checkpoint DIR
+// when it finishes, and -resume continues from such a directory (the
+// stored target/workers/policy/seed are authoritative).
+//
 // Usage:
 //
 //	nyx-net -target lightftp -policy aggressive -time 30s -seed 1
+//	nyx-net -target lightftp -workers 4 -seed 1
+//	nyx-net -target lightftp -workers 4 -checkpoint /tmp/camp -time 30s
+//	nyx-net -resume -checkpoint /tmp/camp -time 30s
 //	nyx-net -list
 package main
 
@@ -16,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/spec"
 	"repro/internal/targets"
@@ -26,10 +39,14 @@ func main() {
 		target   = flag.String("target", "lightftp", "target to fuzz (see -list)")
 		policy   = flag.String("policy", "aggressive", "snapshot policy: none | balanced | aggressive")
 		duration = flag.Duration("time", 30*time.Second, "virtual campaign duration")
-		seed     = flag.Int64("seed", 1, "campaign RNG seed")
+		seed     = flag.Int64("seed", 1, "campaign RNG seed (master seed with -workers)")
 		asan     = flag.Bool("asan", false, "enable AddressSanitizer-like checking")
 		list     = flag.Bool("list", false, "list available targets and exit")
 		crashDir = flag.String("crash-dir", "", "directory to write crashing inputs (bytecode) to")
+		workers  = flag.Int("workers", 1, "parallel fuzzer instances (corpus-synced campaign when > 1)")
+		syncIvl  = flag.Duration("sync", campaign.DefaultSyncInterval, "virtual time between corpus broker syncs")
+		ckpt     = flag.String("checkpoint", "", "campaign checkpoint directory (written on exit)")
+		resume   = flag.Bool("resume", false, "resume the campaign stored in -checkpoint")
 	)
 	flag.Parse()
 
@@ -51,6 +68,15 @@ func main() {
 		pol = core.PolicyAggressive
 	default:
 		fatalf("unknown policy %q", *policy)
+	}
+
+	if *workers > 1 || *resume || *ckpt != "" {
+		runParallel(parallelOpts{
+			target: *target, policy: pol, duration: *duration, seed: *seed,
+			asan: *asan, workers: *workers, sync: *syncIvl,
+			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir,
+		})
+		return
 	}
 
 	inst, err := targets.Launch(*target, targets.LaunchConfig{Asan: *asan})
@@ -75,11 +101,84 @@ func main() {
 		f.Execs(), f.ExecsPerSecond(), f.SnapshotExecs())
 	fmt.Printf("    branch coverage: %d edges, %d queue entries\n", f.Coverage(), len(f.Queue))
 	fmt.Printf("    crashes:        %d unique\n", len(f.Crashes))
-	for i, c := range f.Crashes {
+	reportCrashes(f.Crashes, *crashDir)
+}
+
+type parallelOpts struct {
+	target     string
+	policy     core.Policy
+	duration   time.Duration
+	seed       int64
+	asan       bool
+	workers    int
+	sync       time.Duration
+	checkpoint string
+	resume     bool
+	crashDir   string
+}
+
+func runParallel(o parallelOpts) {
+	var c *campaign.Campaign
+	var err error
+	if o.resume {
+		if o.checkpoint == "" {
+			fatalf("-resume requires -checkpoint DIR")
+		}
+		c, err = campaign.Resume(o.checkpoint)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("[*] resumed campaign from %s: %d workers, %d edges, %d crashes\n",
+			o.checkpoint, c.Workers(), c.Coverage(), len(c.Crashes()))
+	} else {
+		c, err = campaign.New(campaign.Config{
+			Target:       o.target,
+			Workers:      o.workers,
+			Policy:       o.policy,
+			Seed:         o.seed,
+			SyncInterval: o.sync,
+			Asan:         o.asan,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("[*] launched %d workers against %s (master seed %d)\n",
+			c.Workers(), o.target, o.seed)
+	}
+
+	start := time.Now()
+	if err := c.RunFor(o.duration); err != nil {
+		fatalf("campaign: %v", err)
+	}
+
+	fmt.Printf("[*] campaign done: %v virtual/worker in %v wall, %d sync rounds\n",
+		c.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), c.Rounds())
+	fmt.Printf("    execs:          %d total (%.1f/virtual-second aggregate)\n",
+		c.Execs(), c.ExecsPerSecond())
+	fmt.Printf("    branch coverage: %d edges aggregated, %d broker corpus entries (%d deduped)\n",
+		c.Coverage(), c.CorpusSize(), c.Deduped())
+	for _, st := range c.PerWorker() {
+		fmt.Printf("      worker %d: %d execs, %d edges, %d queue, %d crashes\n",
+			st.ID, st.Execs, st.Coverage, st.Queue, st.Crashes)
+	}
+	fmt.Printf("    crashes:        %d unique across workers\n", len(c.Crashes()))
+	reportCrashes(c.Crashes(), o.crashDir)
+
+	if o.checkpoint != "" {
+		if err := c.Checkpoint(o.checkpoint); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("[*] checkpoint written to %s (resume with -resume -checkpoint %s)\n",
+			o.checkpoint, o.checkpoint)
+	}
+}
+
+func reportCrashes(crashes []core.Crash, crashDir string) {
+	for i, c := range crashes {
 		fmt.Printf("      #%d [%s] %s (found at %v after %d execs)\n",
 			i, c.Kind, c.Msg, c.FoundAt.Round(time.Millisecond), c.Execs)
-		if *crashDir != "" {
-			path := fmt.Sprintf("%s/crash-%03d.nyx", *crashDir, i)
+		if crashDir != "" {
+			path := fmt.Sprintf("%s/crash-%03d.nyx", crashDir, i)
 			if err := os.WriteFile(path, spec.Serialize(c.Input), 0o644); err != nil {
 				fatalf("writing %s: %v", path, err)
 			}

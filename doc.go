@@ -4,9 +4,10 @@
 // The library lives under internal/: a simulated whole-system VM substrate
 // (mem, device, vm), an in-guest POSIX-ish kernel and network emulation
 // layer (guest, netemu), Nyx's affine-typed bytecode input model (spec,
-// builder, pcap), the snapshot-placement fuzzer itself (core), the paper's
-// comparison fuzzers (baseline), the evaluation workloads (targets, mario)
-// and the experiment harness regenerating every table and figure
-// (experiments). See README.md for a tour and DESIGN.md for the
-// paper-to-module map.
+// builder, pcap), the snapshot-placement fuzzer itself (core), the
+// parallel campaign orchestrator with corpus sync and checkpoint/resume
+// (campaign), the paper's comparison fuzzers (baseline), the evaluation
+// workloads (targets, mario) and the experiment harness regenerating every
+// table and figure (experiments). See README.md for a tour and DESIGN.md
+// for the paper-to-module map.
 package repro

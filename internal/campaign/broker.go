@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+)
+
+// broker is the campaign's only shared state. It is touched exclusively
+// between worker rounds, from one goroutine, which is what makes the whole
+// orchestrator deterministic: workers interact through this contract and
+// nothing else.
+type broker struct {
+	// global is the campaign-wide virgin map: the union of every worker's
+	// coverage.
+	global coverage.Virgin
+	// corpus holds the globally fresh entries, in acceptance order. Each
+	// remembers the worker that published it (entry IDs are per-worker,
+	// so (worker, ID) is the global identity).
+	corpus []brokerEntry
+	// crashSeen/crashes dedup crash findings across workers with the same
+	// (kind, message) key core.Fuzzer uses locally.
+	crashSeen map[string]bool
+	crashes   []core.Crash
+	// covLog is the aggregated coverage-over-time series.
+	covLog     []core.CoveragePoint
+	lastSample time.Duration
+	// timeBase is the cumulative virtual time of epochs before a resume;
+	// worker-local timestamps (which restart at zero per epoch) are
+	// shifted by it so campaign-level times stay monotone.
+	timeBase time.Duration
+	// published/deduped count broker decisions (campaign telemetry).
+	published uint64
+	deduped   uint64
+}
+
+// brokerEntry is one accepted corpus entry plus its provenance.
+type brokerEntry struct {
+	Worker int
+	Entry  *core.QueueEntry
+}
+
+func newBroker() *broker {
+	return &broker{crashSeen: make(map[string]bool)}
+}
+
+// ingest performs the single-threaded half of a sync round: walk the
+// workers in ID order, pull their newly queued entries and crashes, dedup
+// both against global state, fold in their virgin maps, and assemble each
+// worker's import list for the parallel redistribution phase.
+func (b *broker) ingest(ws []*worker) {
+	var fresh []brokerEntry
+	for _, w := range ws {
+		for _, e := range w.fz.Queue[w.synced:] {
+			b.published++
+			// An entry is globally fresh if its recorded execution
+			// trace still adds something to the global map. Entries
+			// whose coverage another worker already published merge
+			// to nothing and are dropped — AFL-style sync dedup,
+			// but exact, because entries carry their bucketed trace.
+			if hasNew, _ := b.global.MergeBuckets(e.Cov); hasNew {
+				fresh = append(fresh, brokerEntry{Worker: w.id, Entry: e})
+			} else {
+				b.deduped++
+			}
+		}
+		w.synced = len(w.fz.Queue)
+
+		for _, cr := range w.fz.Crashes[w.crashSynced:] {
+			if !b.crashSeen[cr.Key()] {
+				b.crashSeen[cr.Key()] = true
+				cr.FoundAt += b.timeBase
+				b.crashes = append(b.crashes, cr)
+			}
+		}
+		w.crashSynced = len(w.fz.Crashes)
+
+		// Entries only carry the trace of the execution that queued
+		// them; folding the worker's whole virgin map also captures
+		// bucket upgrades from executions that were not queued.
+		b.global.MergeVirgin(&w.fz.Virgin)
+	}
+	b.corpus = append(b.corpus, fresh...)
+
+	// Route every fresh entry to every other worker. The lists are built
+	// here (deterministic order) and drained by the workers in parallel.
+	for _, w := range ws {
+		for _, fe := range fresh {
+			if fe.Worker != w.id {
+				w.imports = append(w.imports, fe.Entry)
+			}
+		}
+	}
+}
+
+// sample appends a point to the aggregated coverage log, collapsing
+// consecutive rounds with no coverage change to at most one point per
+// virtual minute (same policy as core.Fuzzer's log).
+func (b *broker) sample(now time.Duration) {
+	edges := b.global.Edges()
+	if len(b.covLog) == 0 || b.covLog[len(b.covLog)-1].Edges != edges ||
+		now-b.lastSample >= time.Minute {
+		b.covLog = append(b.covLog, core.CoveragePoint{T: now, Edges: edges})
+		b.lastSample = now
+	}
+}

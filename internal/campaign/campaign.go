@@ -1,0 +1,323 @@
+// Package campaign orchestrates parallel Nyx-Net fuzzing campaigns: N
+// independent core.Fuzzer workers, each with its own VM, agent and
+// deterministically derived RNG, connected only through a corpus broker —
+// the multi-core campaign setup of the paper's evaluation (§5.1 runs every
+// experiment as parallel instances; §5.3 shows the snapshot fuzzer scales
+// to dozens of cores per host).
+//
+// The design mirrors AFL's secondary-instance sync protocol, restated as an
+// explicit interface contract between otherwise share-nothing workers:
+//
+//   - Workers fuzz in lockstep rounds of SyncInterval virtual time. During
+//     a round a worker touches no shared state, so rounds run on real
+//     goroutines yet stay fully deterministic for a fixed master seed.
+//   - Between rounds the broker ingests each worker's newly queued entries,
+//     dedups them against a global virgin map (using the bucketed coverage
+//     snapshot each entry carries), dedups crashes, and redistributes the
+//     globally fresh entries to every other worker via core.ImportInput —
+//     the receiving worker re-executes them, so nothing enters a queue
+//     that the local target did not reproduce.
+//   - The broker also folds each worker's full virgin map into the global
+//     one and samples an aggregated coverage-over-time log compatible with
+//     core.CoveragePoint.
+//
+// Campaigns checkpoint to a directory (per-worker corpora plus broker
+// state) and resume from it; see checkpoint.go for the format and the
+// determinism contract across resumes.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/targets"
+)
+
+// DefaultSyncInterval is the virtual time each worker fuzzes between broker
+// syncs. AFL syncs secondaries on the order of once a minute of real time;
+// with this reproduction's compressed virtual clock one virtual second
+// spans many scheduling rounds.
+const DefaultSyncInterval = time.Second
+
+// Config describes a parallel campaign.
+type Config struct {
+	// Target is the registered target name (targets.Names lists them).
+	Target string
+	// Workers is the number of parallel fuzzer instances (default 1).
+	Workers int
+	// Policy is the snapshot placement policy every worker uses.
+	Policy core.Policy
+	// Seed is the master seed; worker i fuzzes with an RNG derived
+	// deterministically from (Seed, epoch, i).
+	Seed int64
+	// SyncInterval overrides DefaultSyncInterval when > 0.
+	SyncInterval time.Duration
+	// SnapshotReuse is passed through to core.Options.
+	SnapshotReuse int
+	// Asan enables sanitizer instrumentation in every worker's VM.
+	Asan bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = DefaultSyncInterval
+	}
+	return c
+}
+
+// worker is one fuzzer instance plus the broker's per-worker sync cursors.
+type worker struct {
+	id   int
+	inst *targets.Instance
+	fz   *core.Fuzzer
+	// synced/crashSynced mark how far into the worker's queue and crash
+	// list the broker has already looked.
+	synced      int
+	crashSynced int
+	// imports is the redistribution list the broker assembled for this
+	// worker in the current sync; drained in parallel by the worker.
+	imports []*core.QueueEntry
+}
+
+// Campaign is a running parallel campaign.
+type Campaign struct {
+	cfg     Config
+	epoch   int // bumped on every resume; feeds RNG derivation
+	workers []*worker
+	broker  *broker
+	rounds  int
+	// baseElapsed is the cumulative virtual time of previous epochs
+	// (restored from a checkpoint); the campaign clock continues from it.
+	baseElapsed time.Duration
+}
+
+// New launches cfg.Workers fresh instances of the target and wires them to
+// a new broker. Every worker starts from the target's bundled seeds.
+func New(cfg Config) (*Campaign, error) {
+	return newCampaign(cfg.withDefaults(), 0, nil, nil)
+}
+
+// newCampaign is shared between New and Resume: epoch tags the RNG
+// derivation, seedsFor overrides the initial corpus per worker (nil means
+// the target's bundled seeds), and br supplies restored broker state.
+func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, error), br *broker) (*Campaign, error) {
+	if cfg.Workers > 1024 {
+		return nil, fmt.Errorf("campaign: %d workers is unreasonable", cfg.Workers)
+	}
+	c := &Campaign{cfg: cfg, epoch: epoch, broker: br}
+	if c.broker == nil {
+		c.broker = newBroker()
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		inst, err := targets.Launch(cfg.Target, targets.LaunchConfig{Asan: cfg.Asan})
+		if err != nil {
+			return nil, fmt.Errorf("campaign: worker %d: %w", i, err)
+		}
+		seeds := inst.Seeds()
+		if seedsFor != nil {
+			loaded, err := seedsFor(i)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: worker %d seeds: %w", i, err)
+			}
+			if loaded != nil {
+				seeds = loaded
+			}
+		}
+		fz := core.New(inst.Agent, inst.Spec, core.Options{
+			Policy:        cfg.Policy,
+			Seeds:         seeds,
+			SnapshotReuse: cfg.SnapshotReuse,
+			Rand:          rand.New(rand.NewSource(deriveSeed(cfg.Seed, epoch, i))),
+			Dict:          inst.Info.Dict,
+		})
+		c.workers = append(c.workers, &worker{id: i, inst: inst, fz: fz})
+	}
+	return c, nil
+}
+
+// deriveSeed maps (master seed, epoch, worker) to a per-worker RNG seed via
+// a splitmix64 finalizer, so workers explore independently while the whole
+// campaign stays a pure function of the master seed.
+func deriveSeed(master int64, epoch, worker int) int64 {
+	z := uint64(master) ^ uint64(epoch)<<32 ^ uint64(worker+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// RunFor extends the campaign by d of virtual time per worker, in lockstep
+// rounds of SyncInterval with a broker sync after every round. Time spent
+// re-executing imported entries counts against each worker's budget (the
+// deadlines are absolute), so an N-worker campaign gets the same per-worker
+// virtual time as a solo one — sync is paid for, not free.
+func (c *Campaign) RunFor(d time.Duration) error {
+	deadlines := make([]time.Duration, len(c.workers))
+	for i, w := range c.workers {
+		deadlines[i] = w.fz.Elapsed() + d
+	}
+	for {
+		work := false
+		for i, w := range c.workers {
+			if w.fz.Elapsed() < deadlines[i] {
+				work = true
+				break
+			}
+		}
+		if !work {
+			return nil
+		}
+		if err := c.parallel(func(w *worker) error {
+			rem := deadlines[w.id] - w.fz.Elapsed()
+			if rem <= 0 {
+				return nil
+			}
+			step := c.cfg.SyncInterval
+			if step > rem {
+				step = rem
+			}
+			return w.fz.RunFor(step)
+		}); err != nil {
+			return err
+		}
+		c.rounds++
+		if err := c.sync(); err != nil {
+			return err
+		}
+	}
+}
+
+// sync runs one broker round: single-threaded ingest (deterministic worker
+// order), then parallel redistribution (each worker only touches itself).
+func (c *Campaign) sync() error {
+	c.broker.ingest(c.workers)
+	if err := c.parallel(func(w *worker) error { return w.drainImports() }); err != nil {
+		return err
+	}
+	c.broker.sample(c.Elapsed())
+	return nil
+}
+
+// parallel applies f to every worker concurrently and collects the first
+// error (by worker order, so failures are deterministic too).
+func (c *Campaign) parallel(f func(*worker) error) error {
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = f(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("campaign: worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// drainImports re-executes the entries the broker routed to this worker.
+func (w *worker) drainImports() error {
+	for _, e := range w.imports {
+		if _, err := w.fz.ImportInput(e.Input); err != nil {
+			return err
+		}
+	}
+	w.imports = nil
+	return nil
+}
+
+// maxElapsed returns the slowest worker's virtual campaign time — the
+// aggregated campaign clock.
+func (c *Campaign) maxElapsed() time.Duration {
+	var max time.Duration
+	for _, w := range c.workers {
+		if el := w.fz.Elapsed(); el > max {
+			max = el
+		}
+	}
+	return max
+}
+
+// ---- Aggregated campaign statistics ----
+
+// Workers returns the number of workers.
+func (c *Campaign) Workers() int { return len(c.workers) }
+
+// Rounds returns how many sync rounds have completed.
+func (c *Campaign) Rounds() int { return c.rounds }
+
+// Coverage returns the number of distinct edges in the global virgin map.
+func (c *Campaign) Coverage() int { return c.broker.global.Edges() }
+
+// Execs returns total executions across all workers.
+func (c *Campaign) Execs() uint64 {
+	var n uint64
+	for _, w := range c.workers {
+		n += w.fz.Execs()
+	}
+	return n
+}
+
+// Elapsed returns the campaign's cumulative virtual duration (per worker,
+// not summed), including time from epochs before a checkpoint/resume.
+func (c *Campaign) Elapsed() time.Duration { return c.baseElapsed + c.maxElapsed() }
+
+// ExecsPerSecond returns aggregate throughput: total executions divided by
+// per-worker virtual time — N ideally-scaling workers report ~N times a
+// single worker's rate. Both counters cover the current epoch only (Execs
+// does not survive a resume, so earlier epochs' time is excluded too).
+func (c *Campaign) ExecsPerSecond() float64 {
+	el := c.maxElapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(c.Execs()) / el
+}
+
+// Crashes returns the globally deduplicated crash findings.
+func (c *Campaign) Crashes() []core.Crash { return c.broker.crashes }
+
+// CoverageLog returns the aggregated coverage-over-time series.
+func (c *Campaign) CoverageLog() []core.CoveragePoint { return c.broker.covLog }
+
+// CorpusSize returns the number of globally fresh entries the broker has
+// accepted.
+func (c *Campaign) CorpusSize() int { return len(c.broker.corpus) }
+
+// Deduped returns how many published entries the broker dropped as global
+// duplicates.
+func (c *Campaign) Deduped() uint64 { return c.broker.deduped }
+
+// WorkerStats describes one worker's contribution.
+type WorkerStats struct {
+	ID       int
+	Execs    uint64
+	Coverage int
+	Queue    int
+	Crashes  int
+}
+
+// PerWorker returns each worker's local statistics.
+func (c *Campaign) PerWorker() []WorkerStats {
+	out := make([]WorkerStats, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerStats{
+			ID:       w.id,
+			Execs:    w.fz.Execs(),
+			Coverage: w.fz.Coverage(),
+			Queue:    len(w.fz.Queue),
+			Crashes:  len(w.fz.Crashes),
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testCfg(workers int, seed int64) Config {
+	return Config{
+		Target:       "lightftp",
+		Workers:      workers,
+		Policy:       core.PolicyAggressive,
+		Seed:         seed,
+		SyncInterval: 500 * time.Millisecond,
+	}
+}
+
+func run(t *testing.T, cfg Config, d time.Duration) *Campaign {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFor(d); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCampaignSingleWorkerMatchesFuzzer(t *testing.T) {
+	c := run(t, testCfg(1, 1), 2*time.Second)
+	if c.Workers() != 1 {
+		t.Fatalf("workers = %d", c.Workers())
+	}
+	w := c.workers[0]
+	if c.Coverage() != w.fz.Coverage() {
+		t.Fatalf("aggregated coverage %d != worker coverage %d", c.Coverage(), w.fz.Coverage())
+	}
+	if c.Execs() != w.fz.Execs() {
+		t.Fatalf("aggregated execs %d != worker execs %d", c.Execs(), w.fz.Execs())
+	}
+}
+
+// Same master seed ⇒ identical aggregated results; different seed ⇒ the
+// campaign actually depends on it.
+func TestCampaignDeterministic(t *testing.T) {
+	a := run(t, testCfg(3, 7), 2*time.Second)
+	b := run(t, testCfg(3, 7), 2*time.Second)
+	if a.Coverage() != b.Coverage() {
+		t.Fatalf("coverage %d != %d for same seed", a.Coverage(), b.Coverage())
+	}
+	if a.Execs() != b.Execs() {
+		t.Fatalf("execs %d != %d for same seed", a.Execs(), b.Execs())
+	}
+	if a.CorpusSize() != b.CorpusSize() {
+		t.Fatalf("corpus %d != %d for same seed", a.CorpusSize(), b.CorpusSize())
+	}
+	if len(a.Crashes()) != len(b.Crashes()) {
+		t.Fatalf("crashes %d != %d for same seed", len(a.Crashes()), len(b.Crashes()))
+	}
+	c := run(t, testCfg(3, 8), 2*time.Second)
+	if a.Coverage() == c.Coverage() && a.Execs() == c.Execs() {
+		t.Fatal("different master seeds produced identical campaigns")
+	}
+}
+
+// Workers must actually exchange corpus entries: everything globally fresh
+// reaches every worker, so each worker's local coverage approaches the
+// aggregate, and duplicate publications are dropped.
+func TestCampaignSyncSharesCorpus(t *testing.T) {
+	c := run(t, testCfg(3, 3), 3*time.Second)
+	if c.CorpusSize() == 0 {
+		t.Fatal("broker accepted no corpus entries")
+	}
+	if c.Deduped() == 0 {
+		t.Fatal("broker never deduplicated a published entry (sync not exercised)")
+	}
+	global := c.Coverage()
+	for _, st := range c.PerWorker() {
+		if st.Coverage == 0 {
+			t.Fatalf("worker %d found no coverage", st.ID)
+		}
+		if st.Coverage > global {
+			t.Fatalf("worker %d coverage %d exceeds aggregate %d", st.ID, st.Coverage, global)
+		}
+		// Redistribution should pull every worker close to the global
+		// map; with sharing disabled workers sit far apart.
+		if st.Coverage*10 < global*8 {
+			t.Fatalf("worker %d coverage %d lags aggregate %d by >20%% — corpus sync ineffective",
+				st.ID, st.Coverage, global)
+		}
+	}
+}
+
+// The aggregated campaign must dominate any one of its own workers, and
+// adding workers for the same per-worker duration must dominate the single
+// worker alone (the §5.3 more-cores deployment).
+func TestCampaignParallelCoverage(t *testing.T) {
+	const dur = 2 * time.Second
+	single := run(t, testCfg(1, 1), dur)
+	multi := run(t, testCfg(4, 1), dur)
+
+	if multi.Coverage() == 0 {
+		t.Fatal("parallel campaign found nothing")
+	}
+	for _, st := range multi.PerWorker() {
+		if st.Coverage > multi.Coverage() {
+			t.Fatalf("worker %d exceeds aggregate", st.ID)
+		}
+	}
+	if multi.Coverage() < single.Coverage() {
+		t.Fatalf("4 workers x %v found %d edges < 1 worker's %d",
+			dur, multi.Coverage(), single.Coverage())
+	}
+	// Aggregate throughput scales with the worker count (per-worker
+	// virtual clocks; require >75% of the ideal line).
+	if eps := multi.ExecsPerSecond() / single.ExecsPerSecond(); eps < 3.0 {
+		t.Fatalf("4-worker aggregate throughput only %.2fx a single worker's", eps)
+	}
+}
+
+func TestCampaignCoverageLogMonotone(t *testing.T) {
+	c := run(t, testCfg(2, 5), 2*time.Second)
+	log := c.CoverageLog()
+	if len(log) == 0 {
+		t.Fatal("no aggregated coverage log")
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Edges < log[i-1].Edges || log[i].T < log[i-1].T {
+			t.Fatalf("coverage log not monotone at %d: %+v -> %+v", i, log[i-1], log[i])
+		}
+	}
+	if last := log[len(log)-1].Edges; last != c.Coverage() {
+		t.Fatalf("log ends at %d edges, campaign at %d", last, c.Coverage())
+	}
+}
+
+// Crashes found by several workers must be reported once globally.
+func TestCampaignCrashDedupAcrossWorkers(t *testing.T) {
+	cfg := testCfg(3, 2)
+	cfg.Target = "dnsmasq" // shallow bugs: every worker finds crashes fast
+	c := run(t, cfg, 2*time.Second)
+	if len(c.Crashes()) == 0 {
+		t.Fatal("no crashes found — dedup not exercised")
+	}
+	workerTotal := 0
+	for _, w := range c.workers {
+		workerTotal += len(w.fz.Crashes)
+	}
+	if workerTotal <= len(c.Crashes()) {
+		t.Fatalf("workers found %d crashes total, global %d — no cross-worker duplication to dedup",
+			workerTotal, len(c.Crashes()))
+	}
+	seen := make(map[string]int)
+	for _, cr := range c.Crashes() {
+		seen[cr.Key()]++
+	}
+	for key, n := range seen {
+		if n > 1 {
+			t.Fatalf("crash %q reported %d times", key, n)
+		}
+	}
+	// Global crashes are the union of worker findings, deduplicated.
+	workerKeys := make(map[string]bool)
+	for _, w := range c.workers {
+		for _, cr := range w.fz.Crashes {
+			workerKeys[cr.Key()] = true
+		}
+	}
+	if len(c.Crashes()) != len(workerKeys) {
+		t.Fatalf("global crashes %d != union of worker crashes %d", len(c.Crashes()), len(workerKeys))
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	orig := run(t, testCfg(2, 4), 2*time.Second)
+	if err := orig.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global coverage, crashes and the coverage log survive verbatim.
+	if res.Coverage() != orig.Coverage() {
+		t.Fatalf("resumed coverage %d, want %d", res.Coverage(), orig.Coverage())
+	}
+	if len(res.Crashes()) != len(orig.Crashes()) {
+		t.Fatalf("resumed crashes %d, want %d", len(res.Crashes()), len(orig.Crashes()))
+	}
+	if len(res.CoverageLog()) != len(orig.CoverageLog()) {
+		t.Fatalf("resumed cov log %d points, want %d", len(res.CoverageLog()), len(orig.CoverageLog()))
+	}
+	if res.CorpusSize() != orig.CorpusSize() {
+		t.Fatalf("resumed broker corpus %d entries, want %d", res.CorpusSize(), orig.CorpusSize())
+	}
+	if res.Rounds() != orig.Rounds() {
+		t.Fatalf("resumed rounds %d, want %d", res.Rounds(), orig.Rounds())
+	}
+	if res.Workers() != orig.Workers() {
+		t.Fatalf("resumed workers %d, want %d", res.Workers(), orig.Workers())
+	}
+
+	// The continued campaign fuzzes productively from the saved corpus:
+	// coverage only grows, and the workers' queues rebuild from disk.
+	if err := res.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < orig.Coverage() {
+		t.Fatalf("coverage regressed after resume: %d < %d", res.Coverage(), orig.Coverage())
+	}
+	for _, st := range res.PerWorker() {
+		if st.Queue == 0 {
+			t.Fatalf("worker %d has an empty queue after resume", st.ID)
+		}
+	}
+	// Re-published corpus entries dedup against the restored global map
+	// instead of being treated as new discoveries.
+	if res.Deduped() <= orig.Deduped() {
+		t.Fatalf("resume did not dedup re-imported corpus (deduped %d -> %d)",
+			orig.Deduped(), res.Deduped())
+	}
+	// The campaign clock continues across the resume: cumulative elapsed
+	// grows and the aggregated coverage log stays monotone in time.
+	if res.Elapsed() <= orig.Elapsed() {
+		t.Fatalf("campaign clock restarted: elapsed %v after resume+run, was %v", res.Elapsed(), orig.Elapsed())
+	}
+	log := res.CoverageLog()
+	for i := 1; i < len(log); i++ {
+		if log[i].T < log[i-1].T || log[i].Edges < log[i-1].Edges {
+			t.Fatalf("coverage log not monotone across resume at %d: %+v -> %+v", i, log[i-1], log[i])
+		}
+	}
+
+	// Resuming is itself deterministic.
+	res2, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Coverage() != res.Coverage() || res2.Execs() != res.Execs() {
+		t.Fatalf("resume not deterministic: %d/%d edges, %d/%d execs",
+			res2.Coverage(), res.Coverage(), res2.Execs(), res.Execs())
+	}
+
+	// Re-checkpointing into the same directory replaces worker state
+	// instead of accumulating epochs: the on-disk queues must match the
+	// live ones exactly.
+	if err := res.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerWorker() {
+		loaded, err := core.LoadCorpus(filepath.Join(dir, workerDir(st.ID), "queue"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loaded) != st.Queue {
+			t.Fatalf("worker %d checkpoint has %d queue files, live queue has %d (stale epoch leftovers?)",
+				st.ID, len(loaded), st.Queue)
+		}
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	if _, err := Resume(t.TempDir()); err == nil {
+		t.Fatal("resume of empty dir must fail")
+	}
+}
+
+func TestCampaignUnknownTarget(t *testing.T) {
+	if _, err := New(Config{Target: "no-such-target"}); err == nil {
+		t.Fatal("unknown target must fail")
+	}
+}

@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/spec"
+)
+
+// Checkpoint layout under dir:
+//
+//	manifest.json     campaign config, counters, crash metadata, coverage log
+//	virgin.bin        the broker's global virgin map (sparse encoding)
+//	worker-000/       worker 0's corpus via core.SaveCorpus (queue/ + crashes/)
+//	worker-001/       ...
+//
+// Resume relaunches the same target with the same worker count, feeds each
+// worker its saved queue as seeds, and restores the broker's global map,
+// crash dedup state and coverage log. The resumed campaign is deterministic
+// given the checkpoint (worker RNGs derive from (seed, epoch, worker) and
+// the epoch bumps on every resume), but is not bit-identical to the same
+// campaign run without interruption — mid-campaign mutator RNG state is
+// deliberately not serialized, matching how AFL resumes from AFL_AUTORESUME.
+
+// manifestVersion guards the checkpoint format.
+const manifestVersion = 1
+
+type manifest struct {
+	Version       int           `json:"version"`
+	Target        string        `json:"target"`
+	Policy        int           `json:"policy"`
+	PolicyName    string        `json:"policy_name"` // informational
+	Workers       int           `json:"workers"`
+	Seed          int64         `json:"seed"`
+	Epoch         int           `json:"epoch"`
+	Rounds        int           `json:"rounds"`
+	SyncInterval  time.Duration `json:"sync_interval_ns"`
+	SnapshotReuse int           `json:"snapshot_reuse"`
+	Asan          bool          `json:"asan"`
+	// Elapsed is the campaign's cumulative virtual time at checkpoint;
+	// the resumed campaign's clock (and hence its coverage-log and crash
+	// timestamps) continues from here instead of restarting at zero.
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Published uint64          `json:"published"`
+	Deduped   uint64          `json:"deduped"`
+	Crashes   []manifestCrash `json:"crashes"`
+	CovLog    []manifestPoint `json:"cov_log"`
+	Corpus    []manifestEntry `json:"corpus"`
+}
+
+// manifestEntry preserves the broker's accepted-corpus history (provenance
+// + input) so CorpusSize and the published/deduped counters stay mutually
+// consistent across resumes.
+type manifestEntry struct {
+	Worker int    `json:"worker"`
+	Input  string `json:"input_b64"`
+}
+
+type manifestCrash struct {
+	Kind    string        `json:"kind"`
+	Msg     string        `json:"msg"`
+	FoundAt time.Duration `json:"found_at_ns"`
+	Execs   uint64        `json:"execs"`
+	Input   string        `json:"input_b64"`
+}
+
+type manifestPoint struct {
+	T     time.Duration `json:"t_ns"`
+	Edges int           `json:"edges"`
+}
+
+// Checkpoint writes the campaign's full resumable state to dir. Call it
+// between RunFor calls (never concurrently with one). The write is
+// near-atomic: everything lands in a temporary sibling directory first and
+// is swapped in with renames, so an interruption mid-checkpoint leaves
+// either the old checkpoint (possibly parked at dir+".old") or the new one
+// — never a half-written mix of epochs.
+func (c *Campaign) Checkpoint(dir string) error {
+	parent := filepath.Dir(filepath.Clean(dir))
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	tmp, err := os.MkdirTemp(parent, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	if err := c.writeCheckpoint(tmp); err != nil {
+		return err
+	}
+	old := dir + ".old"
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.RemoveAll(old); err != nil {
+			return fmt.Errorf("campaign: checkpoint: %w", err)
+		}
+		if err := os.Rename(dir, old); err != nil {
+			return fmt.Errorf("campaign: checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	os.RemoveAll(old) //nolint:errcheck // best-effort cleanup of the parked copy
+	return nil
+}
+
+// writeCheckpoint serializes the full campaign state into dir.
+func (c *Campaign) writeCheckpoint(dir string) error {
+	for _, w := range c.workers {
+		if err := w.fz.SaveCorpus(filepath.Join(dir, workerDir(w.id))); err != nil {
+			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		}
+	}
+	raw, err := c.broker.global.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "virgin.bin"), raw, 0o644); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	m := manifest{
+		Version:       manifestVersion,
+		Target:        c.cfg.Target,
+		Policy:        int(c.cfg.Policy),
+		PolicyName:    c.cfg.Policy.String(),
+		Workers:       c.cfg.Workers,
+		Seed:          c.cfg.Seed,
+		Epoch:         c.epoch,
+		Rounds:        c.rounds,
+		SyncInterval:  c.cfg.SyncInterval,
+		SnapshotReuse: c.cfg.SnapshotReuse,
+		Asan:          c.cfg.Asan,
+		Elapsed:       c.Elapsed(),
+		Published:     c.broker.published,
+		Deduped:       c.broker.deduped,
+	}
+	for _, cr := range c.broker.crashes {
+		m.Crashes = append(m.Crashes, manifestCrash{
+			Kind:    string(cr.Kind),
+			Msg:     cr.Msg,
+			FoundAt: cr.FoundAt,
+			Execs:   cr.Execs,
+			Input:   base64.StdEncoding.EncodeToString(spec.Serialize(cr.Input)),
+		})
+	}
+	for _, p := range c.broker.covLog {
+		m.CovLog = append(m.CovLog, manifestPoint{T: p.T, Edges: p.Edges})
+	}
+	for _, be := range c.broker.corpus {
+		m.Corpus = append(m.Corpus, manifestEntry{
+			Worker: be.Worker,
+			Input:  base64.StdEncoding.EncodeToString(spec.Serialize(be.Entry.Input)),
+		})
+	}
+	enc, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), enc, 0o644); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Resume relaunches a checkpointed campaign from dir. The stored
+// configuration (target, workers, policy, master seed, sync interval) is
+// authoritative; each worker re-imports its saved queue on the first
+// scheduling round, which rebuilds local coverage without polluting the
+// restored global state (the broker dedups the re-published entries).
+func Resume(dir string) (*Campaign, error) {
+	enc, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(enc, &m); err != nil {
+		return nil, fmt.Errorf("campaign: resume: bad manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("campaign: resume: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+
+	br := newBroker()
+	raw, err := os.ReadFile(filepath.Join(dir, "virgin.bin"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	if err := br.global.UnmarshalBinary(raw); err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	br.published = m.Published
+	br.deduped = m.Deduped
+	for _, mc := range m.Crashes {
+		in, err := decodeInput(mc.Input)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: crash %q: %w", mc.Kind, err)
+		}
+		cr := core.Crash{
+			Kind:    guest.CrashKind(mc.Kind),
+			Msg:     mc.Msg,
+			Input:   in,
+			FoundAt: mc.FoundAt,
+			Execs:   mc.Execs,
+		}
+		br.crashSeen[cr.Key()] = true
+		br.crashes = append(br.crashes, cr)
+	}
+	for i, me := range m.Corpus {
+		in, err := decodeInput(me.Input)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: corpus entry %d: %w", i, err)
+		}
+		br.corpus = append(br.corpus, brokerEntry{
+			Worker: me.Worker,
+			Entry:  &core.QueueEntry{ID: i, Input: in},
+		})
+	}
+	for _, p := range m.CovLog {
+		br.covLog = append(br.covLog, core.CoveragePoint{T: p.T, Edges: p.Edges})
+		br.lastSample = p.T
+	}
+
+	cfg := Config{
+		Target:        m.Target,
+		Workers:       m.Workers,
+		Policy:        core.Policy(m.Policy),
+		Seed:          m.Seed,
+		SyncInterval:  m.SyncInterval,
+		SnapshotReuse: m.SnapshotReuse,
+		Asan:          m.Asan,
+	}.withDefaults()
+
+	seedsFor := func(i int) ([]*spec.Input, error) {
+		queueDir := filepath.Join(dir, workerDir(i), "queue")
+		if _, err := os.Stat(queueDir); os.IsNotExist(err) {
+			return nil, nil // worker had an empty queue; fall back to bundled seeds
+		}
+		return core.LoadCorpus(queueDir)
+	}
+	br.timeBase = m.Elapsed
+	c, err := newCampaign(cfg, m.Epoch+1, seedsFor, br)
+	if err != nil {
+		return nil, err
+	}
+	c.rounds = m.Rounds
+	c.baseElapsed = m.Elapsed
+	return c, nil
+}
+
+func decodeInput(b64 string) (*spec.Input, error) {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Deserialize(raw)
+}
+
+func workerDir(id int) string { return fmt.Sprintf("worker-%03d", id) }

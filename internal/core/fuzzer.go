@@ -60,12 +60,24 @@ const MinPacketsForSnapshot = 4
 // as 50 times yields significant performance increases").
 const DefaultSnapshotReuse = 50
 
+// AggressiveRetreatThreshold is how many unproductive executions the
+// aggressive policy tolerates at one snapshot position before retreating a
+// packet towards the front (§3.4: the position moves "each time 50
+// iterations find nothing new"). Independent of SnapshotReuse: with a
+// smaller reuse count it simply takes several barren rounds to retreat.
+const AggressiveRetreatThreshold = 50
+
 // QueueEntry is one interesting input.
 type QueueEntry struct {
 	ID      int
 	Input   *spec.Input
 	Packets int
 	FoundAt time.Duration // virtual time of discovery
+	// Cov is the bucketed coverage snapshot of the execution that queued
+	// this entry. A campaign broker uses it to dedup entries published by
+	// independent workers against a global virgin map without replaying
+	// them.
+	Cov []coverage.BucketHit
 	// aggressive-policy state: how many packets from the end the next
 	// snapshot goes, and unproductive iterations at the current spot.
 	aggrBack    int
@@ -81,6 +93,11 @@ type Crash struct {
 	FoundAt time.Duration
 	Execs   uint64
 }
+
+// Key identifies a crash for deduplication. Every layer that dedups
+// crashes (the fuzzer's local map, the campaign broker's global one, and
+// checkpoint resume) must use this same key.
+func (c Crash) Key() string { return string(c.Kind) + "|" + c.Msg }
 
 // CoveragePoint is one sample of the coverage-over-time series (Figure 5).
 type CoveragePoint struct {
@@ -284,7 +301,7 @@ func (f *Fuzzer) Step() error {
 			entry.aggrBarren = 0
 		} else {
 			entry.aggrBarren += f.reuse
-			if entry.aggrBarren >= f.reuse {
+			if entry.aggrBarren >= AggressiveRetreatThreshold {
 				entry.aggrBarren = 0
 				entry.aggrBack++
 				if entry.aggrBack >= entry.Packets {
@@ -294,6 +311,26 @@ func (f *Fuzzer) Step() error {
 		}
 	}
 	return nil
+}
+
+// ImportInput runs an externally supplied input (one synced over from
+// another campaign worker, or loaded from a shared corpus) from the root
+// snapshot, queueing it if it yields coverage new to this fuzzer. It
+// returns whether the input was locally interesting. This is the
+// external-entry contract the parallel campaign broker builds on: the
+// receiving fuzzer re-executes the input, so imports can never poison the
+// queue with coverage claims the local target does not reproduce.
+func (f *Fuzzer) ImportInput(in *spec.Input) (bool, error) {
+	cp := in.Clone()
+	cp.SnapshotAt = -1
+	if err := f.Spec.Validate(cp); err != nil {
+		return false, fmt.Errorf("core: import: %w", err)
+	}
+	before := len(f.Queue)
+	if _, err := f.execFromRoot(cp, true); err != nil {
+		return false, err
+	}
+	return len(f.Queue) > before, nil
 }
 
 // pickEntry selects the next queue entry round-robin.
@@ -377,18 +414,17 @@ func (f *Fuzzer) account(in *spec.Input, res netemu.Result, addToQueue bool) boo
 	f.execs++
 	hasNew, _ := f.Virgin.Merge(&f.trace)
 	if res.Crashed {
-		key := string(res.Crash.Kind) + "|" + res.Crash.Msg
-		if !f.crashSeen[key] {
-			f.crashSeen[key] = true
-			cp := in.Clone()
-			cp.SnapshotAt = -1
-			f.Crashes = append(f.Crashes, Crash{
-				Kind:    res.Crash.Kind,
-				Msg:     res.Crash.Msg,
-				Input:   cp,
-				FoundAt: f.Elapsed(),
-				Execs:   f.execs,
-			})
+		cr := Crash{
+			Kind:    res.Crash.Kind,
+			Msg:     res.Crash.Msg,
+			FoundAt: f.Elapsed(),
+			Execs:   f.execs,
+		}
+		if !f.crashSeen[cr.Key()] {
+			f.crashSeen[cr.Key()] = true
+			cr.Input = in.Clone()
+			cr.Input.SnapshotAt = -1
+			f.Crashes = append(f.Crashes, cr)
 		}
 	}
 	if hasNew && addToQueue {
@@ -399,6 +435,7 @@ func (f *Fuzzer) account(in *spec.Input, res netemu.Result, addToQueue bool) boo
 			Input:   cp,
 			Packets: cp.Packets(f.Spec),
 			FoundAt: f.Elapsed(),
+			Cov:     f.trace.Bucketed(),
 		})
 		f.nextID++
 	}

@@ -105,6 +105,64 @@ func (v *Virgin) Merge(t *Trace) (hasNew, newEdge bool) {
 // metric plotted in the paper's Figure 5 and Table 2.
 func (v *Virgin) Edges() int { return v.edges }
 
+// BucketHit is one classified edge of a trace: the bitmap index and the
+// power-of-two hit bucket it landed in. A slice of BucketHits is the
+// durable record of what one execution covered, detached from the Trace it
+// came from — the currency a corpus broker needs to dedup inputs published
+// by independent campaign workers against a global virgin map.
+type BucketHit struct {
+	Index  uint32
+	Bucket byte
+}
+
+// Bucketed returns a compact classified snapshot of the trace, valid after
+// the Trace itself is Reset. The snapshot has one entry per touched index,
+// in hit order.
+func (t *Trace) Bucketed() []BucketHit {
+	out := make([]BucketHit, 0, len(t.touched))
+	for _, i := range t.touched {
+		out = append(out, BucketHit{Index: i, Bucket: bucket(t.bits[i])})
+	}
+	return out
+}
+
+// MergeBuckets folds a bucketed trace snapshot into the virgin map with the
+// same semantics as Merge. Out-of-range indices are ignored (defensive:
+// snapshots may have crossed a process/serialization boundary).
+func (v *Virgin) MergeBuckets(hits []BucketHit) (hasNew, newEdge bool) {
+	for _, h := range hits {
+		if h.Index >= MapSize {
+			continue
+		}
+		if v.bits[h.Index]&h.Bucket == 0 && h.Bucket != 0 {
+			hasNew = true
+			if v.bits[h.Index] == 0 {
+				newEdge = true
+				v.edges++
+			}
+			v.bits[h.Index] |= h.Bucket
+		}
+	}
+	return hasNew, newEdge
+}
+
+// MergeVirgin folds another virgin map into v (bitwise union of bucket
+// bits), returning whether v gained anything. This is how a campaign
+// broker aggregates global coverage across workers without replaying their
+// corpora.
+func (v *Virgin) MergeVirgin(o *Virgin) (hasNew bool) {
+	for i, b := range o.bits {
+		if b&^v.bits[i] != 0 {
+			hasNew = true
+			if v.bits[i] == 0 {
+				v.edges++
+			}
+			v.bits[i] |= b
+		}
+	}
+	return hasNew
+}
+
 // Snapshot returns a copy of the virgin map (for A/B comparisons in tests).
 func (v *Virgin) Snapshot() []byte {
 	cp := make([]byte, MapSize)

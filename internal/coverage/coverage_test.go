@@ -163,3 +163,129 @@ func TestEdgesMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: merging a trace's Bucketed snapshot into a virgin map is
+// equivalent to merging the trace directly.
+func TestBucketedEquivalentToMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var direct, viaBuckets Virgin
+		for i := 0; i < 10; i++ {
+			var tr Trace
+			for j := 0; j < 30; j++ {
+				tr.Hit(uint32(rng.Intn(1000)))
+			}
+			hits := tr.Bucketed()
+			dNew, dEdge := direct.Merge(&tr)
+			bNew, bEdge := viaBuckets.MergeBuckets(hits)
+			if dNew != bNew || dEdge != bEdge {
+				return false
+			}
+		}
+		if direct.Edges() != viaBuckets.Edges() {
+			return false
+		}
+		return string(direct.Snapshot()) == string(viaBuckets.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bucketed snapshots must survive a Reset of the trace they came from.
+func TestBucketedSurvivesReset(t *testing.T) {
+	var tr Trace
+	tr.Hit(1)
+	tr.Hit(2)
+	hits := tr.Bucketed()
+	tr.Reset()
+	var v Virgin
+	hasNew, _ := v.MergeBuckets(hits)
+	if !hasNew || v.Edges() != 2 {
+		t.Fatalf("hasNew=%v edges=%d, want true/2", hasNew, v.Edges())
+	}
+}
+
+func TestMergeBucketsIgnoresOutOfRange(t *testing.T) {
+	var v Virgin
+	hasNew, _ := v.MergeBuckets([]BucketHit{{Index: MapSize + 7, Bucket: 1}})
+	if hasNew || v.Edges() != 0 {
+		t.Fatal("out-of-range index must be ignored")
+	}
+}
+
+// Property: MergeVirgin produces the same map as merging the underlying
+// traces into one virgin, and reports gains correctly.
+func TestMergeVirginUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Virgin
+		for i := 0; i < 8; i++ {
+			var tr Trace
+			for j := 0; j < 20; j++ {
+				tr.Hit(uint32(rng.Intn(800)))
+			}
+			if i%2 == 0 {
+				a.Merge(&tr)
+			} else {
+				b.Merge(&tr)
+			}
+			all.Merge(&tr)
+		}
+		a.MergeVirgin(&b)
+		if a.Edges() != all.Edges() {
+			return false
+		}
+		if a.MergeVirgin(&b) {
+			return false // second merge gains nothing
+		}
+		return string(a.Snapshot()) == string(all.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirginMarshalRoundTrip(t *testing.T) {
+	var v Virgin
+	var tr Trace
+	for _, l := range []uint32{0, 1, 5, 77, 400, 65000} {
+		tr.Hit(l)
+	}
+	v.Merge(&tr)
+	raw, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Virgin
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Edges() != v.Edges() {
+		t.Fatalf("edges = %d, want %d", got.Edges(), v.Edges())
+	}
+	if string(got.Snapshot()) != string(v.Snapshot()) {
+		t.Fatal("round-tripped map differs")
+	}
+	// Empty map round-trips too.
+	var empty, emptyBack Virgin
+	raw, err = empty.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emptyBack.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack.Edges() != 0 {
+		t.Fatal("empty map gained edges")
+	}
+}
+
+func TestVirginUnmarshalRejectsGarbage(t *testing.T) {
+	var v Virgin
+	for _, raw := range [][]byte{nil, []byte("NYXV"), []byte("BOGUS data"), append([]byte("NYXV\x01"), 0xFF)} {
+		if err := v.UnmarshalBinary(raw); err == nil {
+			t.Fatalf("accepted garbage %q", raw)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package coverage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Virgin maps persist across campaign checkpoints as a sparse stream:
+// a magic header, the populated-index count, then (uvarint index-delta,
+// bucket-bits byte) pairs in ascending index order. Coverage maps are
+// usually <1% populated, so this stays a few KiB instead of 64 KiB.
+
+// virginMagic identifies serialized virgin maps ("NYXV" + version 1).
+var virginMagic = []byte{'N', 'Y', 'X', 'V', 1}
+
+// MarshalBinary encodes the virgin map sparsely.
+func (v *Virgin) MarshalBinary() ([]byte, error) {
+	count := 0
+	for _, b := range v.bits {
+		if b != 0 {
+			count++
+		}
+	}
+	out := make([]byte, 0, len(virginMagic)+binary.MaxVarintLen32*(count+1)+count)
+	out = append(out, virginMagic...)
+	out = binary.AppendUvarint(out, uint64(count))
+	prev := uint32(0)
+	for i, b := range v.bits {
+		if b == 0 {
+			continue
+		}
+		out = binary.AppendUvarint(out, uint64(uint32(i)-prev))
+		out = append(out, b)
+		prev = uint32(i)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sparse virgin map, replacing v's contents and
+// recomputing the edge count.
+func (v *Virgin) UnmarshalBinary(data []byte) error {
+	if len(data) < len(virginMagic) || string(data[:len(virginMagic)]) != string(virginMagic) {
+		return fmt.Errorf("coverage: bad virgin map header")
+	}
+	data = data[len(virginMagic):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("coverage: truncated virgin map count")
+	}
+	data = data[n:]
+	var bits [MapSize]byte
+	edges := 0
+	idx := uint32(0)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 || len(data) < n+1 {
+			return fmt.Errorf("coverage: truncated virgin map entry %d", i)
+		}
+		b := data[n]
+		data = data[n+1:]
+		idx += uint32(delta)
+		if idx >= MapSize {
+			return fmt.Errorf("coverage: virgin map index %d out of range", idx)
+		}
+		if bits[idx] == 0 && b != 0 {
+			edges++
+		}
+		bits[idx] |= b
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("coverage: %d trailing bytes in virgin map", len(data))
+	}
+	v.bits = bits
+	v.edges = edges
+	return nil
+}

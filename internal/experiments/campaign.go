@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// ---- Parallel campaign scaling (§5.1's multi-instance setup, §5.3's
+// many-cores-per-host scalability argument, restated as an experiment) ----
+
+// ScalingRow is one worker count's aggregated campaign outcome. Every row
+// fuzzes for the same virtual duration per worker, so Execs and EPS grow
+// with the worker count while per-worker time stays fixed — the ideal line
+// is EPS scaling linearly in Workers.
+type ScalingRow struct {
+	Workers  int
+	Coverage int
+	Corpus   int
+	Deduped  uint64
+	Execs    uint64
+	EPS      float64
+	// SpeedupX is this row's aggregate throughput relative to the first
+	// row (pass worker count 1 first to get a single-worker baseline).
+	SpeedupX float64
+	// CoverageX is this row's aggregated coverage relative to the first
+	// row.
+	CoverageX float64
+}
+
+// ParallelScaling runs the campaign orchestrator at each worker count
+// against cfg.Targets[0] (CampaignTime of virtual time per worker, master
+// seed cfg.Seed) and reports how throughput and aggregated coverage scale.
+func ParallelScaling(cfg Config, workerCounts []int) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	target := cfg.Targets[0]
+	var rows []ScalingRow
+	var base ScalingRow
+	for i, n := range workerCounts {
+		c, err := campaign.New(campaign.Config{
+			Target:  target,
+			Workers: n,
+			Policy:  core.PolicyAggressive,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %d workers: %w", n, err)
+		}
+		if err := c.RunFor(cfg.CampaignTime); err != nil {
+			return nil, fmt.Errorf("experiments: scaling %d workers: %w", n, err)
+		}
+		row := ScalingRow{
+			Workers:  n,
+			Coverage: c.Coverage(),
+			Corpus:   c.CorpusSize(),
+			Deduped:  c.Deduped(),
+			Execs:    c.Execs(),
+			EPS:      c.ExecsPerSecond(),
+		}
+		if i == 0 {
+			base = row
+		}
+		if base.EPS > 0 {
+			row.SpeedupX = row.EPS / base.EPS
+		}
+		if base.Coverage > 0 {
+			row.CoverageX = float64(row.Coverage) / float64(base.Coverage)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderParallelScaling formats the scaling table.
+func RenderParallelScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %12s %9s %10s\n",
+		"Workers", "Edges", "Corpus", "Deduped", "Execs/vs", "Speedup", "CoverageX")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10d %10d %10d %12.1f %8.2fx %9.2fx\n",
+			r.Workers, r.Coverage, r.Corpus, r.Deduped, r.EPS, r.SpeedupX, r.CoverageX)
+	}
+	return b.String()
+}
+
+// CampaignResumeDemo checkpoints a parallel campaign halfway, resumes it,
+// and reports both halves — the §5.4 share-folder workflow extended to
+// multi-worker runs. It returns (coverage at checkpoint, final coverage).
+func CampaignResumeDemo(cfg Config, workers int, dir string) (int, int, error) {
+	cfg = cfg.withDefaults()
+	c, err := campaign.New(campaign.Config{
+		Target:  cfg.Targets[0],
+		Workers: workers,
+		Policy:  core.PolicyAggressive,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	half := cfg.CampaignTime / 2
+	if err := c.RunFor(half); err != nil {
+		return 0, 0, err
+	}
+	if err := c.Checkpoint(dir); err != nil {
+		return 0, 0, err
+	}
+	mid := c.Coverage()
+	r, err := campaign.Resume(dir)
+	if err != nil {
+		return mid, 0, err
+	}
+	if err := r.RunFor(cfg.CampaignTime - half); err != nil {
+		return mid, 0, err
+	}
+	return mid, r.Coverage(), nil
+}
