@@ -248,3 +248,19 @@ func BenchmarkAblationSnapshotReuse(b *testing.B) {
 		b.ReportMetric(rs[1].Value/rs[0].Value, "reuse50/reuse1-throughput")
 	}
 }
+
+// BenchmarkAblationScheduling ablates the corpus scheduler at equal
+// virtual time: AFL-style (favored culling, energy, splice, trim) vs the
+// flat round-robin rotation, reporting the coverage ratio and the virtual
+// time the AFL scheduler needed to reach the round-robin run's final
+// coverage (negative means it did not get there within the budget).
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationScheduling("tinydtls", 10*time.Second, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[1].Value/rs[0].Value, "afl/rr-coverage")
+		b.ReportMetric(rs[2].Value, "afl-virt-s-to-rr-cov")
+	}
+}

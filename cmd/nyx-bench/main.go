@@ -25,7 +25,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate table N (1-5)")
 		figure   = flag.Int("figure", 0, "regenerate figure N (5 or 6; 7 = figure 5 with all fuzzers)")
-		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | all")
+		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | sched | all")
 		all      = flag.Bool("all", false, "regenerate everything")
 		dur      = flag.Duration("time", 30*time.Second, "virtual campaign duration (= 24 scaled hours)")
 		reps     = flag.Int("reps", 3, "repetitions per cell")
@@ -169,6 +169,17 @@ func main() {
 				fatalf("ablation reuse: %v", err)
 			}
 			fmt.Println(experiments.RenderAblation("== Ablation: snapshot reuse count ==", rs))
+		}
+		if abl == "sched" || abl == "all" {
+			tgt := ""
+			if len(cfg.Targets) > 0 {
+				tgt = cfg.Targets[0]
+			}
+			rs, err := experiments.AblationScheduling(tgt, *dur, *seed)
+			if err != nil {
+				fatalf("ablation sched: %v", err)
+			}
+			fmt.Println(experiments.RenderAblation("== Ablation: queue scheduling (round-robin vs AFL-style) ==", rs))
 		}
 	}
 

@@ -12,9 +12,15 @@
 // when it finishes, and -resume continues from such a directory (the
 // stored target/workers/policy/seed are authoritative).
 //
+// The queue scheduler is selectable with -sched: "afl" (the default) runs
+// the AFL-style corpus scheduler — favored-entry culling, per-entry energy
+// budgets, a splice stage and lazy trim — while "rr" restores the flat
+// round-robin rotation (the scheduling-ablation baseline).
+//
 // Usage:
 //
 //	nyx-net -target lightftp -policy aggressive -time 30s -seed 1
+//	nyx-net -target lightftp -sched rr -time 30s -seed 1
 //	nyx-net -target lightftp -workers 4 -seed 1
 //	nyx-net -target lightftp -workers 4 -checkpoint /tmp/camp -time 30s
 //	nyx-net -resume -checkpoint /tmp/camp -time 30s
@@ -38,6 +44,7 @@ func main() {
 	var (
 		target   = flag.String("target", "lightftp", "target to fuzz (see -list)")
 		policy   = flag.String("policy", "aggressive", "snapshot policy: none | balanced | aggressive")
+		sched    = flag.String("sched", "afl", "queue scheduler: afl (favored culling, energy, splice, trim) | rr (flat round-robin)")
 		duration = flag.Duration("time", 30*time.Second, "virtual campaign duration")
 		seed     = flag.Int64("seed", 1, "campaign RNG seed (master seed with -workers)")
 		asan     = flag.Bool("asan", false, "enable AddressSanitizer-like checking")
@@ -69,10 +76,14 @@ func main() {
 	default:
 		fatalf("unknown policy %q", *policy)
 	}
+	sc, err := core.ParseSched(*sched)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	if *workers > 1 || *resume || *ckpt != "" {
 		runParallel(parallelOpts{
-			target: *target, policy: pol, duration: *duration, seed: *seed,
+			target: *target, policy: pol, sched: sc, duration: *duration, seed: *seed,
 			asan: *asan, workers: *workers, sync: *syncIvl,
 			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir,
 		})
@@ -87,6 +98,7 @@ func main() {
 
 	f := core.New(inst.Agent, inst.Spec, core.Options{
 		Policy: pol,
+		Sched:  sc,
 		Seeds:  inst.Seeds(),
 		Rand:   rand.New(rand.NewSource(*seed)),
 		Dict:   inst.Info.Dict,
@@ -107,6 +119,7 @@ func main() {
 type parallelOpts struct {
 	target     string
 	policy     core.Policy
+	sched      core.Sched
 	duration   time.Duration
 	seed       int64
 	asan       bool
@@ -135,6 +148,7 @@ func runParallel(o parallelOpts) {
 			Target:       o.target,
 			Workers:      o.workers,
 			Policy:       o.policy,
+			Sched:        o.sched,
 			Seed:         o.seed,
 			SyncInterval: o.sync,
 			Asan:         o.asan,

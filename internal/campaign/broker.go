@@ -83,15 +83,35 @@ func (b *broker) ingest(ws []*worker) {
 	}
 	b.corpus = append(b.corpus, fresh...)
 
-	// Route every fresh entry to every other worker. The lists are built
-	// here (deterministic order) and drained by the workers in parallel.
+	// Route every fresh entry to every other worker, favored entries
+	// first. Importing re-executes entries against each receiver's own
+	// target, so front-loading the owners' favored picks puts the entries
+	// most likely to seed new coverage at the head of every import budget.
+	ordered := orderImports(fresh)
 	for _, w := range ws {
-		for _, fe := range fresh {
+		for _, fe := range ordered {
 			if fe.Worker != w.id {
 				w.imports = append(w.imports, fe.Entry)
 			}
 		}
 	}
+}
+
+// orderImports sorts a sync round's fresh entries favored-first, stable
+// within each class so redistribution order stays deterministic.
+func orderImports(fresh []brokerEntry) []brokerEntry {
+	ordered := make([]brokerEntry, 0, len(fresh))
+	for _, fe := range fresh {
+		if fe.Entry.Favored {
+			ordered = append(ordered, fe)
+		}
+	}
+	for _, fe := range fresh {
+		if !fe.Entry.Favored {
+			ordered = append(ordered, fe)
+		}
+	}
+	return ordered
 }
 
 // sample appends a point to the aggregated coverage log, collapsing

@@ -58,6 +58,9 @@ type Config struct {
 	SyncInterval time.Duration
 	// SnapshotReuse is passed through to core.Options.
 	SnapshotReuse int
+	// Sched is the queue scheduling strategy every worker uses (default
+	// core.SchedAFL).
+	Sched core.Sched
 	// Asan enables sanitizer instrumentation in every worker's VM.
 	Asan bool
 }
@@ -105,9 +108,10 @@ func New(cfg Config) (*Campaign, error) {
 }
 
 // newCampaign is shared between New and Resume: epoch tags the RNG
-// derivation, seedsFor overrides the initial corpus per worker (nil means
-// the target's bundled seeds), and br supplies restored broker state.
-func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, error), br *broker) (*Campaign, error) {
+// derivation, seedsFor overrides the initial corpus per worker plus any
+// restored scheduler metadata (nil means the target's bundled seeds), and
+// br supplies restored broker state.
+func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, []core.EntryMeta, error), br *broker) (*Campaign, error) {
 	if cfg.Workers > 1024 {
 		return nil, fmt.Errorf("campaign: %d workers is unreasonable", cfg.Workers)
 	}
@@ -121,19 +125,23 @@ func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, err
 			return nil, fmt.Errorf("campaign: worker %d: %w", i, err)
 		}
 		seeds := inst.Seeds()
+		var seedMeta []core.EntryMeta
 		if seedsFor != nil {
-			loaded, err := seedsFor(i)
+			loaded, meta, err := seedsFor(i)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: worker %d seeds: %w", i, err)
 			}
 			if loaded != nil {
 				seeds = loaded
+				seedMeta = meta
 			}
 		}
 		fz := core.New(inst.Agent, inst.Spec, core.Options{
 			Policy:        cfg.Policy,
 			Seeds:         seeds,
 			SnapshotReuse: cfg.SnapshotReuse,
+			Sched:         cfg.Sched,
+			SeedMeta:      seedMeta,
 			Rand:          rand.New(rand.NewSource(deriveSeed(cfg.Seed, epoch, i))),
 			Dict:          inst.Info.Dict,
 		})

@@ -268,6 +268,102 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
+// Checkpoints must persist per-worker scheduler metadata, and a resumed
+// worker must re-attach it to the entries that re-queue from the saved
+// corpus — so resumed campaigns schedule from restored pick counts and trim
+// state instead of rediscovering them.
+func TestCheckpointPersistsSchedulerMetadata(t *testing.T) {
+	dir := t.TempDir()
+	orig := run(t, testCfg(2, 9), 2*time.Second)
+	if err := orig.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	saved := make(map[string]core.EntryMeta)
+	for _, w := range orig.workers {
+		metas, err := core.LoadSchedMeta(filepath.Join(dir, workerDir(w.id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(metas) != len(w.fz.Queue) {
+			t.Fatalf("worker %d checkpoint has %d metadata entries, queue has %d",
+				w.id, len(metas), len(w.fz.Queue))
+		}
+		if w.id == 0 {
+			for _, m := range metas {
+				saved[m.Key] = m
+			}
+		}
+	}
+
+	res, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A minimal run imports the saved queues (the first scheduling round)
+	// without doing significant new fuzzing on top.
+	if err := res.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	matched, restored := 0, 0
+	for _, e := range res.workers[0].fz.Queue {
+		m, ok := saved[core.InputKey(e.Input)]
+		if !ok {
+			continue
+		}
+		matched++
+		if e.Picked != m.Picked || e.Trimmed != m.Trimmed || e.Depth != m.Depth {
+			t.Fatalf("entry metadata not restored: got picked=%d trimmed=%v depth=%d, want %+v",
+				e.Picked, e.Trimmed, e.Depth, m)
+		}
+		if e.Picked > 0 || e.Trimmed || e.Depth > 0 {
+			restored++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no resumed queue entry matched the saved corpus")
+	}
+	if restored == 0 {
+		t.Fatal("restored metadata is all zero — persistence is a no-op")
+	}
+}
+
+// The sched strategy round-trips through the manifest: a campaign
+// checkpointed under round-robin resumes under round-robin.
+func TestCheckpointPersistsSchedStrategy(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(1, 10)
+	cfg.Sched = core.SchedRoundRobin
+	orig := run(t, cfg, time.Second)
+	if err := orig.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.cfg.Sched != core.SchedRoundRobin {
+		t.Fatalf("resumed sched = %v, want round-robin", res.cfg.Sched)
+	}
+}
+
+// Fresh entries redistribute favored-first, stable within each class.
+func TestOrderImportsFavoredFirst(t *testing.T) {
+	mk := func(id int, fav bool) brokerEntry {
+		return brokerEntry{Worker: 0, Entry: &core.QueueEntry{ID: id, Favored: fav}}
+	}
+	ordered := orderImports([]brokerEntry{mk(0, false), mk(1, true), mk(2, false), mk(3, true)})
+	var ids []int
+	for _, fe := range ordered {
+		ids = append(ids, fe.Entry.ID)
+	}
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("import order = %v, want %v", ids, want)
+		}
+	}
+}
+
 func TestResumeErrors(t *testing.T) {
 	if _, err := Resume(t.TempDir()); err == nil {
 		t.Fatal("resume of empty dir must fail")

@@ -42,7 +42,11 @@ type manifest struct {
 	Rounds        int           `json:"rounds"`
 	SyncInterval  time.Duration `json:"sync_interval_ns"`
 	SnapshotReuse int           `json:"snapshot_reuse"`
-	Asan          bool          `json:"asan"`
+	// Sched is the queue scheduling strategy (absent in pre-scheduler
+	// checkpoints, which unmarshal to the default core.SchedAFL).
+	Sched     int    `json:"sched"`
+	SchedName string `json:"sched_name"` // informational
+	Asan      bool   `json:"asan"`
 	// Elapsed is the campaign's cumulative virtual time at checkpoint;
 	// the resumed campaign's clock (and hence its coverage-log and crash
 	// timestamps) continues from here instead of restarting at zero.
@@ -114,7 +118,14 @@ func (c *Campaign) Checkpoint(dir string) error {
 // writeCheckpoint serializes the full campaign state into dir.
 func (c *Campaign) writeCheckpoint(dir string) error {
 	for _, w := range c.workers {
-		if err := w.fz.SaveCorpus(filepath.Join(dir, workerDir(w.id))); err != nil {
+		wd := filepath.Join(dir, workerDir(w.id))
+		if err := w.fz.SaveCorpus(wd); err != nil {
+			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		}
+		// Scheduler metadata rides next to the corpus so a resumed worker
+		// re-attaches pick counts, trim state and depth instead of
+		// rediscovering them.
+		if err := w.fz.SaveSchedMeta(wd); err != nil {
 			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
 		}
 	}
@@ -136,6 +147,8 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 		Rounds:        c.rounds,
 		SyncInterval:  c.cfg.SyncInterval,
 		SnapshotReuse: c.cfg.SnapshotReuse,
+		Sched:         int(c.cfg.Sched),
+		SchedName:     c.cfg.Sched.String(),
 		Asan:          c.cfg.Asan,
 		Elapsed:       c.Elapsed(),
 		Published:     c.broker.published,
@@ -234,15 +247,25 @@ func Resume(dir string) (*Campaign, error) {
 		Seed:          m.Seed,
 		SyncInterval:  m.SyncInterval,
 		SnapshotReuse: m.SnapshotReuse,
+		Sched:         core.Sched(m.Sched),
 		Asan:          m.Asan,
 	}.withDefaults()
 
-	seedsFor := func(i int) ([]*spec.Input, error) {
-		queueDir := filepath.Join(dir, workerDir(i), "queue")
+	seedsFor := func(i int) ([]*spec.Input, []core.EntryMeta, error) {
+		wd := filepath.Join(dir, workerDir(i))
+		queueDir := filepath.Join(wd, "queue")
 		if _, err := os.Stat(queueDir); os.IsNotExist(err) {
-			return nil, nil // worker had an empty queue; fall back to bundled seeds
+			return nil, nil, nil // worker had an empty queue; fall back to bundled seeds
 		}
-		return core.LoadCorpus(queueDir)
+		seeds, err := core.LoadCorpus(queueDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		meta, err := core.LoadSchedMeta(wd)
+		if err != nil {
+			return nil, nil, err
+		}
+		return seeds, meta, nil
 	}
 	br.timeBase = m.Elapsed
 	c, err := newCampaign(cfg, m.Epoch+1, seedsFor, br)

@@ -78,11 +78,20 @@ type QueueEntry struct {
 	// independent workers against a global virgin map without replaying
 	// them.
 	Cov []coverage.BucketHit
+	// Scheduler metadata (schedule.go): the virtual time of the execution
+	// that queued the entry, its serialized size, how many derivations it
+	// sits from a seed, how many rounds it has been scheduled, whether
+	// the lazy trim ran, and whether it is currently in the favored set.
+	ExecTime time.Duration
+	Size     int
+	Depth    int
+	Picked   int
+	Trimmed  bool
+	Favored  bool
 	// aggressive-policy state: how many packets from the end the next
 	// snapshot goes, and unproductive iterations at the current spot.
-	aggrBack    int
-	aggrBarren  int
-	timesPicked int
+	aggrBack   int
+	aggrBarren int
 }
 
 // Crash is a deduplicated crash finding.
@@ -116,10 +125,17 @@ type Options struct {
 	Rand *rand.Rand
 	// Dict is an optional protocol token dictionary for the mutators.
 	Dict [][]byte
-	// ExecsPerSchedule bounds how many executions one scheduling round
-	// performs when no snapshot is used (keeps round lengths comparable
-	// across policies). Defaults to SnapshotReuse.
+	// ExecsPerSchedule is the baseline execution budget of one scheduling
+	// round (keeps round lengths comparable across policies). Defaults to
+	// SnapshotReuse. Under SchedAFL the energy function scales it per
+	// entry; under SchedRoundRobin it is used as-is.
 	ExecsPerSchedule int
+	// Sched selects the queue scheduling strategy (default SchedAFL).
+	Sched Sched
+	// SeedMeta restores scheduler metadata onto seeds that re-queue —
+	// the checkpoint/resume path. Entries are matched by serialized
+	// input bytes.
+	SeedMeta []EntryMeta
 }
 
 // Executor abstracts how test cases reach the target. Nyx-Net's executor
@@ -167,6 +183,17 @@ type Fuzzer struct {
 	seedsDone  bool
 	queueCur   int
 	lastSample time.Duration
+
+	// Scheduler state (schedule.go).
+	sched          Sched
+	topRated       map[uint32]*QueueEntry // edge index -> cheapest entry covering it
+	scoreChanged   bool                   // top-rated changed; cull before next pick
+	pendingNew     int                    // queue entries never picked yet (the frontier)
+	seedMeta       map[string]EntryMeta   // restored metadata by serialized input
+	curParent      *QueueEntry            // entry being fuzzed (depth attribution)
+	lastExecTime   time.Duration          // full-run virtual cost of the latest execution
+	snapBaseTime   time.Duration          // cost of the run that created the held snapshot
+	trimTime       time.Duration          // virtual time consumed by the lazy trim
 }
 
 // New creates a fuzzer. The agent's machine must already hold a root
@@ -184,6 +211,10 @@ func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
 	}
 	mut := spec.NewMutator(s, opts.Rand)
 	mut.Dict = opts.Dict
+	seedMeta := make(map[string]EntryMeta, len(opts.SeedMeta))
+	for _, m := range opts.SeedMeta {
+		seedMeta[m.Key] = m
+	}
 	return &Fuzzer{
 		Agent:     agent,
 		Spec:      s,
@@ -193,6 +224,9 @@ func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
 		rng:       opts.Rand,
 		crashSeen: make(map[string]bool),
 		started:   agent.Now(),
+		sched:     opts.Sched,
+		topRated:  make(map[uint32]*QueueEntry),
+		seedMeta:  seedMeta,
 	}
 }
 
@@ -261,16 +295,18 @@ func (f *Fuzzer) Step() error {
 	}
 
 	entry := f.pickEntry()
+	f.curParent = entry
+	defer func() { f.curParent = nil }()
+	if f.sched != SchedRoundRobin && entry.Favored && !entry.Trimmed &&
+		f.trimTime*100 <= f.Elapsed()*trimBudgetPct {
+		if err := f.trimEntry(entry); err != nil {
+			return err
+		}
+	}
+	budget := f.energy(entry)
 	snapAt := f.placeSnapshot(entry)
 	if snapAt < 0 {
-		// Root-snapshot fuzzing: mutate the whole input each time.
-		for i := 0; i < f.opts.ExecsPerSchedule; i++ {
-			mut := f.Mut.Mutate(entry.Input)
-			if _, err := f.execFromRoot(mut, true); err != nil {
-				return err
-			}
-		}
-		return nil
+		return f.fuzzFromRoot(entry, budget)
 	}
 
 	// Incremental-snapshot fuzzing: one full run creates the snapshot,
@@ -281,12 +317,22 @@ func (f *Fuzzer) Step() error {
 	if err != nil {
 		return err
 	}
+	// Approximate the cost of re-creating just the snapshotted prefix:
+	// the creation run also executed the base's own post-marker tail,
+	// which suffix mutations replace, so scale by the prefix fraction.
+	f.snapBaseTime = f.lastExecTime * time.Duration(snapAt) / time.Duration(len(base.Ops))
 	if !res.SnapshotTaken {
-		// Crash or short-circuit before the marker; nothing to reuse.
-		return nil
+		// The snapshot-creation run crashed or short-circuited before
+		// reaching the marker, so the position is unusable as placed.
+		// Charge a full barren round so the aggressive policy retreats
+		// off a crashing prefix instead of retrying it forever, and
+		// spend the round's budget fuzzing from the root snapshot
+		// rather than burning a whole schedule on one execution.
+		f.chargeBarren(entry, budget)
+		return f.fuzzFromRoot(entry, budget)
 	}
 	foundNew := false
-	for i := 0; i < f.reuse; i++ {
+	for i := 0; i < budget; i++ {
 		mut := f.Mut.MutateSuffix(base, snapAt)
 		mut.SnapshotAt = snapAt
 		isNew, err := f.execSuffix(mut)
@@ -296,21 +342,50 @@ func (f *Fuzzer) Step() error {
 		foundNew = foundNew || isNew
 	}
 	f.Agent.DropSnapshot()
-	if f.opts.Policy == PolicyAggressive {
-		if foundNew {
-			entry.aggrBarren = 0
+	if foundNew {
+		entry.aggrBarren = 0
+	} else {
+		f.chargeBarren(entry, budget)
+	}
+	return nil
+}
+
+// fuzzFromRoot spends budget executions mutating entry's whole input from
+// the root snapshot. Under the AFL scheduler a fraction of the executions
+// first splice the entry with a random queue mate — AFL's splice stage,
+// crossing inputs that reached different protocol states — before the
+// stacked havoc mutations run.
+func (f *Fuzzer) fuzzFromRoot(entry *QueueEntry, budget int) error {
+	for i := 0; i < budget; i++ {
+		var mut *spec.Input
+		if f.sched != SchedRoundRobin && len(f.Queue) > 1 && f.rng.Intn(100) < spliceProbePct {
+			mate := f.spliceMate(entry)
+			mut = f.Mut.Mutate(f.Mut.Splice(entry.Input, mate.Input))
 		} else {
-			entry.aggrBarren += f.reuse
-			if entry.aggrBarren >= AggressiveRetreatThreshold {
-				entry.aggrBarren = 0
-				entry.aggrBack++
-				if entry.aggrBack >= entry.Packets {
-					entry.aggrBack = 0 // wrap to the end again
-				}
-			}
+			mut = f.Mut.Mutate(entry.Input)
+		}
+		if _, err := f.execFromRoot(mut, true); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// chargeBarren counts n unproductive executions against the aggressive
+// policy's per-position counter, retreating the snapshot position one
+// packet towards the front once the threshold accumulates (§3.4).
+func (f *Fuzzer) chargeBarren(e *QueueEntry, n int) {
+	if f.opts.Policy != PolicyAggressive {
+		return
+	}
+	e.aggrBarren += n
+	if e.aggrBarren >= AggressiveRetreatThreshold {
+		e.aggrBarren = 0
+		e.aggrBack++
+		if e.aggrBack >= e.Packets {
+			e.aggrBack = 0 // wrap to the end again
+		}
+	}
 }
 
 // ImportInput runs an externally supplied input (one synced over from
@@ -330,15 +405,16 @@ func (f *Fuzzer) ImportInput(in *spec.Input) (bool, error) {
 	if _, err := f.execFromRoot(cp, true); err != nil {
 		return false, err
 	}
+	// Imported entries are not re-trimmed locally (unless restored
+	// metadata says otherwise): trimming is the publishing worker's job,
+	// and N receivers repeating it would multiply the campaign's trim
+	// spend by the worker count.
+	for _, e := range f.Queue[before:] {
+		if _, restored := f.seedMeta[InputKey(e.Input)]; !restored {
+			e.Trimmed = true
+		}
+	}
 	return len(f.Queue) > before, nil
-}
-
-// pickEntry selects the next queue entry round-robin.
-func (f *Fuzzer) pickEntry() *QueueEntry {
-	e := f.Queue[f.queueCur%len(f.Queue)]
-	f.queueCur++
-	e.timesPicked++
-	return e
 }
 
 // placeSnapshot returns the op index for the snapshot marker, or -1 for the
@@ -389,10 +465,12 @@ func packetOpIndices(s *spec.Spec, in *spec.Input) []int {
 // recording findings. addToQueue controls whether new-coverage inputs are
 // queued.
 func (f *Fuzzer) execFromRoot(in *spec.Input, addToQueue bool) (netemu.Result, error) {
+	t0 := f.Agent.Now()
 	res, err := f.Agent.RunFromRoot(in, &f.trace)
 	if err != nil {
 		return res, err
 	}
+	f.lastExecTime = f.Agent.Now() - t0
 	f.account(in, res, addToQueue)
 	return res, nil
 }
@@ -400,10 +478,16 @@ func (f *Fuzzer) execFromRoot(in *spec.Input, addToQueue bool) (netemu.Result, e
 // execSuffix runs a suffix-only mutation from the held snapshot. Returns
 // whether the execution found new coverage.
 func (f *Fuzzer) execSuffix(in *spec.Input) (bool, error) {
+	t0 := f.Agent.Now()
 	res, err := f.Agent.RunSuffix(in, &f.trace)
 	if err != nil {
 		return false, err
 	}
+	// A suffix run only pays for the ops after the marker. For scheduler
+	// metadata (fav factor, energy) what matters is what the input would
+	// cost from a clean state, so estimate the full cost as the prefix
+	// share of the snapshot-creation run plus the suffix.
+	f.lastExecTime = f.snapBaseTime + (f.Agent.Now() - t0)
 	f.snapExecs++
 	return f.account(in, res, true), nil
 }
@@ -430,14 +514,25 @@ func (f *Fuzzer) account(in *spec.Input, res netemu.Result, addToQueue bool) boo
 	if hasNew && addToQueue {
 		cp := in.Clone()
 		cp.SnapshotAt = -1
-		f.Queue = append(f.Queue, &QueueEntry{
-			ID:      f.nextID,
-			Input:   cp,
-			Packets: cp.Packets(f.Spec),
-			FoundAt: f.Elapsed(),
-			Cov:     f.trace.Bucketed(),
-		})
+		e := &QueueEntry{
+			ID:       f.nextID,
+			Input:    cp,
+			Packets:  cp.Packets(f.Spec),
+			FoundAt:  f.Elapsed(),
+			Cov:      f.trace.Bucketed(),
+			ExecTime: f.lastExecTime,
+			Size:     len(spec.Serialize(cp)),
+		}
+		if f.curParent != nil {
+			e.Depth = f.curParent.Depth + 1
+		}
+		f.applySeedMeta(e)
+		if e.Picked == 0 {
+			f.pendingNew++
+		}
 		f.nextID++
+		f.Queue = append(f.Queue, e)
+		f.updateTopRated(e)
 	}
 	// Sample the coverage log at most once per virtual minute, plus on
 	// every change (cheap, keeps Figure 5 smooth).

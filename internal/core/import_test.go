@@ -65,7 +65,9 @@ func stubSpecInput() (*spec.Spec, *spec.Input) {
 
 // With a non-default SnapshotReuse, the aggressive policy must still wait
 // for AggressiveRetreatThreshold unproductive iterations before retreating,
-// not retreat after every single barren round (§3.4).
+// not retreat after every single barren round (§3.4). Pinned to the
+// round-robin scheduler, whose per-round budget is exactly SnapshotReuse;
+// the AFL scheduler scales budgets per entry (see schedule_test.go).
 func TestAggressiveRetreatHonorsThreshold(t *testing.T) {
 	const reuse = 10
 	s, seed := stubSpecInput()
@@ -73,6 +75,7 @@ func TestAggressiveRetreatHonorsThreshold(t *testing.T) {
 		Policy:        PolicyAggressive,
 		Seeds:         []*spec.Input{seed},
 		SnapshotReuse: reuse,
+		Sched:         SchedRoundRobin,
 		Rand:          rand.New(rand.NewSource(1)),
 	})
 	if err := f.Step(); err != nil { // seed import round

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// This file implements the corpus scheduler: which queue entry fuzzes next
+// and for how long. Nyx-Net inherits AFL's campaign structure (§3.1 of the
+// paper builds on AFL's queue semantics), so the scheduler reproduces the
+// parts of it that matter for queue time going to the right inputs:
+//
+//   - a top-rated "favored" map: for every covered edge, the
+//     smallest/fastest entry exercising it, refreshed by a cull pass
+//     whenever the map changes (AFL's update_bitmap_score/cull_queue);
+//   - frontier-first picking (no entry is fuzzed twice while another
+//     waits for its first round) and probabilistic skipping of
+//     non-favored entries once the frontier is drained;
+//   - an energy function that replaces the fixed per-round execution
+//     budget with a per-entry one, scaled by execution speed, coverage
+//     breadth, queue depth and fatigue (AFL's calculate_score), clamped
+//     at the baseline so boosts offset penalties rather than inflate
+//     rounds;
+//   - a splice stage crossing the scheduled entry with a random queue
+//     mate, and a lazy trim on each entry's first pick.
+//
+// SchedRoundRobin turns all of it off and restores the flat rotation the
+// seed used, so experiments can ablate the scheduler at equal virtual time.
+
+// Sched selects the queue scheduling strategy.
+type Sched int
+
+// Queue scheduling strategies.
+const (
+	// SchedAFL is the default: favored culling, energy budgets, splice
+	// and lazy trim, as described above.
+	SchedAFL Sched = iota
+	// SchedRoundRobin is the flat baseline: every entry in turn, a fixed
+	// ExecsPerSchedule budget, no splice, no trim.
+	SchedRoundRobin
+)
+
+// String names the strategy for flags and reports.
+func (s Sched) String() string {
+	switch s {
+	case SchedAFL:
+		return "afl"
+	case SchedRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("sched(%d)", int(s))
+	}
+}
+
+// ParseSched maps a flag value to a strategy.
+func ParseSched(name string) (Sched, error) {
+	switch name {
+	case "afl":
+		return SchedAFL, nil
+	case "rr", "round-robin":
+		return SchedRoundRobin, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheduler %q (want afl | rr)", name)
+	}
+}
+
+// skipOld is the probability (percent) of skipping an already-fuzzed
+// non-favored entry once the queue frontier is exhausted — the role of
+// AFL's SKIP_NFAV_OLD_PROB. Entries that have never been picked are never
+// skipped, and take strict priority over every re-pick: on stateful
+// targets each fresh queue entry is a distinct protocol state whose suffix
+// deserves one snapshot round before any entry gets a second (AFL's
+// pending-first preference, made strict). Probabilistic skipping therefore
+// only throttles the saturated regime, steering re-picks to the favored
+// set while still leaking occasional rounds to the rest of the queue.
+const skipOld = 80
+
+// spliceProbePct is the chance (percent) a root-path execution splices the
+// scheduled entry with a queue mate before the stacked havoc mutations.
+const spliceProbePct = 25
+
+// trimBudgetPct caps the campaign-wide share of virtual time the lazy trim
+// may consume. Trim candidates run from the root snapshot — exactly the
+// expensive path incremental snapshots exist to avoid — so the budget is
+// denominated in time, not executions: one trim candidate costs tens of
+// suffix executions' worth of virtual time, and an exec-count budget would
+// silently let trimming eat most of the campaign (AFL bounds trimming the
+// same way via its stage size limits).
+const trimBudgetPct = 5
+
+// Energy clamps: the per-entry budget stays within [min,max]/100 of the
+// configured ExecsPerSchedule. Unlike AFL (which boosts up to
+// HAVOC_MAX_MULT), the ceiling here is the baseline itself: boost factors
+// only offset penalties, never inflate rounds. On stateful targets the
+// discovery cascade is driven by how many distinct frontier entries get a
+// first round per unit of virtual time, and oversized rounds measurably
+// slow that cascade (see the scheduling ablation) — so energy reallocates
+// budget away from slow, narrow and fatigued entries instead of piling
+// extra executions onto good ones.
+const (
+	energyMinScore = 25
+	energyMaxScore = 100
+)
+
+// updateTopRated competes e for every edge its recorded trace covers.
+// The winner per edge minimizes exec-time x size (AFL's fav_factor), i.e.
+// the cheapest way the campaign knows to reach that edge.
+func (f *Fuzzer) updateTopRated(e *QueueEntry) {
+	if f.sched == SchedRoundRobin {
+		return
+	}
+	fav := favFactor(e)
+	for _, h := range e.Cov {
+		if h.Bucket == 0 {
+			continue
+		}
+		if cur, ok := f.topRated[h.Index]; ok && favFactor(cur) <= fav {
+			continue
+		}
+		f.topRated[h.Index] = e
+		f.scoreChanged = true
+	}
+}
+
+// favFactor is the quality score competed in the top-rated map: lower is
+// better. Entries with unmeasured exec time (restored metadata) fall back
+// to size alone.
+func favFactor(e *QueueEntry) int64 {
+	t := int64(e.ExecTime)
+	if t <= 0 {
+		t = 1
+	}
+	return t * int64(e.Size+1)
+}
+
+// cullQueue re-marks the favored subset after the top-rated map changed:
+// a greedy cover walk (in ascending edge order, so the pass is
+// deterministic) keeps the best entry for every yet-uncovered edge, exactly
+// AFL's cull_queue.
+func (f *Fuzzer) cullQueue() {
+	if f.sched == SchedRoundRobin || !f.scoreChanged {
+		return
+	}
+	f.scoreChanged = false
+	for _, e := range f.Queue {
+		e.Favored = false
+	}
+	edges := make([]uint32, 0, len(f.topRated))
+	for idx := range f.topRated {
+		edges = append(edges, idx)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	covered := make(map[uint32]bool, len(edges))
+	for _, idx := range edges {
+		if covered[idx] {
+			continue
+		}
+		e := f.topRated[idx]
+		e.Favored = true
+		for _, h := range e.Cov {
+			covered[h.Index] = true
+		}
+	}
+}
+
+// pickEntry selects the next queue entry. Round-robin rotates flatly. The
+// AFL scheduler walks the same rotation but (1) while never-picked entries
+// are pending, re-picks are skipped outright — the frontier drains first —
+// and (2) once the frontier is empty, non-favored re-picks are skipped
+// probabilistically so queue time concentrates on the favored set. A full
+// lap without a pick settles on the current entry, so the walk always
+// terminates.
+func (f *Fuzzer) pickEntry() *QueueEntry {
+	f.cullQueue()
+	var e *QueueEntry
+	for tries := len(f.Queue); ; tries-- {
+		e = f.Queue[f.queueCur%len(f.Queue)]
+		f.queueCur++
+		if tries <= 0 || f.sched == SchedRoundRobin || e.Picked == 0 {
+			break
+		}
+		if f.pendingNew > 0 {
+			continue // an unfuzzed entry is waiting somewhere in the lap
+		}
+		if e.Favored || f.rng.Intn(100) >= skipOld {
+			break
+		}
+	}
+	if e.Picked == 0 && f.pendingNew > 0 {
+		f.pendingNew--
+	}
+	e.Picked++
+	return e
+}
+
+// energy returns the execution budget one scheduling round spends on e —
+// AFL's calculate_score mapped onto ExecsPerSchedule. Slow, narrow and
+// fatigued entries get shortened rounds; speed, breadth and depth boosts
+// offset those penalties but never push the budget past the baseline (see
+// the energyMaxScore comment for why).
+func (f *Fuzzer) energy(e *QueueEntry) int {
+	if f.sched == SchedRoundRobin {
+		return f.opts.ExecsPerSchedule
+	}
+	score := 100
+
+	// Execution speed against the queue average: cheap entries buy more
+	// executions per unit of virtual time. (AFL also scales by bitmap
+	// size; queue entries here carry the trace of the execution that
+	// queued them — a suffix-only trace for snapshot discoveries, a full
+	// trace for imports — so trace sizes are not comparable across
+	// entries and no breadth factor is applied.)
+	var total time.Duration
+	for _, q := range f.Queue {
+		total += q.ExecTime
+	}
+	n := time.Duration(len(f.Queue))
+	if avg := total / n; avg > 0 && e.ExecTime > 0 {
+		switch {
+		case e.ExecTime*4 <= avg:
+			score *= 3
+		case e.ExecTime*2 <= avg:
+			score *= 2
+		case e.ExecTime >= avg*4:
+			score /= 4
+		case e.ExecTime >= avg*2:
+			score /= 2
+		}
+	}
+
+	// Depth: entries many derivations away from a seed reach state that
+	// random walks from the seeds rarely re-reach.
+	switch {
+	case e.Depth >= 14:
+		score *= 3
+	case e.Depth >= 8:
+		score *= 2
+	case e.Depth >= 4:
+		score = score * 3 / 2
+	}
+
+	// Fatigue: entries scheduled many times already have had their chance.
+	switch {
+	case e.Picked >= 16:
+		score /= 4
+	case e.Picked >= 4:
+		score /= 2
+	}
+
+	if score < energyMinScore {
+		score = energyMinScore
+	}
+	if score > energyMaxScore {
+		score = energyMaxScore
+	}
+	budget := f.opts.ExecsPerSchedule * score / 100
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
+// spliceMate picks a random queue entry other than e. Callers guarantee
+// the queue holds at least two entries.
+func (f *Fuzzer) spliceMate(e *QueueEntry) *QueueEntry {
+	for {
+		if m := f.Queue[f.rng.Intn(len(f.Queue))]; m != e {
+			return m
+		}
+	}
+}
+
+// trimEntry lazily trims e on its first favored pick (AFL trims queue
+// entries once before fuzzing them; here only favored entries qualify and
+// Step enforces the trimBudgetPct cap): the shorter input replaces the
+// original when trimming succeeded, and the entry's derived metadata
+// follows it.
+func (f *Fuzzer) trimEntry(e *QueueEntry) error {
+	e.Trimmed = true
+	t0 := f.Agent.Now()
+	trimmed, err := f.Trim(e.Input)
+	f.trimTime += f.Agent.Now() - t0
+	if err != nil {
+		return err
+	}
+	if len(trimmed.Ops) >= len(e.Input.Ops) {
+		return nil
+	}
+	e.Input = trimmed
+	e.Size = len(spec.Serialize(trimmed))
+	e.Packets = trimmed.Packets(f.Spec)
+	if e.aggrBack >= e.Packets {
+		e.aggrBack = 0
+	}
+	// The smaller size improves e's fav factor; re-compete it for the
+	// edges it covers so culling can promote it.
+	f.updateTopRated(e)
+	return nil
+}
+
+// ---- Scheduler metadata persistence (checkpoint/resume) ----
+
+// EntryMeta is the durable scheduler state of one queue entry, keyed by a
+// content hash of the entry's serialized input (the input bytes themselves
+// live in the corpus files SaveCorpus writes next to the metadata — storing
+// them again here would double the checkpoint). A resumed campaign
+// re-executes its saved queue (so coverage is rebuilt locally, never
+// trusted from disk) and then re-attaches this metadata, so scheduling
+// picks up where it left off instead of re-trimming and re-boosting every
+// entry.
+type EntryMeta struct {
+	Key        string        `json:"key"`
+	Depth      int           `json:"depth"`
+	ExecTime   time.Duration `json:"exec_time_ns"`
+	Picked     int           `json:"picked"`
+	Trimmed    bool          `json:"trimmed"`
+	AggrBack   int           `json:"aggr_back"`
+	AggrBarren int           `json:"aggr_barren"`
+}
+
+// InputKey returns the content key EntryMeta uses to match metadata back
+// to an input: a SHA-256 of the serialized bytecode.
+func InputKey(in *spec.Input) string {
+	sum := sha256.Sum256(spec.Serialize(in))
+	return hex.EncodeToString(sum[:])
+}
+
+// SchedMeta snapshots every queue entry's scheduler metadata in queue
+// order.
+func (f *Fuzzer) SchedMeta() []EntryMeta {
+	out := make([]EntryMeta, 0, len(f.Queue))
+	for _, e := range f.Queue {
+		out = append(out, EntryMeta{
+			Key:        InputKey(e.Input),
+			Depth:      e.Depth,
+			ExecTime:   e.ExecTime,
+			Picked:     e.Picked,
+			Trimmed:    e.Trimmed,
+			AggrBack:   e.aggrBack,
+			AggrBarren: e.aggrBarren,
+		})
+	}
+	return out
+}
+
+// schedMetaFile is where SaveCorpus persists scheduler metadata inside a
+// corpus directory.
+const schedMetaFile = "sched.json"
+
+// SaveSchedMeta writes the queue's scheduler metadata to dir (alongside a
+// SaveCorpus tree).
+func (f *Fuzzer) SaveSchedMeta(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save sched meta: %w", err)
+	}
+	enc, err := json.Marshal(f.SchedMeta())
+	if err != nil {
+		return fmt.Errorf("core: save sched meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, schedMetaFile), enc, 0o644); err != nil {
+		return fmt.Errorf("core: save sched meta: %w", err)
+	}
+	return nil
+}
+
+// LoadSchedMeta reads metadata written by SaveSchedMeta. A missing file is
+// not an error (pre-scheduler checkpoints resume with zeroed metadata).
+func LoadSchedMeta(dir string) ([]EntryMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, schedMetaFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: load sched meta: %w", err)
+	}
+	var out []EntryMeta
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("core: load sched meta: %w", err)
+	}
+	return out, nil
+}
+
+// applySeedMeta re-attaches restored metadata to a freshly queued entry,
+// matching by input content key. Returns whether metadata was found.
+func (f *Fuzzer) applySeedMeta(e *QueueEntry) bool {
+	if len(f.seedMeta) == 0 {
+		return false
+	}
+	m, ok := f.seedMeta[InputKey(e.Input)]
+	if !ok {
+		return false
+	}
+	e.Depth = m.Depth
+	if m.ExecTime > 0 {
+		e.ExecTime = m.ExecTime
+	}
+	e.Picked = m.Picked
+	e.Trimmed = m.Trimmed
+	e.aggrBack = m.AggrBack
+	e.aggrBarren = m.AggrBarren
+	return true
+}

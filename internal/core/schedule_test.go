@@ -1,0 +1,415 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/guest"
+	"repro/internal/netemu"
+	"repro/internal/spec"
+)
+
+// crashStallExec is an Executor whose target always crashes while executing
+// op crashOp. A snapshot marker placed after that op can therefore never be
+// reached — the exact situation that stalled the aggressive policy: the
+// snapshot-creation run returned !SnapshotTaken, Step bailed out before the
+// barren accounting, and the policy retried the same crashing position
+// forever, one execution per scheduling round.
+type crashStallExec struct {
+	loc     uint32
+	crashOp int
+	now     time.Duration
+	hasSnap bool
+}
+
+func (c *crashStallExec) RunFromRoot(in *spec.Input, tr *coverage.Trace) (netemu.Result, error) {
+	if tr != nil {
+		tr.Reset()
+		tr.Hit(c.loc)
+	}
+	c.now += time.Millisecond
+	res := netemu.Result{CrashOp: -1}
+	if len(in.Ops) > c.crashOp {
+		res.Crashed = true
+		res.Crash = &guest.CrashError{Kind: guest.CrashSegfault, Msg: "stall"}
+		res.CrashOp = c.crashOp
+		res.OpsExecuted = c.crashOp
+		if in.SnapshotAt >= 0 && in.SnapshotAt <= c.crashOp {
+			res.SnapshotTaken = true
+			c.hasSnap = true
+		}
+	} else {
+		res.OpsExecuted = len(in.Ops)
+		if in.SnapshotAt >= 0 {
+			res.SnapshotTaken = true
+			c.hasSnap = true
+		}
+	}
+	return res, nil
+}
+
+func (c *crashStallExec) RunSuffix(in *spec.Input, tr *coverage.Trace) (netemu.Result, error) {
+	if tr != nil {
+		tr.Reset()
+		tr.Hit(c.loc)
+	}
+	c.now += time.Millisecond
+	return netemu.Result{FromSnapshot: true, CrashOp: -1, OpsExecuted: len(in.Ops)}, nil
+}
+
+func (c *crashStallExec) HasSnapshot() bool  { return c.hasSnap }
+func (c *crashStallExec) DropSnapshot()      { c.hasSnap = false }
+func (c *crashStallExec) Now() time.Duration { return c.now }
+
+// Regression test for the aggressive-policy stall: a seed that always
+// crashes before the snapshot marker must not pin the campaign. The policy
+// has to charge the failed round as barren (so the position retreats off
+// the crashing prefix within a bounded number of rounds) and spend the
+// round's budget fuzzing from the root snapshot instead of burning a whole
+// schedule on the one failed execution.
+func TestAggressiveRetreatsOffCrashingPrefix(t *testing.T) {
+	s, seed := stubSpecInput() // 5 packets; crash while executing the last one
+	f := New(&crashStallExec{loc: 7, crashOp: 5}, s, Options{
+		Policy: PolicyAggressive,
+		Seeds:  []*spec.Input{seed},
+		Rand:   rand.New(rand.NewSource(1)),
+	})
+	if err := f.Step(); err != nil { // seed import
+		t.Fatal(err)
+	}
+	if len(f.Queue) != 1 {
+		t.Fatalf("queue = %d entries, want 1", len(f.Queue))
+	}
+	e := f.Queue[0]
+
+	// First scheduling round: the marker lands after the crashing op, the
+	// snapshot run fails, and the round must still do real work.
+	before := f.Execs()
+	if err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := f.Execs() - before; delta < 5 {
+		t.Fatalf("failed snapshot round ran only %d executions — burned the schedule on one exec", delta)
+	}
+
+	// Within a bounded number of rounds the position must retreat off the
+	// crashing prefix and incremental snapshots must start working. The
+	// bound: one retreat per round once barren execs accumulate, at most
+	// Packets positions to walk.
+	const maxRounds = 40
+	for i := 0; i < maxRounds && f.SnapshotExecs() == 0; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.aggrBack == 0 {
+		t.Fatal("aggressive policy never retreated off the always-crashing position")
+	}
+	if f.SnapshotExecs() == 0 {
+		t.Fatalf("no snapshot executions after %d rounds — still stalled on the crashing prefix", maxRounds)
+	}
+}
+
+// The round-robin scheduler must keep the seed's flat-rotation semantics:
+// fixed budget, no trim, no favored skipping.
+func TestRoundRobinKeepsFlatRotation(t *testing.T) {
+	s, seed := stubSpecInput()
+	f := New(&stubExec{loc: 9}, s, Options{
+		Policy: PolicyNone,
+		Seeds:  []*spec.Input{seed},
+		Sched:  SchedRoundRobin,
+		Rand:   rand.New(rand.NewSource(2)),
+	})
+	if err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+	e := f.Queue[0]
+	if e.Trimmed {
+		t.Fatal("round-robin scheduler ran the lazy trim")
+	}
+	if got := f.energy(e); got != f.opts.ExecsPerSchedule {
+		t.Fatalf("round-robin energy = %d, want fixed %d", got, f.opts.ExecsPerSchedule)
+	}
+}
+
+// The energy budget must penalize slow, narrow and fatigued entries, let
+// boosts offset penalties without exceeding the baseline, and stay within
+// the documented clamps.
+func TestEnergyScalesAndClamps(t *testing.T) {
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy:           PolicyNone,
+		Rand:             rand.New(rand.NewSource(3)),
+		ExecsPerSchedule: 100,
+	})
+	cov := []coverage.BucketHit{{Index: 1, Bucket: 1}}
+	fast := &QueueEntry{ExecTime: time.Millisecond, Cov: cov}
+	slow := &QueueEntry{ExecTime: 100 * time.Millisecond, Cov: cov}
+	f.Queue = []*QueueEntry{fast, fast, fast, slow}
+
+	if ef, es := f.energy(fast), f.energy(slow); ef <= es {
+		t.Fatalf("fast entry energy %d not above slow entry's %d", ef, es)
+	}
+	// A depth boost offsets the slowness penalty, but never pushes the
+	// budget past the baseline.
+	deepSlow := &QueueEntry{ExecTime: 100 * time.Millisecond, Cov: cov, Depth: 20}
+	f.Queue = []*QueueEntry{fast, fast, fast, deepSlow}
+	if ed, es := f.energy(deepSlow), f.energy(slow); ed <= es {
+		t.Fatalf("depth boost did not offset the slowness penalty: %d vs %d", ed, es)
+	}
+	if ed := f.energy(deepSlow); ed > f.opts.ExecsPerSchedule {
+		t.Fatalf("energy %d exceeds the baseline budget %d", ed, f.opts.ExecsPerSchedule)
+	}
+	tired := &QueueEntry{ExecTime: time.Millisecond, Cov: cov, Picked: 100}
+	fresh := &QueueEntry{ExecTime: time.Millisecond, Cov: cov}
+	f.Queue = []*QueueEntry{tired, fresh}
+	if et, efr := f.energy(tired), f.energy(fresh); et >= efr {
+		t.Fatalf("fatigued entry energy %d not below fresh entry's %d", et, efr)
+	}
+	// Clamps: every entry stays within [25, 100]% of the baseline.
+	extreme := &QueueEntry{ExecTime: time.Nanosecond, Cov: cov, Depth: 50}
+	f.Queue = []*QueueEntry{extreme, slow, slow, slow}
+	if e := f.energy(extreme); e > 100*energyMaxScore/100 {
+		t.Fatalf("energy %d exceeds max clamp", e)
+	}
+	worst := &QueueEntry{ExecTime: time.Second, Picked: 100}
+	f.Queue = []*QueueEntry{worst, fast}
+	if e := f.energy(worst); e < 100*energyMinScore/100 {
+		t.Fatalf("energy %d below min clamp", e)
+	}
+}
+
+// Favored culling must keep the invariant that every top-rated edge is
+// covered by some favored entry, and the favored subset should be a strict
+// subset of a grown queue.
+func TestFavoredCullingCoversTopRated(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyBalanced, 11)
+	if err := f.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queue) < 4 {
+		t.Fatalf("queue too small (%d) to exercise culling", len(f.Queue))
+	}
+	f.scoreChanged = true
+	f.cullQueue()
+
+	favored := 0
+	covered := make(map[uint32]bool)
+	for _, e := range f.Queue {
+		if e.Favored {
+			favored++
+			for _, h := range e.Cov {
+				covered[h.Index] = true
+			}
+		}
+	}
+	if favored == 0 {
+		t.Fatal("cull marked no favored entries")
+	}
+	if favored == len(f.Queue) {
+		t.Fatalf("cull favored all %d entries — no pruning happened", favored)
+	}
+	for idx := range f.topRated {
+		if !covered[idx] {
+			t.Fatalf("top-rated edge %d not covered by any favored entry", idx)
+		}
+	}
+}
+
+// The scheduler must spend most picks on favored entries, while non-favored
+// entries still get occasional rounds (probabilistic skipping, not a hard
+// filter).
+func TestPickPrefersFavored(t *testing.T) {
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy: PolicyNone,
+		Rand:   rand.New(rand.NewSource(4)),
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		f.Queue = append(f.Queue, &QueueEntry{ID: i, Picked: 1})
+	}
+	f.Queue[3].Favored = true
+
+	picks := make([]int, n)
+	for i := 0; i < 2000; i++ {
+		picks[f.pickEntry().ID]++
+	}
+	for i, c := range picks {
+		if i == 3 {
+			continue
+		}
+		if picks[3] <= c {
+			t.Fatalf("favored entry picked %d times, non-favored %d picked %d", picks[3], i, c)
+		}
+		if c == 0 {
+			t.Fatalf("non-favored entry %d starved completely", i)
+		}
+	}
+}
+
+// Scheduler metadata must round-trip through SaveSchedMeta/LoadSchedMeta
+// and re-attach to entries that re-queue from a saved corpus, and two
+// fuzzers restored from the same state must pick the same entries — the
+// determinism contract checkpoint/resume builds on.
+func TestSchedMetaRoundTripAndDeterministicResume(t *testing.T) {
+	dir := t.TempDir()
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyBalanced, 12)
+	if err := f.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queue) < 2 {
+		t.Fatal("queue too small")
+	}
+	if err := f.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveSchedMeta(dir); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := LoadSchedMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != len(f.Queue) {
+		t.Fatalf("loaded %d metadata entries, want %d", len(metas), len(f.Queue))
+	}
+	for i, m := range metas {
+		e := f.Queue[i]
+		if m.Depth != e.Depth || m.Picked != e.Picked || m.Trimmed != e.Trimmed ||
+			m.ExecTime != e.ExecTime {
+			t.Fatalf("metadata %d does not match live entry: %+v vs %+v", i, m, *e)
+		}
+	}
+
+	restore := func(seed int64) *Fuzzer {
+		inst2 := launch(t, "lightftp")
+		seeds, err := LoadCorpus(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(inst2.Agent, inst2.Spec, Options{
+			Policy:   PolicyBalanced,
+			Seeds:    seeds,
+			SeedMeta: metas,
+			Rand:     rand.New(rand.NewSource(seed)),
+			Dict:     inst2.Info.Dict,
+		})
+		if err := r.Step(); err != nil { // seed import
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r1 := restore(99)
+	restoredMeta := 0
+	for _, e := range r1.Queue {
+		if e.Picked > 0 || e.Trimmed {
+			restoredMeta++
+		}
+	}
+	if restoredMeta == 0 {
+		t.Fatal("no entry got its scheduler metadata re-attached on restore")
+	}
+
+	// Same restored state + same RNG seed => identical scheduling.
+	r2 := restore(99)
+	if err := r1.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Execs() != r2.Execs() || r1.Coverage() != r2.Coverage() || len(r1.Queue) != len(r2.Queue) {
+		t.Fatalf("restored campaigns diverged: execs %d/%d, cov %d/%d, queue %d/%d",
+			r1.Execs(), r2.Execs(), r1.Coverage(), r2.Coverage(), len(r1.Queue), len(r2.Queue))
+	}
+	for i := range r1.Queue {
+		if r1.Queue[i].Picked != r2.Queue[i].Picked {
+			t.Fatalf("entry %d picked %d vs %d times — pick sequences diverged",
+				i, r1.Queue[i].Picked, r2.Queue[i].Picked)
+		}
+	}
+}
+
+// A missing metadata file resumes with zeroed metadata instead of failing
+// (pre-scheduler checkpoints stay loadable).
+func TestLoadSchedMetaMissingFile(t *testing.T) {
+	metas, err := LoadSchedMeta(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas != nil {
+		t.Fatalf("expected nil metadata, got %d entries", len(metas))
+	}
+}
+
+// The lazy trim must run only on picked favored entries (at most once
+// each), must never grow an input, and must respect the campaign-wide
+// virtual-time budget.
+func TestLazyTrimOnFirstPick(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyNone, 13)
+	if err := f.Step(); err != nil { // seed import
+		t.Fatal(err)
+	}
+	sizes := make(map[int]int)
+	for _, e := range f.Queue {
+		sizes[e.ID] = len(e.Input.Ops)
+	}
+	rounds := 3 * len(f.Queue) // the queue grows while we fuzz; bound on the seed corpus
+	for i := 0; i < rounds; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trimmed := 0
+	for _, e := range f.Queue {
+		if e.Trimmed {
+			trimmed++
+			if e.Picked == 0 {
+				t.Fatalf("entry %d trimmed without ever being picked", e.ID)
+			}
+		}
+		if orig, ok := sizes[e.ID]; ok && len(e.Input.Ops) > orig {
+			t.Fatalf("entry %d grew from %d to %d ops", e.ID, orig, len(e.Input.Ops))
+		}
+	}
+	if trimmed == 0 {
+		t.Fatal("no entry was ever trimmed")
+	}
+	// The budget is checked before each trim, so a single in-flight trim
+	// may overshoot the cap — but never by more than one trim's worth.
+	if budget := f.Elapsed() * 2 * trimBudgetPct / 100; f.trimTime > budget {
+		t.Fatalf("trim consumed %v, far beyond the %d%% budget", f.trimTime, trimBudgetPct)
+	}
+}
+
+// ParseSched and Sched.String round-trip the flag values.
+func TestSchedParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Sched
+	}{{"afl", SchedAFL}, {"rr", SchedRoundRobin}, {"round-robin", SchedRoundRobin}} {
+		got, err := ParseSched(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSched(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+	if _, err := ParseSched("bogus"); err == nil {
+		t.Fatal("ParseSched must reject unknown names")
+	}
+	if SchedAFL.String() != "afl" || SchedRoundRobin.String() != "round-robin" {
+		t.Fatal("Sched names wrong")
+	}
+	if Sched(9).String() == "" {
+		t.Fatal("unknown sched should still render")
+	}
+}

@@ -10,50 +10,21 @@ import (
 // traceSignature summarizes a trace as an order-insensitive hash of its
 // (edge, bucket) pairs; two executions with equal signatures exercised the
 // same behaviour for trimming purposes (AFL's afl-tmin uses checksums the
-// same way).
+// same way). It classifies hit counts with coverage.BucketOf — the same
+// table the virgin map uses — so trimming can never silently change which
+// bucket class an input belongs to. Walking Trace.Touched keeps the cost
+// O(edges hit) per candidate, which matters now that the scheduler trims
+// every queue entry on first pick.
 func traceSignature(tr *coverage.Trace) uint64 {
 	var sig uint64
 	bits := tr.Bits()
-	for _, idx := range trTouched(tr) {
-		h := uint64(idx)<<8 | uint64(bucketOf(bits[idx]))
+	for _, idx := range tr.Touched() {
+		h := uint64(idx)<<8 | uint64(coverage.BucketOf(bits[idx]))
 		h *= 0x9E3779B97F4A7C15
 		h ^= h >> 29
 		sig += h
 	}
 	return sig
-}
-
-// trTouched returns the touched indices of a trace via CountEdges'
-// underlying journal (re-derived from the bitmap to avoid exporting
-// internals).
-func trTouched(tr *coverage.Trace) []uint32 {
-	bits := tr.Bits()
-	out := make([]uint32, 0, tr.CountEdges())
-	for i := range bits {
-		if bits[i] != 0 {
-			out = append(out, uint32(i))
-		}
-	}
-	return out
-}
-
-func bucketOf(c byte) byte {
-	switch {
-	case c == 0:
-		return 0
-	case c <= 3:
-		return c
-	case c <= 7:
-		return 8
-	case c <= 15:
-		return 16
-	case c <= 31:
-		return 32
-	case c <= 127:
-		return 64
-	default:
-		return 128
-	}
 }
 
 // Trim shrinks an input while preserving its coverage signature: first it

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/coverage"
 	"repro/internal/spec"
 )
 
@@ -47,6 +48,91 @@ func TestTrimShrinksInput(t *testing.T) {
 	}
 	if err := inst.Spec.Validate(trimmed); err != nil {
 		t.Fatalf("trimmed input invalid: %v", err)
+	}
+}
+
+// Trim must preserve the input's behaviour class exactly: the trimmed
+// input still validates, is never longer than the original (ops and
+// serialized bytes), and replays to the same coverage signature — which,
+// since trim signatures now share coverage.BucketOf with the virgin map,
+// means trimming can never change which bucket class an input belongs to.
+func TestTrimInvariants(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyNone, 7)
+	con, _ := inst.Spec.NodeByName("connect_tcp_2200")
+	pkt, _ := inst.Spec.NodeByName("packet")
+	in := spec.NewInput(spec.Op{Node: con})
+	for i := 0; i < 4; i++ {
+		in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte("NOOP\r\n")})
+	}
+	in.Ops = append(in.Ops, spec.Op{Node: pkt, Args: []uint16{0}, Data: []byte("USER a\r\nPADDINGPADDING")})
+
+	var ref coverage.Trace
+	if _, err := inst.Agent.RunFromRoot(in, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := traceSignature(&ref)
+
+	trimmed, err := f.Trim(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Spec.Validate(trimmed); err != nil {
+		t.Fatalf("trimmed input invalid: %v", err)
+	}
+	if len(trimmed.Ops) > len(in.Ops) {
+		t.Fatalf("trim grew the input: %d -> %d ops", len(in.Ops), len(trimmed.Ops))
+	}
+	if lt, li := len(spec.Serialize(trimmed)), len(spec.Serialize(in)); lt > li {
+		t.Fatalf("trim grew the serialization: %d -> %d bytes", li, lt)
+	}
+	var tr coverage.Trace
+	if _, err := inst.Agent.RunFromRoot(trimmed, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := traceSignature(&tr); got != want {
+		t.Fatalf("trim changed the coverage signature: %x -> %x", want, got)
+	}
+}
+
+// MinimizeCrash must preserve the crash kind, keep the result valid, and
+// never grow the input.
+func TestMinimizeCrashInvariants(t *testing.T) {
+	inst := launch(t, "proftpd")
+	f := newFuzzer(t, inst, PolicyNone, 8)
+	in := proftpdCrashInput(t, inst.Spec)
+
+	res, err := inst.Agent.RunFromRoot(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("reference input does not crash")
+	}
+	kind := res.Crash.Kind
+
+	minimized, err := f.MinimizeCrash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Spec.Validate(minimized); err != nil {
+		t.Fatalf("minimized input invalid: %v", err)
+	}
+	if len(minimized.Ops) > len(in.Ops) {
+		t.Fatalf("minimization grew the input: %d -> %d ops", len(in.Ops), len(minimized.Ops))
+	}
+	if lm, li := len(spec.Serialize(minimized)), len(spec.Serialize(in)); lm > li {
+		t.Fatalf("minimization grew the serialization: %d -> %d bytes", li, lm)
+	}
+	mres, err := inst.Agent.RunFromRoot(minimized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Crashed {
+		t.Fatal("minimized input no longer crashes")
+	}
+	if mres.Crash.Kind != kind {
+		t.Fatalf("minimization changed the crash kind: %v -> %v", kind, mres.Crash.Kind)
 	}
 }
 

@@ -51,8 +51,17 @@ func (t *Trace) Bits() *[MapSize]byte { return &t.bits }
 // CountEdges returns the number of distinct edges hit in this trace.
 func (t *Trace) CountEdges() int { return len(t.touched) }
 
-// bucket classifies a hit count into AFL's power-of-two buckets.
-func bucket(c byte) byte {
+// Touched returns the bitmap indices hit in this trace, in hit order. The
+// returned slice aliases the trace's journal: it is valid until the next
+// Reset and must not be mutated. It lets consumers (trim signatures, corpus
+// brokers) walk a trace in O(edges hit) instead of O(MapSize).
+func (t *Trace) Touched() []uint32 { return t.touched }
+
+// BucketOf classifies a hit count into AFL's power-of-two buckets. It is
+// the single classification every layer must share: the virgin map, the
+// bucketed trace snapshots, and trim signatures all agree on what counts as
+// "the same behaviour" only because they use this one table.
+func BucketOf(c byte) byte {
 	switch {
 	case c == 0:
 		return 0
@@ -88,7 +97,7 @@ type Virgin struct {
 func (v *Virgin) Merge(t *Trace) (hasNew, newEdge bool) {
 	for _, i := range t.touched {
 		c := t.bits[i]
-		b := bucket(c)
+		b := BucketOf(c)
 		if v.bits[i]&b == 0 {
 			hasNew = true
 			if v.bits[i] == 0 {
@@ -121,7 +130,7 @@ type BucketHit struct {
 func (t *Trace) Bucketed() []BucketHit {
 	out := make([]BucketHit, 0, len(t.touched))
 	for _, i := range t.touched {
-		out = append(out, BucketHit{Index: i, Bucket: bucket(t.bits[i])})
+		out = append(out, BucketHit{Index: i, Bucket: BucketOf(t.bits[i])})
 	}
 	return out
 }

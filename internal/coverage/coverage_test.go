@@ -101,13 +101,13 @@ func TestVirginBucketTransitions(t *testing.T) {
 func TestBucketMonotonic(t *testing.T) {
 	prev := byte(0)
 	for c := 0; c < 256; c++ {
-		b := bucket(byte(c))
+		b := BucketOf(byte(c))
 		if c > 0 && b < prev {
-			t.Fatalf("bucket(%d) = %d < bucket(%d) = %d", c, b, c-1, prev)
+			t.Fatalf("BucketOf(%d) = %d < BucketOf(%d) = %d", c, b, c-1, prev)
 		}
 		prev = b
 	}
-	if bucket(0) != 0 || bucket(1) != 1 || bucket(255) != 128 {
+	if BucketOf(0) != 0 || BucketOf(1) != 1 || BucketOf(255) != 128 {
 		t.Fatal("bucket boundaries wrong")
 	}
 }

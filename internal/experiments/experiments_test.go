@@ -262,3 +262,34 @@ func TestAblations(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+// The scheduling ablation must show the AFL-style scheduler reaching the
+// round-robin baseline's final coverage in no more virtual time (i.e.
+// within the shared campaign duration) on at least one bundled target.
+func TestAblationScheduling(t *testing.T) {
+	const dur = 10 * time.Second
+	reached := false
+	for _, tc := range []struct {
+		target string
+		seed   int64
+	}{{"tinydtls", 1}, {"dnsmasq", 3}, {"lightftp", 1}} {
+		rs, err := AblationScheduling(tc.target, dur, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 3 {
+			t.Fatalf("ablation returned %d rows, want 3", len(rs))
+		}
+		rr, afl, tt := rs[0].Value, rs[1].Value, rs[2].Value
+		if rr <= 0 || afl <= 0 {
+			t.Fatalf("%s: degenerate coverage (rr=%.0f, afl=%.0f)", tc.target, rr, afl)
+		}
+		if tt >= 0 && tt <= dur.Seconds() {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		t.Fatal("AFL scheduler never matched round-robin coverage within equal virtual time on any target")
+	}
+}

@@ -172,7 +172,11 @@ func (m *Mutator) MutateSuffix(in *Input, start int) *Input {
 	return out
 }
 
-// Splice crosses two inputs: a prefix of a followed by a suffix of b.
+// Splice crosses two inputs: a prefix of a followed by a suffix of b. The
+// result is capped at MaxOps*2 ops (the same bound the havoc stage
+// enforces), so repeated splicing cannot balloon queue entries — oversized
+// entries are expensive to re-execute everywhere, including when a corpus
+// broker redistributes them to other campaign workers.
 func (m *Mutator) Splice(a, b *Input) *Input {
 	if len(a.Ops) == 0 {
 		return b.Clone()
@@ -183,8 +187,15 @@ func (m *Mutator) Splice(a, b *Input) *Input {
 	cutA := m.R.Intn(len(a.Ops)) + 1
 	cutB := m.R.Intn(len(b.Ops))
 	out := NewInput()
-	out.Ops = append(out.Ops, a.Clone().Ops[:cutA]...)
-	out.Ops = append(out.Ops, b.Clone().Ops[cutB:]...)
+	for _, op := range a.Ops[:cutA] {
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	for _, op := range b.Ops[cutB:] {
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	if max := m.MaxOps * 2; len(out.Ops) > max {
+		out.Ops = out.Ops[:max]
+	}
 	m.repairFrom(out, 0)
 	if len(out.Ops) == 0 {
 		return a.Clone()
@@ -265,7 +276,7 @@ func (m *Mutator) dupOpFrom(in *Input, start int) {
 		return
 	}
 	i := start + m.R.Intn(len(in.Ops)-start)
-	cp := in.Clone().Ops[i]
+	cp := in.Ops[i].Clone()
 	in.Ops = append(in.Ops[:i+1], append([]Op{cp}, in.Ops[i+1:]...)...)
 }
 

@@ -137,14 +137,22 @@ type Input struct {
 // NewInput creates an input with no snapshot marker.
 func NewInput(ops ...Op) *Input { return &Input{Ops: ops, SnapshotAt: -1} }
 
+// Clone deep-copies the op: the returned Op shares no Args or Data storage
+// with the original. Mutators use it to copy single ops without cloning the
+// whole input they sit in.
+func (op Op) Clone() Op {
+	return Op{
+		Node: op.Node,
+		Args: append([]uint16(nil), op.Args...),
+		Data: append([]byte(nil), op.Data...),
+	}
+}
+
 // Clone deep-copies the input.
 func (in *Input) Clone() *Input {
 	out := &Input{Ops: make([]Op, len(in.Ops)), SnapshotAt: in.SnapshotAt}
 	for i, op := range in.Ops {
-		cp := Op{Node: op.Node}
-		cp.Args = append([]uint16(nil), op.Args...)
-		cp.Data = append([]byte(nil), op.Data...)
-		out.Ops[i] = cp
+		out.Ops[i] = op.Clone()
 	}
 	return out
 }

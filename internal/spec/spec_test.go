@@ -247,3 +247,16 @@ func TestCloneIsDeep(t *testing.T) {
 		t.Fatal("Clone must deep-copy data and args")
 	}
 }
+
+func TestOpCloneIsDeep(t *testing.T) {
+	op := Op{Node: 3, Args: []uint16{1, 2}, Data: []byte("abc")}
+	cp := op.Clone()
+	cp.Args[0] = 9
+	cp.Data[0] = 'X'
+	if op.Args[0] == 9 || op.Data[0] == 'X' {
+		t.Fatal("Op.Clone must deep-copy args and data")
+	}
+	if cp.Node != op.Node || len(cp.Args) != 2 || string(op.Data) != "abc" {
+		t.Fatal("Op.Clone must copy all fields")
+	}
+}
