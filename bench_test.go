@@ -250,17 +250,26 @@ func BenchmarkAblationSnapshotReuse(b *testing.B) {
 }
 
 // BenchmarkAblationScheduling ablates the corpus scheduler at equal
-// virtual time: AFL-style (favored culling, energy, splice, trim) vs the
-// flat round-robin rotation, reporting the coverage ratio and the virtual
-// time the AFL scheduler needed to reach the round-robin run's final
-// coverage (negative means it did not get there within the budget).
+// virtual time: AFL-style (favored culling, energy, splice, trim) and the
+// AFLfast-style power schedules vs the flat round-robin rotation,
+// reporting coverage ratios and the virtual time the AFL scheduler needed
+// to reach the round-robin run's final coverage (negative means it did
+// not get there within the budget).
 func BenchmarkAblationScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rs, err := experiments.AblationScheduling("tinydtls", 10*time.Second, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(rs[1].Value/rs[0].Value, "afl/rr-coverage")
-		b.ReportMetric(rs[2].Value, "afl-virt-s-to-rr-cov")
+		byName := make(map[string]float64, len(rs))
+		for _, r := range rs {
+			byName[r.Name] = r.Value
+		}
+		rr := byName["round-robin final coverage"]
+		b.ReportMetric(byName["afl-sched final coverage"]/rr, "afl/rr-coverage")
+		for _, p := range []string{"fast", "coe", "explore", "lin", "quad"} {
+			b.ReportMetric(byName["afl+"+p+" final coverage"]/rr, "afl+"+p+"/rr-coverage")
+		}
+		b.ReportMetric(byName["afl-sched time to round-robin coverage"], "afl-virt-s-to-rr-cov")
 	}
 }

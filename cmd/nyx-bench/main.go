@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -33,10 +34,15 @@ func main() {
 		tgts     = flag.String("targets", "", "comma-separated target subset (default: all 13)")
 		levels   = flag.String("levels", "", "comma-separated Mario levels for table 4 (default subset)")
 		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8)")
+		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad (the sched ablation sweeps all of them)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{CampaignTime: *dur, Reps: *reps, Seed: *seed}
+	pw, err := core.ParsePower(*power)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := experiments.Config{CampaignTime: *dur, Reps: *reps, Seed: *seed, Power: pw}
 	if *tgts != "" {
 		cfg.Targets = strings.Split(*tgts, ",")
 	}
@@ -179,7 +185,7 @@ func main() {
 			if err != nil {
 				fatalf("ablation sched: %v", err)
 			}
-			fmt.Println(experiments.RenderAblation("== Ablation: queue scheduling (round-robin vs AFL-style) ==", rs))
+			fmt.Println(experiments.RenderAblation("== Ablation: queue scheduling (round-robin vs AFL-style vs power schedules) ==", rs))
 		}
 	}
 

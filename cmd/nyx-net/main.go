@@ -15,12 +15,17 @@
 // The queue scheduler is selectable with -sched: "afl" (the default) runs
 // the AFL-style corpus scheduler — favored-entry culling, per-entry energy
 // budgets, a splice stage and lazy trim — while "rr" restores the flat
-// round-robin rotation (the scheduling-ablation baseline).
+// round-robin rotation (the scheduling-ablation baseline). On top of the
+// AFL scheduler, -power selects an AFLfast-style power schedule for
+// long-horizon campaigns (fast | coe | explore | lin | quad): energy is
+// reshaped over pick counts and per-edge pick frequencies, with the energy
+// ceiling lifted past the baseline once the queue frontier drains.
 //
 // Usage:
 //
 //	nyx-net -target lightftp -policy aggressive -time 30s -seed 1
 //	nyx-net -target lightftp -sched rr -time 30s -seed 1
+//	nyx-net -target tinydtls -power fast -time 5m -seed 1
 //	nyx-net -target lightftp -workers 4 -seed 1
 //	nyx-net -target lightftp -workers 4 -checkpoint /tmp/camp -time 30s
 //	nyx-net -resume -checkpoint /tmp/camp -time 30s
@@ -45,6 +50,7 @@ func main() {
 		target   = flag.String("target", "lightftp", "target to fuzz (see -list)")
 		policy   = flag.String("policy", "aggressive", "snapshot policy: none | balanced | aggressive")
 		sched    = flag.String("sched", "afl", "queue scheduler: afl (favored culling, energy, splice, trim) | rr (flat round-robin)")
+		power    = flag.String("power", "off", "AFLfast-style power schedule for long campaigns: off | fast | coe | explore | lin | quad")
 		duration = flag.Duration("time", 30*time.Second, "virtual campaign duration")
 		seed     = flag.Int64("seed", 1, "campaign RNG seed (master seed with -workers)")
 		asan     = flag.Bool("asan", false, "enable AddressSanitizer-like checking")
@@ -80,10 +86,17 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	pw, err := core.ParsePower(*power)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if pw != core.PowerOff && sc == core.SchedRoundRobin {
+		fatalf("-power %s requires -sched afl (round-robin has no energy function to reshape)", pw)
+	}
 
 	if *workers > 1 || *resume || *ckpt != "" {
 		runParallel(parallelOpts{
-			target: *target, policy: pol, sched: sc, duration: *duration, seed: *seed,
+			target: *target, policy: pol, sched: sc, power: pw, duration: *duration, seed: *seed,
 			asan: *asan, workers: *workers, sync: *syncIvl,
 			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir,
 		})
@@ -99,6 +112,7 @@ func main() {
 	f := core.New(inst.Agent, inst.Spec, core.Options{
 		Policy: pol,
 		Sched:  sc,
+		Power:  pw,
 		Seeds:  inst.Seeds(),
 		Rand:   rand.New(rand.NewSource(*seed)),
 		Dict:   inst.Info.Dict,
@@ -120,6 +134,7 @@ type parallelOpts struct {
 	target     string
 	policy     core.Policy
 	sched      core.Sched
+	power      core.Power
 	duration   time.Duration
 	seed       int64
 	asan       bool
@@ -149,6 +164,7 @@ func runParallel(o parallelOpts) {
 			Workers:      o.workers,
 			Policy:       o.policy,
 			Sched:        o.sched,
+			Power:        o.power,
 			Seed:         o.seed,
 			SyncInterval: o.sync,
 			Asan:         o.asan,

@@ -33,22 +33,64 @@ type broker struct {
 	// published/deduped count broker decisions (campaign telemetry).
 	published uint64
 	deduped   uint64
+
+	// Global favored competition. Each worker culls a favored set against
+	// its own top-rated map; with N workers that yields N overlapping
+	// favored sets, and redistribution (plus re-pick skipping) over-weights
+	// entries that are only locally best. The broker therefore runs the
+	// same competition campaign-wide: topRated holds, per edge, the
+	// cheapest (favFactor-minimal) published claim; claimWins counts how
+	// many edges each claimant currently holds; claimants maps a claimant
+	// key to every live entry carrying that input — the publisher's, plus
+	// each receiving worker's re-executed copy and, after a resume, the
+	// re-imported queue entries — so a fully displaced claim demotes all
+	// of them in place (QueueEntry.GloballyDominated).
+	// claimEdges indexes, per claimant key, the edges ever claimed under
+	// it, so a trim's claim transfer touches only that key's edges
+	// instead of scanning the whole topRated map. Entries go stale when
+	// an edge is displaced (claimWins is the authoritative count);
+	// readers must check topRated[edge].key before trusting one.
+	topRated   map[uint32]topClaim
+	claimWins  map[string]int
+	claimants  map[string][]*core.QueueEntry
+	claimEdges map[string][]uint32
+}
+
+// topClaim is one edge's best known coverage claim across all workers.
+type topClaim struct {
+	fav int64  // favFactor of the claiming entry (lower is better)
+	key string // content key (core.InputKey) of the claiming input
 }
 
 // brokerEntry is one accepted corpus entry plus its provenance.
 type brokerEntry struct {
 	Worker int
 	Entry  *core.QueueEntry
+	// GlobalFav records that the entry currently holds at least one edge
+	// in the broker-wide favored competition (settled at the end of the
+	// sync round that published it, so an entry displaced later in the
+	// same round is not redistributed as a winner).
+	GlobalFav bool
+	// key is the entry's content key (core.InputKey), cached at publish
+	// time for claim lookups.
+	key string
 }
 
 func newBroker() *broker {
-	return &broker{crashSeen: make(map[string]bool)}
+	return &broker{
+		crashSeen:  make(map[string]bool),
+		topRated:   make(map[uint32]topClaim),
+		claimWins:  make(map[string]int),
+		claimants:  make(map[string][]*core.QueueEntry),
+		claimEdges: make(map[string][]uint32),
+	}
 }
 
 // ingest performs the single-threaded half of a sync round: walk the
 // workers in ID order, pull their newly queued entries and crashes, dedup
-// both against global state, fold in their virgin maps, and assemble each
-// worker's import list for the parallel redistribution phase.
+// both against global state, fold in their virgin maps, compete every fresh
+// entry in the global favored competition, and assemble each worker's
+// import list for the parallel redistribution phase.
 func (b *broker) ingest(ws []*worker) {
 	var fresh []brokerEntry
 	for _, w := range ws {
@@ -59,13 +101,40 @@ func (b *broker) ingest(ws []*worker) {
 			// whose coverage another worker already published merge
 			// to nothing and are dropped — AFL-style sync dedup,
 			// but exact, because entries carry their bucketed trace.
+			//
+			// Every publication competes, fresh or not: a duplicate is
+			// a live copy of an already-known input — a receiving
+			// worker's re-executed import, or a re-imported queue entry
+			// after a resume — and competing it either binds it as a
+			// claimant of the edges its input holds (so a later
+			// displacement demotes every copy) or demotes it right away
+			// when the input already lost the competition. Only fresh
+			// entries may displace other inputs' claims, though:
+			// duplicates are never redistributed, so letting one unseat
+			// an incumbent would demote every worker's representative
+			// for those edges while the cheaper input exists on a
+			// single worker.
+			key := core.InputKey(e.Input)
 			if hasNew, _ := b.global.MergeBuckets(e.Cov); hasNew {
-				fresh = append(fresh, brokerEntry{Worker: w.id, Entry: e})
+				b.compete(key, e, true)
+				fresh = append(fresh, brokerEntry{Worker: w.id, Entry: e, key: key})
 			} else {
+				b.compete(key, e, false)
 				b.deduped++
 			}
 		}
 		w.synced = len(w.fz.Queue)
+
+		// Entries trimmed since the last sync changed content and
+		// measured cost; transfer their global claims from the pre-trim
+		// content key to the trimmed form's key so the ranking tracks
+		// what the entry costs now. A transfer displaces no other
+		// input's claims (same invariant as duplicates above — the
+		// trimmed form is not redistributed), it only renames and
+		// re-prices the claims the input already held.
+		for _, r := range w.fz.DrainRetrimmed() {
+			b.transferClaims(r.OldKey, core.InputKey(r.Entry.Input), r.Entry)
+		}
 
 		for _, cr := range w.fz.Crashes[w.crashSynced:] {
 			if !b.crashSeen[cr.Key()] {
@@ -81,12 +150,20 @@ func (b *broker) ingest(ws []*worker) {
 		// bucket upgrades from executions that were not queued.
 		b.global.MergeVirgin(&w.fz.Virgin)
 	}
+	// Settle the round's winners only after every worker competed: an
+	// entry that won edges early in the walk can be fully displaced by a
+	// cheaper publication later in the same round, and must not be
+	// redistributed (or persisted) as a global winner.
+	for i := range fresh {
+		fresh[i].GlobalFav = b.claimWins[fresh[i].key] > 0
+	}
 	b.corpus = append(b.corpus, fresh...)
 
-	// Route every fresh entry to every other worker, favored entries
-	// first. Importing re-executes entries against each receiver's own
-	// target, so front-loading the owners' favored picks puts the entries
-	// most likely to seed new coverage at the head of every import budget.
+	// Route every fresh entry to every other worker, globally winning
+	// favored entries first. Importing re-executes entries against each
+	// receiver's own target, so front-loading the campaign-wide winners
+	// puts the entries most likely to seed new coverage at the head of
+	// every import budget; globally dominated entries ride at the back.
 	ordered := orderImports(fresh)
 	for _, w := range ws {
 		for _, fe := range ordered {
@@ -97,17 +174,104 @@ func (b *broker) ingest(ws []*worker) {
 	}
 }
 
-// orderImports sorts a sync round's fresh entries favored-first, stable
-// within each class so redistribution order stays deterministic.
+// compete enters e (content key: key) into the global favored
+// competition: for every edge its recorded trace covers, the claim with
+// the smallest favFactor wins — core.Fuzzer's per-worker top-rated
+// update, restated campaign-wide. An edge already claimed by e's own
+// input (another live copy of it) counts as held, binding this copy as a
+// claimant and refreshing the claim's cost to the latest measurement.
+// displace controls whether e may unseat other inputs' claims (fresh
+// publications) or only bind, refresh and take unclaimed edges (duplicate
+// publications, which are never redistributed). Losing entries that the
+// publishing worker had culled as locally favored are demoted in place
+// (GloballyDominated), which the worker's scheduler reads on its next
+// round — the loser feedback path. The same demotion hits every live
+// copy of a previous winner whose last edge was just displaced.
+func (b *broker) compete(key string, e *core.QueueEntry, displace bool) {
+	fav := e.FavFactor()
+	won := false
+	for _, h := range e.Cov {
+		if h.Bucket == 0 {
+			continue
+		}
+		cur, ok := b.topRated[h.Index]
+		if ok && cur.key == key {
+			if cur.fav != fav {
+				b.topRated[h.Index] = topClaim{fav: fav, key: key}
+			}
+			won = true
+			continue
+		}
+		if ok && (!displace || cur.fav <= fav) {
+			continue
+		}
+		if ok {
+			b.claimWins[cur.key]--
+			if b.claimWins[cur.key] <= 0 {
+				delete(b.claimWins, cur.key)
+				for _, loser := range b.claimants[cur.key] {
+					loser.GloballyDominated = true
+				}
+				delete(b.claimants, cur.key)
+				delete(b.claimEdges, cur.key)
+			}
+		}
+		b.topRated[h.Index] = topClaim{fav: fav, key: key}
+		b.claimWins[key]++
+		b.claimEdges[key] = append(b.claimEdges[key], h.Index)
+		won = true
+	}
+	if won {
+		b.claimants[key] = append(b.claimants[key], e)
+		e.GloballyDominated = false
+	} else if e.Favored {
+		e.GloballyDominated = true
+	}
+}
+
+// transferClaims re-files every global claim held under oldKey to newKey
+// at e's current favFactor — the lazy-trim path: the input was published
+// (and claimed its edges) in pre-trim form, then its owning worker trimmed
+// it, changing both content key and measured cost. Claimant bindings carry
+// over, so displacement of the trimmed form still demotes every live copy
+// of the pre-trim publication. A no-op when the input holds no claims.
+func (b *broker) transferClaims(oldKey, newKey string, e *core.QueueEntry) {
+	n := b.claimWins[oldKey]
+	if n == 0 {
+		return
+	}
+	fav := e.FavFactor()
+	for _, idx := range b.claimEdges[oldKey] {
+		// The per-key index may carry edges displaced since they were
+		// claimed; re-file only the claims oldKey still holds.
+		if b.topRated[idx].key != oldKey {
+			continue
+		}
+		b.topRated[idx] = topClaim{fav: fav, key: newKey}
+		if oldKey != newKey {
+			b.claimEdges[newKey] = append(b.claimEdges[newKey], idx)
+		}
+	}
+	delete(b.claimWins, oldKey)
+	b.claimWins[newKey] += n
+	if oldKey != newKey {
+		b.claimants[newKey] = append(b.claimants[newKey], b.claimants[oldKey]...)
+		delete(b.claimants, oldKey)
+		delete(b.claimEdges, oldKey)
+	}
+}
+
+// orderImports sorts a sync round's fresh entries global-winners-first,
+// stable within each class so redistribution order stays deterministic.
 func orderImports(fresh []brokerEntry) []brokerEntry {
 	ordered := make([]brokerEntry, 0, len(fresh))
 	for _, fe := range fresh {
-		if fe.Entry.Favored {
+		if fe.GlobalFav {
 			ordered = append(ordered, fe)
 		}
 	}
 	for _, fe := range fresh {
-		if !fe.Entry.Favored {
+		if !fe.GlobalFav {
 			ordered = append(ordered, fe)
 		}
 	}

@@ -61,6 +61,9 @@ type Config struct {
 	// Sched is the queue scheduling strategy every worker uses (default
 	// core.SchedAFL).
 	Sched core.Sched
+	// Power is the AFLfast-style power schedule every worker layers on the
+	// AFL scheduler (default core.PowerOff).
+	Power core.Power
 	// Asan enables sanitizer instrumentation in every worker's VM.
 	Asan bool
 }
@@ -107,13 +110,26 @@ func New(cfg Config) (*Campaign, error) {
 	return newCampaign(cfg.withDefaults(), 0, nil, nil)
 }
 
+// workerSeeds is the restored per-worker state a resume feeds back into
+// core.New: the saved queue as seeds, scheduler metadata to re-attach, and
+// the power-schedule state (nil for fresh workers and pre-power
+// checkpoints).
+type workerSeeds struct {
+	seeds []*spec.Input
+	meta  []core.EntryMeta
+	power *core.PowerMeta
+}
+
 // newCampaign is shared between New and Resume: epoch tags the RNG
 // derivation, seedsFor overrides the initial corpus per worker plus any
-// restored scheduler metadata (nil means the target's bundled seeds), and
-// br supplies restored broker state.
-func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, []core.EntryMeta, error), br *broker) (*Campaign, error) {
+// restored scheduler/power metadata (nil means the target's bundled
+// seeds), and br supplies restored broker state.
+func newCampaign(cfg Config, epoch int, seedsFor func(i int) (workerSeeds, error), br *broker) (*Campaign, error) {
 	if cfg.Workers > 1024 {
 		return nil, fmt.Errorf("campaign: %d workers is unreasonable", cfg.Workers)
+	}
+	if cfg.Power != core.PowerOff && cfg.Sched == core.SchedRoundRobin {
+		return nil, fmt.Errorf("campaign: power schedule %v requires the afl scheduler (round-robin has no energy function to reshape)", cfg.Power)
 	}
 	c := &Campaign{cfg: cfg, epoch: epoch, broker: br}
 	if c.broker == nil {
@@ -126,14 +142,16 @@ func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, []c
 		}
 		seeds := inst.Seeds()
 		var seedMeta []core.EntryMeta
+		var powerState *core.PowerMeta
 		if seedsFor != nil {
-			loaded, meta, err := seedsFor(i)
+			loaded, err := seedsFor(i)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: worker %d seeds: %w", i, err)
 			}
-			if loaded != nil {
-				seeds = loaded
-				seedMeta = meta
+			if loaded.seeds != nil {
+				seeds = loaded.seeds
+				seedMeta = loaded.meta
+				powerState = loaded.power
 			}
 		}
 		fz := core.New(inst.Agent, inst.Spec, core.Options{
@@ -141,7 +159,10 @@ func newCampaign(cfg Config, epoch int, seedsFor func(i int) ([]*spec.Input, []c
 			Seeds:         seeds,
 			SnapshotReuse: cfg.SnapshotReuse,
 			Sched:         cfg.Sched,
+			Power:         cfg.Power,
 			SeedMeta:      seedMeta,
+			PowerState:    powerState,
+			TrackRetrims:  true,
 			Rand:          rand.New(rand.NewSource(deriveSeed(cfg.Seed, epoch, i))),
 			Dict:          inst.Info.Dict,
 		})

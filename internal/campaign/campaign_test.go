@@ -1,11 +1,16 @@
 package campaign
 
 import (
+	"encoding/json"
+	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/targets"
 )
 
 func testCfg(workers int, seed int64) Config {
@@ -346,10 +351,11 @@ func TestCheckpointPersistsSchedStrategy(t *testing.T) {
 	}
 }
 
-// Fresh entries redistribute favored-first, stable within each class.
-func TestOrderImportsFavoredFirst(t *testing.T) {
-	mk := func(id int, fav bool) brokerEntry {
-		return brokerEntry{Worker: 0, Entry: &core.QueueEntry{ID: id, Favored: fav}}
+// Fresh entries redistribute global-competition-winners first, stable
+// within each class.
+func TestOrderImportsGlobalWinnersFirst(t *testing.T) {
+	mk := func(id int, won bool) brokerEntry {
+		return brokerEntry{Worker: 0, Entry: &core.QueueEntry{ID: id}, GlobalFav: won}
 	}
 	ordered := orderImports([]brokerEntry{mk(0, false), mk(1, true), mk(2, false), mk(3, true)})
 	var ids []int
@@ -364,6 +370,297 @@ func TestOrderImportsFavoredFirst(t *testing.T) {
 	}
 }
 
+// The broker's global favored competition must dedup favored sets across
+// workers publishing overlapping coverage: the cheapest claim per edge
+// wins, a locally-favored entry dominated on every edge is demoted in
+// place (the loser feedback workers read next round), and redistribution
+// puts global winners first.
+func TestBrokerGlobalFavoredDedup(t *testing.T) {
+	inst0, err := targets.Launch("lightftp", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst1, err := targets.Launch("lightftp", targets.LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFz := func(inst *targets.Instance, seed int64) *core.Fuzzer {
+		return core.New(inst.Agent, inst.Spec, core.Options{
+			Rand: rand.New(rand.NewSource(seed)),
+		})
+	}
+	w0 := &worker{id: 0, fz: mkFz(inst0, 1)}
+	w1 := &worker{id: 1, fz: mkFz(inst1, 2)}
+	seeds := inst0.Seeds()
+	if len(seeds) < 2 {
+		t.Fatal("need two distinct seed inputs")
+	}
+
+	// Worker 0's entry is the cheap way to reach edges 10 and 20; worker
+	// 1's covers the same edges (plus a bucket upgrade, so the broker
+	// accepts it as globally fresh) but costs 100x more.
+	cheap := &core.QueueEntry{
+		ID: 0, Input: seeds[0].Clone(), ExecTime: time.Millisecond, Size: 10, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 10, Bucket: 1}, {Index: 20, Bucket: 1}},
+	}
+	dear := &core.QueueEntry{
+		ID: 0, Input: seeds[1].Clone(), ExecTime: 100 * time.Millisecond, Size: 100, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 10, Bucket: 2}, {Index: 20, Bucket: 1}},
+	}
+	w0.fz.Queue = append(w0.fz.Queue, cheap)
+	w1.fz.Queue = append(w1.fz.Queue, dear)
+
+	b := newBroker()
+	b.ingest([]*worker{w0, w1})
+
+	if len(b.corpus) != 2 {
+		t.Fatalf("broker accepted %d entries, want 2", len(b.corpus))
+	}
+	if !b.corpus[0].GlobalFav {
+		t.Fatal("cheap entry did not win the global favored competition")
+	}
+	if b.corpus[1].GlobalFav {
+		t.Fatal("dominated entry marked as a global winner")
+	}
+	if cheap.GloballyDominated {
+		t.Fatal("winning entry demoted")
+	}
+	if !dear.GloballyDominated {
+		t.Fatal("locally-favored entry dominated on every edge was not demoted — no loser feedback")
+	}
+	// Redistribution: each worker receives the other's entry, winners
+	// ordered first (visible when one list carries both classes).
+	if len(w0.imports) != 1 || w0.imports[0] != dear {
+		t.Fatalf("worker 0 imports wrong: %v", w0.imports)
+	}
+	if len(w1.imports) != 1 || w1.imports[0] != cheap {
+		t.Fatalf("worker 1 imports wrong: %v", w1.imports)
+	}
+
+	// A later, cheaper publication displaces the previous winner edge by
+	// edge; once its last claim falls, the old winner is demoted too.
+	cheaper := &core.QueueEntry{
+		ID: 1, Input: seeds[0].Clone(), ExecTime: time.Microsecond, Size: 2, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 10, Bucket: 4}, {Index: 20, Bucket: 2}},
+	}
+	cheaper.Input.Ops[0].Data = append([]byte{0xFF}, cheaper.Input.Ops[0].Data...)
+	w1.fz.Queue = append(w1.fz.Queue, cheaper)
+	b.ingest([]*worker{w0, w1})
+	if !cheap.GloballyDominated {
+		t.Fatal("fully displaced previous winner was not demoted")
+	}
+	if cheaper.GloballyDominated {
+		t.Fatal("new winner demoted")
+	}
+
+	// Winners settle at the end of the round, not at compete time: an
+	// entry that wins an edge early in the walk but is fully displaced by
+	// a later worker's cheaper publication in the same round must not be
+	// redistributed or recorded as a global winner.
+	early := &core.QueueEntry{
+		ID: 2, Input: seeds[0].Clone(), ExecTime: 50 * time.Millisecond, Size: 50, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 30, Bucket: 1}},
+	}
+	early.Input.Ops[0].Data = append([]byte{0xAA}, early.Input.Ops[0].Data...)
+	late := &core.QueueEntry{
+		ID: 1, Input: seeds[1].Clone(), ExecTime: time.Microsecond, Size: 2, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 30, Bucket: 2}},
+	}
+	late.Input.Ops[0].Data = append([]byte{0xBB}, late.Input.Ops[0].Data...)
+	w0.fz.Queue = append(w0.fz.Queue, early)
+	w1.fz.Queue = append(w1.fz.Queue, late)
+	b.ingest([]*worker{w0, w1})
+	n := len(b.corpus)
+	if b.corpus[n-2].Entry != early || b.corpus[n-1].Entry != late {
+		t.Fatal("corpus order unexpected")
+	}
+	if b.corpus[n-2].GlobalFav {
+		t.Fatal("entry displaced later in the same round still recorded as a global winner")
+	}
+	if !b.corpus[n-1].GlobalFav {
+		t.Fatal("same-round displacing winner not recorded")
+	}
+	if !early.GloballyDominated {
+		t.Fatal("same-round displaced entry was not demoted")
+	}
+
+	// Duplicate publications compete too: a live copy of the current
+	// winner binds as a claimant of its input's edges, and a copy of a
+	// long-displaced input is demoted immediately.
+	lateCopy := &core.QueueEntry{
+		ID: 3, Input: late.Input.Clone(), ExecTime: late.ExecTime, Size: late.Size, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 30, Bucket: 2}},
+	}
+	cheapCopy := &core.QueueEntry{
+		ID: 2, Input: cheap.Input.Clone(), ExecTime: cheap.ExecTime, Size: cheap.Size, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 10, Bucket: 1}, {Index: 20, Bucket: 1}},
+	}
+	w0.fz.Queue = append(w0.fz.Queue, lateCopy, cheapCopy)
+	corpusBefore := len(b.corpus)
+	b.ingest([]*worker{w0, w1})
+	if len(b.corpus) != corpusBefore {
+		t.Fatal("duplicate publications entered the corpus")
+	}
+	if lateCopy.GloballyDominated {
+		t.Fatal("live copy of the current winner was demoted")
+	}
+	if !cheapCopy.GloballyDominated {
+		t.Fatal("copy of a displaced input was not demoted on publication")
+	}
+
+	// Displacing the winner's last edge now demotes the original and the
+	// bound copy alike.
+	final := &core.QueueEntry{
+		ID: 2, Input: seeds[0].Clone(), ExecTime: time.Microsecond, Size: 1, Favored: true,
+		Cov: []coverage.BucketHit{{Index: 30, Bucket: 4}},
+	}
+	final.Input.Ops[0].Data = append([]byte{0xCC}, final.Input.Ops[0].Data...)
+	w1.fz.Queue = append(w1.fz.Queue, final)
+	b.ingest([]*worker{w0, w1})
+	if !late.GloballyDominated || !lateCopy.GloballyDominated {
+		t.Fatalf("displacement did not demote every live copy (original %v, copy %v)",
+			late.GloballyDominated, lateCopy.GloballyDominated)
+	}
+}
+
+// A campaign run under a power schedule persists its power state — the
+// schedule choice in the manifest, per-edge pick frequencies per worker,
+// the broker's top-rated digest, and full corpus-entry metadata — and a
+// resume restores all of it.
+func TestCheckpointPersistsPowerState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(2, 11)
+	cfg.Power = core.PowerFast
+	orig := run(t, cfg, 2*time.Second)
+	if err := orig.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range orig.workers {
+		m, err := core.LoadPowerMeta(filepath.Join(dir, workerDir(w.id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil || m.TotalPicked == 0 || len(m.EdgePicks) == 0 {
+			t.Fatalf("worker %d checkpoint has empty power state: %+v", w.id, m)
+		}
+	}
+
+	res, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.cfg.Power != core.PowerFast {
+		t.Fatalf("resumed power = %v, want fast", res.cfg.Power)
+	}
+	for i, w := range res.workers {
+		st := w.fz.PowerState()
+		if st.TotalPicked == 0 || len(st.EdgePicks) == 0 {
+			t.Fatalf("worker %d resumed with zeroed power state", i)
+		}
+	}
+	if len(res.broker.topRated) == 0 {
+		t.Fatal("broker top-rated digest not restored")
+	}
+	if len(res.broker.topRated) != len(orig.broker.topRated) {
+		t.Fatalf("restored top-rated digest has %d claims, want %d",
+			len(res.broker.topRated), len(orig.broker.topRated))
+	}
+	// The corpus history carries the metadata the global competition
+	// reads — not the bare {ID, Input} shells the pre-power resume built.
+	restoredMeta := false
+	for i, be := range res.broker.corpus {
+		ob := orig.broker.corpus[i]
+		if be.Entry.Favored != ob.Entry.Favored || be.GlobalFav != ob.GlobalFav ||
+			be.Entry.ExecTime != ob.Entry.ExecTime || be.Entry.Size != ob.Entry.Size ||
+			len(be.Entry.Cov) != len(ob.Entry.Cov) {
+			t.Fatalf("corpus entry %d metadata not restored: %+v vs %+v", i, be.Entry, ob.Entry)
+		}
+		if len(be.Entry.Cov) > 0 && be.Entry.ExecTime > 0 {
+			restoredMeta = true
+		}
+	}
+	if !restoredMeta {
+		t.Fatal("restored corpus metadata is all zero — persistence is a no-op")
+	}
+	if err := res.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A version-1 checkpoint (pre-power format: no power fields, no top-rated
+// digest, bare corpus entries, no power.json) must resume cleanly with
+// zeroed power state.
+func TestResumeVersion1ManifestZeroedPowerState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(2, 12)
+	cfg.Power = core.PowerCoe
+	orig := run(t, cfg, 2*time.Second)
+	if err := orig.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the checkpoint into the version-1 shape.
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = 1
+	delete(m, "power")
+	delete(m, "power_name")
+	delete(m, "top_rated")
+	if corpus, ok := m["corpus"].([]any); ok {
+		for _, ce := range corpus {
+			entry := ce.(map[string]any)
+			for k := range entry {
+				if k != "worker" && k != "input_b64" {
+					delete(entry, k)
+				}
+			}
+		}
+	}
+	raw, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := os.Remove(filepath.Join(dir, workerDir(i), "power.json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := Resume(dir)
+	if err != nil {
+		t.Fatalf("version-1 checkpoint did not resume: %v", err)
+	}
+	if res.cfg.Power != core.PowerOff {
+		t.Fatalf("version-1 resume power = %v, want off", res.cfg.Power)
+	}
+	if len(res.broker.topRated) != 0 {
+		t.Fatal("version-1 resume restored a top-rated digest from nowhere")
+	}
+	for i, w := range res.workers {
+		st := w.fz.PowerState()
+		if st.TotalPicked != 0 || len(st.EdgePicks) != 0 {
+			t.Fatalf("worker %d resumed version-1 checkpoint with non-zero power state: %+v", i, st)
+		}
+	}
+	// The resumed campaign still fuzzes productively.
+	if err := res.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < orig.Coverage() {
+		t.Fatalf("coverage regressed after version-1 resume: %d < %d", res.Coverage(), orig.Coverage())
+	}
+}
+
 func TestResumeErrors(t *testing.T) {
 	if _, err := Resume(t.TempDir()); err == nil {
 		t.Fatal("resume of empty dir must fail")
@@ -373,5 +670,17 @@ func TestResumeErrors(t *testing.T) {
 func TestCampaignUnknownTarget(t *testing.T) {
 	if _, err := New(Config{Target: "no-such-target"}); err == nil {
 		t.Fatal("unknown target must fail")
+	}
+}
+
+// A power schedule on the round-robin scheduler would be a silent no-op
+// (round-robin has no energy function); the campaign must reject the
+// combination instead of recording a power name it never applied.
+func TestCampaignRejectsPowerWithRoundRobin(t *testing.T) {
+	cfg := testCfg(1, 1)
+	cfg.Sched = core.SchedRoundRobin
+	cfg.Power = core.PowerFast
+	if _, err := New(cfg); err == nil {
+		t.Fatal("power + round-robin must fail")
 	}
 }

@@ -2,13 +2,16 @@ package campaign
 
 import (
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/guest"
 	"repro/internal/spec"
 )
@@ -28,8 +31,12 @@ import (
 // campaign run without interruption — mid-campaign mutator RNG state is
 // deliberately not serialized, matching how AFL resumes from AFL_AUTORESUME.
 
-// manifestVersion guards the checkpoint format.
-const manifestVersion = 1
+// manifestVersion guards the checkpoint format. Version 2 added the
+// power-schedule choice, the broker's global top-rated digest, and full
+// per-entry metadata (favored bit, trace digest, exec time, size) on the
+// corpus history; version-1 checkpoints still resume, with zeroed power
+// state and a bare corpus history.
+const manifestVersion = 2
 
 type manifest struct {
 	Version       int           `json:"version"`
@@ -46,6 +53,10 @@ type manifest struct {
 	// checkpoints, which unmarshal to the default core.SchedAFL).
 	Sched     int    `json:"sched"`
 	SchedName string `json:"sched_name"` // informational
+	// Power is the power schedule (absent in version-1 manifests, which
+	// unmarshal to core.PowerOff — the zeroed power state).
+	Power     int    `json:"power,omitempty"`
+	PowerName string `json:"power_name,omitempty"` // informational
 	Asan      bool   `json:"asan"`
 	// Elapsed is the campaign's cumulative virtual time at checkpoint;
 	// the resumed campaign's clock (and hence its coverage-log and crash
@@ -57,14 +68,73 @@ type manifest struct {
 	Crashes   []manifestCrash `json:"crashes"`
 	CovLog    []manifestPoint `json:"cov_log"`
 	Corpus    []manifestEntry `json:"corpus"`
+	// TopRated is the broker's global favored-competition digest: per
+	// edge, the favFactor and content key of the cheapest published claim
+	// (absent in version-1 manifests; the competition then restarts from
+	// the restored corpus's re-publications).
+	TopRated []manifestClaim `json:"top_rated,omitempty"`
 }
 
 // manifestEntry preserves the broker's accepted-corpus history (provenance
 // + input) so CorpusSize and the published/deduped counters stay mutually
-// consistent across resumes.
+// consistent across resumes, plus the scheduler-facing metadata the global
+// favored competition reads (absent in version-1 manifests: those resumed
+// entries carry zero values, exactly the lossy bare-entry shape this field
+// set was added to fix). The trace digest is packed binary (5 bytes per
+// edge, base64) rather than per-hit JSON: the manifest holds one digest
+// per accepted entry, and a long campaign would otherwise pay
+// O(entries x edges) in indented object syntax on every checkpoint.
 type manifestEntry struct {
-	Worker int    `json:"worker"`
-	Input  string `json:"input_b64"`
+	Worker    int           `json:"worker"`
+	Input     string        `json:"input_b64"`
+	Favored   bool          `json:"favored,omitempty"`
+	GlobalFav bool          `json:"global_fav,omitempty"`
+	Dominated bool          `json:"dominated,omitempty"`
+	ExecTime  time.Duration `json:"exec_time_ns,omitempty"`
+	Size      int           `json:"size,omitempty"`
+	Cov       string        `json:"cov_b64,omitempty"`
+}
+
+// encodeHits packs a bucketed trace digest as 5 bytes per edge
+// (little-endian index + bucket), base64-encoded for the manifest.
+func encodeHits(hits []coverage.BucketHit) string {
+	buf := make([]byte, 0, 5*len(hits))
+	for _, h := range hits {
+		var b [5]byte
+		binary.LittleEndian.PutUint32(b[:4], h.Index)
+		b[4] = h.Bucket
+		buf = append(buf, b[:]...)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// decodeHits unpacks an encodeHits digest.
+func decodeHits(s string) ([]coverage.BucketHit, error) {
+	if s == "" {
+		return nil, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%5 != 0 {
+		return nil, fmt.Errorf("trace digest length %d not a multiple of 5", len(raw))
+	}
+	hits := make([]coverage.BucketHit, 0, len(raw)/5)
+	for i := 0; i+5 <= len(raw); i += 5 {
+		hits = append(hits, coverage.BucketHit{
+			Index:  binary.LittleEndian.Uint32(raw[i : i+4]),
+			Bucket: raw[i+4],
+		})
+	}
+	return hits, nil
+}
+
+// manifestClaim is one edge's entry in the global top-rated digest.
+type manifestClaim struct {
+	Edge uint32 `json:"edge"`
+	Fav  int64  `json:"fav"`
+	Key  string `json:"key"`
 }
 
 type manifestCrash struct {
@@ -128,6 +198,11 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 		if err := w.fz.SaveSchedMeta(wd); err != nil {
 			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
 		}
+		// Power-schedule state (per-edge pick frequencies) rides along so
+		// long-horizon energy shaping survives the resume.
+		if err := w.fz.SavePowerMeta(wd); err != nil {
+			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		}
 	}
 	raw, err := c.broker.global.MarshalBinary()
 	if err != nil {
@@ -149,6 +224,8 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 		SnapshotReuse: c.cfg.SnapshotReuse,
 		Sched:         int(c.cfg.Sched),
 		SchedName:     c.cfg.Sched.String(),
+		Power:         int(c.cfg.Power),
+		PowerName:     c.cfg.Power.String(),
 		Asan:          c.cfg.Asan,
 		Elapsed:       c.Elapsed(),
 		Published:     c.broker.published,
@@ -168,9 +245,24 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 	}
 	for _, be := range c.broker.corpus {
 		m.Corpus = append(m.Corpus, manifestEntry{
-			Worker: be.Worker,
-			Input:  base64.StdEncoding.EncodeToString(spec.Serialize(be.Entry.Input)),
+			Worker:    be.Worker,
+			Input:     base64.StdEncoding.EncodeToString(spec.Serialize(be.Entry.Input)),
+			Favored:   be.Entry.Favored,
+			GlobalFav: be.GlobalFav,
+			Dominated: be.Entry.GloballyDominated,
+			ExecTime:  be.Entry.ExecTime,
+			Size:      be.Entry.Size,
+			Cov:       encodeHits(be.Entry.Cov),
 		})
+	}
+	edges := make([]uint32, 0, len(c.broker.topRated))
+	for idx := range c.broker.topRated {
+		edges = append(edges, idx)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	for _, idx := range edges {
+		cl := c.broker.topRated[idx]
+		m.TopRated = append(m.TopRated, manifestClaim{Edge: idx, Fav: cl.fav, Key: cl.key})
 	}
 	enc, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -196,8 +288,8 @@ func Resume(dir string) (*Campaign, error) {
 	if err := json.Unmarshal(enc, &m); err != nil {
 		return nil, fmt.Errorf("campaign: resume: bad manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("campaign: resume: manifest version %d, want %d", m.Version, manifestVersion)
+	if m.Version < 1 || m.Version > manifestVersion {
+		return nil, fmt.Errorf("campaign: resume: manifest version %d, want 1..%d", m.Version, manifestVersion)
 	}
 
 	br := newBroker()
@@ -230,10 +322,42 @@ func Resume(dir string) (*Campaign, error) {
 		if err != nil {
 			return nil, fmt.Errorf("campaign: resume: corpus entry %d: %w", i, err)
 		}
+		// Rebuild the full entry the global favored competition reads —
+		// favored bit, trace digest, exec time and size — instead of a
+		// bare {ID, Input} shell. Version-1 manifests carry none of it;
+		// those entries resume with zero values and simply lose the
+		// favored competition until re-published.
+		hits, err := decodeHits(me.Cov)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: corpus entry %d: %w", i, err)
+		}
 		br.corpus = append(br.corpus, brokerEntry{
 			Worker: me.Worker,
-			Entry:  &core.QueueEntry{ID: i, Input: in},
+			Entry: &core.QueueEntry{
+				ID:                i,
+				Input:             in,
+				Favored:           me.Favored,
+				GloballyDominated: me.Dominated,
+				ExecTime:          me.ExecTime,
+				Size:              me.Size,
+				Cov:               hits,
+			},
+			GlobalFav: me.GlobalFav,
+			key:       core.InputKey(in),
 		})
+	}
+	for _, cl := range m.TopRated {
+		br.topRated[cl.Edge] = topClaim{fav: cl.Fav, key: cl.Key}
+		br.claimWins[cl.Key]++
+		br.claimEdges[cl.Key] = append(br.claimEdges[cl.Key], cl.Edge)
+	}
+	// Re-point surviving claims at the restored corpus entries so a later
+	// displacement can still demote them; the workers' live re-imported
+	// copies re-bind through ingest's dedup path on the first sync.
+	for _, be := range br.corpus {
+		if br.claimWins[be.key] > 0 {
+			br.claimants[be.key] = append(br.claimants[be.key], be.Entry)
+		}
 	}
 	for _, p := range m.CovLog {
 		br.covLog = append(br.covLog, core.CoveragePoint{T: p.T, Edges: p.Edges})
@@ -248,24 +372,31 @@ func Resume(dir string) (*Campaign, error) {
 		SyncInterval:  m.SyncInterval,
 		SnapshotReuse: m.SnapshotReuse,
 		Sched:         core.Sched(m.Sched),
+		Power:         core.Power(m.Power),
 		Asan:          m.Asan,
 	}.withDefaults()
 
-	seedsFor := func(i int) ([]*spec.Input, []core.EntryMeta, error) {
+	seedsFor := func(i int) (workerSeeds, error) {
 		wd := filepath.Join(dir, workerDir(i))
 		queueDir := filepath.Join(wd, "queue")
 		if _, err := os.Stat(queueDir); os.IsNotExist(err) {
-			return nil, nil, nil // worker had an empty queue; fall back to bundled seeds
+			return workerSeeds{}, nil // worker had an empty queue; fall back to bundled seeds
 		}
 		seeds, err := core.LoadCorpus(queueDir)
 		if err != nil {
-			return nil, nil, err
+			return workerSeeds{}, err
 		}
 		meta, err := core.LoadSchedMeta(wd)
 		if err != nil {
-			return nil, nil, err
+			return workerSeeds{}, err
 		}
-		return seeds, meta, nil
+		// Missing in version-1 checkpoints: the worker resumes with
+		// zeroed power state (nil PowerMeta).
+		power, err := core.LoadPowerMeta(wd)
+		if err != nil {
+			return workerSeeds{}, err
+		}
+		return workerSeeds{seeds: seeds, meta: meta, power: power}, nil
 	}
 	br.timeBase = m.Elapsed
 	c, err := newCampaign(cfg, m.Epoch+1, seedsFor, br)

@@ -88,6 +88,14 @@ type QueueEntry struct {
 	Picked   int
 	Trimmed  bool
 	Favored  bool
+	// GloballyDominated marks an entry the campaign broker's global
+	// favored competition demoted: it is (or was) locally favored, but a
+	// cheaper entry on another worker covers every edge it is top-rated
+	// for. The scheduler treats such entries as non-favored when skipping
+	// re-picks, so campaign-wide queue time follows the global ranking
+	// instead of N per-worker ones. Set only by the broker (between
+	// rounds, single-threaded); sticky until the broker revokes it.
+	GloballyDominated bool
 	// aggressive-policy state: how many packets from the end the next
 	// snapshot goes, and unproductive iterations at the current spot.
 	aggrBack   int
@@ -132,10 +140,21 @@ type Options struct {
 	ExecsPerSchedule int
 	// Sched selects the queue scheduling strategy (default SchedAFL).
 	Sched Sched
+	// Power selects the AFLfast-style power schedule layered on the AFL
+	// scheduler (default PowerOff: the baseline-clamped energy function).
+	Power Power
 	// SeedMeta restores scheduler metadata onto seeds that re-queue —
 	// the checkpoint/resume path. Entries are matched by serialized
 	// input bytes.
 	SeedMeta []EntryMeta
+	// PowerState restores the per-edge pick-frequency map and total pick
+	// count (the checkpoint/resume path for power schedules).
+	PowerState *PowerMeta
+	// TrackRetrims records lazy trims for DrainRetrimmed. Set by the
+	// campaign layer, whose broker drains the list every sync to keep
+	// global claims priced at post-trim cost; solo runs leave it off so
+	// the undrained list cannot grow for the life of the process.
+	TrackRetrims bool
 }
 
 // Executor abstracts how test cases reach the target. Nyx-Net's executor
@@ -185,15 +204,23 @@ type Fuzzer struct {
 	lastSample time.Duration
 
 	// Scheduler state (schedule.go).
-	sched          Sched
-	topRated       map[uint32]*QueueEntry // edge index -> cheapest entry covering it
-	scoreChanged   bool                   // top-rated changed; cull before next pick
-	pendingNew     int                    // queue entries never picked yet (the frontier)
-	seedMeta       map[string]EntryMeta   // restored metadata by serialized input
-	curParent      *QueueEntry            // entry being fuzzed (depth attribution)
-	lastExecTime   time.Duration          // full-run virtual cost of the latest execution
-	snapBaseTime   time.Duration          // cost of the run that created the held snapshot
-	trimTime       time.Duration          // virtual time consumed by the lazy trim
+	sched        Sched
+	topRated     map[uint32]*QueueEntry // edge index -> cheapest entry covering it
+	scoreChanged bool                   // top-rated changed; cull before next pick
+	pendingNew   int                    // queue entries never picked yet (the frontier)
+	seedMeta     map[string]EntryMeta   // restored metadata by serialized input
+	curParent    *QueueEntry            // entry being fuzzed (depth attribution)
+	lastExecTime time.Duration          // full-run virtual cost of the latest execution
+	snapBaseTime time.Duration          // cost of the run that created the held snapshot
+	trimTime     time.Duration          // virtual time consumed by the lazy trim
+	execTimeSum  time.Duration          // running sum of Queue ExecTimes (energy's O(1) average)
+	retrimmed    []Retrim               // trims since the last DrainRetrimmed
+
+	// Power-schedule state (schedule.go).
+	power       Power
+	edgePicks   map[uint32]uint64 // edge index -> picks of entries covering it
+	edgePickSum uint64            // sum of edgePicks values (O(1) mean)
+	totalPicked uint64            // picks across all entries (campaign horizon)
 }
 
 // New creates a fuzzer. The agent's machine must already hold a root
@@ -215,7 +242,7 @@ func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
 	for _, m := range opts.SeedMeta {
 		seedMeta[m.Key] = m
 	}
-	return &Fuzzer{
+	f := &Fuzzer{
 		Agent:     agent,
 		Spec:      s,
 		Mut:       mut,
@@ -227,7 +254,17 @@ func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
 		sched:     opts.Sched,
 		topRated:  make(map[uint32]*QueueEntry),
 		seedMeta:  seedMeta,
+		power:     opts.Power,
+		edgePicks: make(map[uint32]uint64),
 	}
+	if opts.PowerState != nil {
+		f.totalPicked = opts.PowerState.TotalPicked
+		for idx, n := range opts.PowerState.EdgePicks {
+			f.edgePicks[idx] = n
+			f.edgePickSum += n
+		}
+	}
+	return f
 }
 
 // Execs returns the number of test cases executed so far.
@@ -532,6 +569,7 @@ func (f *Fuzzer) account(in *spec.Input, res netemu.Result, addToQueue bool) boo
 		}
 		f.nextID++
 		f.Queue = append(f.Queue, e)
+		f.execTimeSum += e.ExecTime
 		f.updateTopRated(e)
 	}
 	// Sample the coverage log at most once per virtual minute, plus on

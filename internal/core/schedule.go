@@ -30,7 +30,11 @@ import (
 //     at the baseline so boosts offset penalties rather than inflate
 //     rounds;
 //   - a splice stage crossing the scheduled entry with a random queue
-//     mate, and a lazy trim on each entry's first pick.
+//     mate, and a lazy trim on each entry's first pick;
+//   - an optional AFLfast-style power-schedule layer (-power) for
+//     long-horizon campaigns: energy reshaped over QueueEntry.Picked and
+//     a per-edge pick-frequency map, with the energy ceiling lifted past
+//     the baseline once the frontier drains.
 //
 // SchedRoundRobin turns all of it off and restores the flat rotation the
 // seed used, so experiments can ablate the scheduler at equal virtual time.
@@ -72,6 +76,82 @@ func ParseSched(name string) (Sched, error) {
 	}
 }
 
+// Power selects the AFLfast-style power schedule layered on top of the AFL
+// scheduler for long-horizon campaigns. The baseline energy function was
+// tuned for the short-horizon frontier cascade and clamps every round at
+// the baseline budget; once a campaign runs long enough that re-picks
+// dominate, that clamp wastes the signal in QueueEntry.Picked and the
+// per-edge pick-frequency map. Power schedules reshape the budget over
+// exactly that signal: entries exercising rarely-picked edges earn budget,
+// over-fuzzed entries decay, and the energy ceiling lifts past the baseline
+// once the frontier drains (see energyCeil).
+//
+// The schedules are AFLfast's family adapted to snapshot fuzzing: the
+// per-edge pick-frequency map stands in for AFLfast's path-frequency
+// counter, and the exponent decays over-fuzzed entries instead of boosting
+// them — on stateful targets the discovery cascade rewards spreading
+// re-pick budget toward rare states, not piling it onto hot paths.
+type Power int
+
+// Power schedules. PowerOff keeps the PR-2 baseline energy (clamped at the
+// baseline budget); the rest reshape it over Picked and edge rarity.
+const (
+	// PowerOff: baseline AFL energy, ceiling clamped at the baseline.
+	PowerOff Power = iota
+	// PowerFast: exponential decay in Picked plus edge-rarity boost.
+	PowerFast
+	// PowerCoe: cut-off exponential — entries whose rarest edge is still
+	// picked more often than the mean are cut to the minimum budget;
+	// the rest decay exponentially like fast.
+	PowerCoe
+	// PowerExplore: edge-rarity boost only, flat in Picked.
+	PowerExplore
+	// PowerLin: linear decay in Picked plus edge-rarity boost.
+	PowerLin
+	// PowerQuad: quadratic decay in Picked plus edge-rarity boost.
+	PowerQuad
+)
+
+// String names the power schedule for flags, manifests and reports.
+func (p Power) String() string {
+	switch p {
+	case PowerOff:
+		return "off"
+	case PowerFast:
+		return "fast"
+	case PowerCoe:
+		return "coe"
+	case PowerExplore:
+		return "explore"
+	case PowerLin:
+		return "lin"
+	case PowerQuad:
+		return "quad"
+	default:
+		return fmt.Sprintf("power(%d)", int(p))
+	}
+}
+
+// ParsePower maps a flag value to a power schedule.
+func ParsePower(name string) (Power, error) {
+	switch name {
+	case "", "off":
+		return PowerOff, nil
+	case "fast":
+		return PowerFast, nil
+	case "coe":
+		return PowerCoe, nil
+	case "explore":
+		return PowerExplore, nil
+	case "lin":
+		return PowerLin, nil
+	case "quad":
+		return PowerQuad, nil
+	default:
+		return 0, fmt.Errorf("core: unknown power schedule %q (want off | fast | coe | explore | lin | quad)", name)
+	}
+}
+
 // skipOld is the probability (percent) of skipping an already-fuzzed
 // non-favored entry once the queue frontier is exhausted — the role of
 // AFL's SKIP_NFAV_OLD_PROB. Entries that have never been picked are never
@@ -98,16 +178,34 @@ const trimBudgetPct = 5
 
 // Energy clamps: the per-entry budget stays within [min,max]/100 of the
 // configured ExecsPerSchedule. Unlike AFL (which boosts up to
-// HAVOC_MAX_MULT), the ceiling here is the baseline itself: boost factors
-// only offset penalties, never inflate rounds. On stateful targets the
-// discovery cascade is driven by how many distinct frontier entries get a
-// first round per unit of virtual time, and oversized rounds measurably
-// slow that cascade (see the scheduling ablation) — so energy reallocates
-// budget away from slow, narrow and fatigued entries instead of piling
-// extra executions onto good ones.
+// HAVOC_MAX_MULT), the default ceiling is the baseline itself: boost
+// factors only offset penalties, never inflate rounds. On stateful targets
+// the discovery cascade is driven by how many distinct frontier entries
+// get a first round per unit of virtual time, and oversized rounds
+// measurably slow that cascade (see the scheduling ablation) — so energy
+// reallocates budget away from slow, narrow and fatigued entries instead
+// of piling extra executions onto good ones. Power schedules lift the
+// ceiling once the frontier drains (energyCeil): in the re-pick regime
+// there is no cascade left to slow down, and the clamp is what kept the
+// PR-2 scheduler from expressing long-horizon boosts.
 const (
 	energyMinScore = 25
 	energyMaxScore = 100
+)
+
+// Power-schedule shaping constants.
+const (
+	// powerRarityBoostMax caps the edge-rarity boost factor: an entry
+	// whose rarest covered edge is far below the mean pick frequency earns
+	// at most this multiple of its base score.
+	powerRarityBoostMax = 16
+	// powerDecayCap caps the exponential decay of fast/coe so a
+	// heavily-picked entry bottoms out at score>>powerDecayCap instead of
+	// underflowing straight to the floor on the first few picks.
+	powerDecayCap = 6
+	// powerHorizonMaxBoost caps how far past the baseline the lifted
+	// energy ceiling may grow once the frontier drains (energyCeil).
+	powerHorizonMaxBoost = 8
 )
 
 // updateTopRated competes e for every edge its recorded trace covers.
@@ -140,6 +238,12 @@ func favFactor(e *QueueEntry) int64 {
 	}
 	return t * int64(e.Size+1)
 }
+
+// FavFactor exposes the top-rated quality score (lower is better) to the
+// campaign broker, which competes it globally across workers — the same
+// exec-time x size metric the local favored cull uses, so local and global
+// competitions rank entries identically.
+func (e *QueueEntry) FavFactor() int64 { return favFactor(e) }
 
 // cullQueue re-marks the favored subset after the top-rated map changed:
 // a greedy cover walk (in ascending edge order, so the pass is
@@ -190,7 +294,10 @@ func (f *Fuzzer) pickEntry() *QueueEntry {
 		if f.pendingNew > 0 {
 			continue // an unfuzzed entry is waiting somewhere in the lap
 		}
-		if e.Favored || f.rng.Intn(100) >= skipOld {
+		// Globally dominated entries lost the broker's favored competition
+		// to a cheaper entry on another worker: treat them as non-favored
+		// so local queue time follows the campaign-wide ranking.
+		if (e.Favored && !e.GloballyDominated) || f.rng.Intn(100) >= skipOld {
 			break
 		}
 	}
@@ -198,14 +305,32 @@ func (f *Fuzzer) pickEntry() *QueueEntry {
 		f.pendingNew--
 	}
 	e.Picked++
+	f.totalPicked++
+	// Under a power schedule, charge this pick against every edge the
+	// entry covers: the per-edge frequency map is the rarity signal the
+	// schedules reshape energy with (AFLfast's path-frequency counter,
+	// restated per edge because snapshot entries carry suffix traces, not
+	// whole-path checksums).
+	if f.power != PowerOff && f.sched != SchedRoundRobin {
+		for _, h := range e.Cov {
+			if h.Bucket == 0 {
+				continue
+			}
+			f.edgePicks[h.Index]++
+			f.edgePickSum++
+		}
+	}
 	return e
 }
 
 // energy returns the execution budget one scheduling round spends on e —
 // AFL's calculate_score mapped onto ExecsPerSchedule. Slow, narrow and
-// fatigued entries get shortened rounds; speed, breadth and depth boosts
-// offset those penalties but never push the budget past the baseline (see
-// the energyMaxScore comment for why).
+// fatigued entries get shortened rounds; with power off, speed, breadth
+// and depth boosts offset those penalties but never push the budget past
+// the baseline (see the energyMaxScore comment for why). Under a power
+// schedule the fatigue factor is replaced by the schedule's decay over
+// Picked and edge rarity, and the ceiling lifts once the frontier drains
+// (energyCeil).
 func (f *Fuzzer) energy(e *QueueEntry) int {
 	if f.sched == SchedRoundRobin {
 		return f.opts.ExecsPerSchedule
@@ -213,17 +338,15 @@ func (f *Fuzzer) energy(e *QueueEntry) int {
 	score := 100
 
 	// Execution speed against the queue average: cheap entries buy more
-	// executions per unit of virtual time. (AFL also scales by bitmap
+	// executions per unit of virtual time. The queue-wide exec-time sum
+	// is maintained incrementally (on append, import and trim) — summing
+	// it here made every pick O(queue). (AFL also scales by bitmap
 	// size; queue entries here carry the trace of the execution that
 	// queued them — a suffix-only trace for snapshot discoveries, a full
 	// trace for imports — so trace sizes are not comparable across
 	// entries and no breadth factor is applied.)
-	var total time.Duration
-	for _, q := range f.Queue {
-		total += q.ExecTime
-	}
 	n := time.Duration(len(f.Queue))
-	if avg := total / n; avg > 0 && e.ExecTime > 0 {
+	if avg := f.execTimeSum / n; avg > 0 && e.ExecTime > 0 {
 		switch {
 		case e.ExecTime*4 <= avg:
 			score *= 3
@@ -247,25 +370,116 @@ func (f *Fuzzer) energy(e *QueueEntry) int {
 		score = score * 3 / 2
 	}
 
-	// Fatigue: entries scheduled many times already have had their chance.
-	switch {
-	case e.Picked >= 16:
-		score /= 4
-	case e.Picked >= 4:
-		score /= 2
+	if f.power == PowerOff {
+		// Fatigue: entries scheduled many times already have had their
+		// chance.
+		switch {
+		case e.Picked >= 16:
+			score /= 4
+		case e.Picked >= 4:
+			score /= 2
+		}
+	} else {
+		score = f.powerScore(score, e)
 	}
 
 	if score < energyMinScore {
 		score = energyMinScore
 	}
-	if score > energyMaxScore {
-		score = energyMaxScore
+	if max := f.energyCeil(); score > max {
+		score = max
 	}
 	budget := f.opts.ExecsPerSchedule * score / 100
 	if budget < 1 {
 		budget = 1
 	}
 	return budget
+}
+
+// powerScore applies the selected power schedule to the base score: an
+// edge-rarity boost (entries reaching rarely-picked edges earn budget —
+// fast/explore/lin/quad) and a schedule-specific decay over Picked
+// (over-fuzzed entries give budget back). coe takes no boost: it is a
+// pure cut-off exponential — over-exercised entries drop to the floor,
+// the rest decay like fast from the unboosted base. The baseline fatigue
+// factor is disabled under power schedules so each schedule fully owns
+// the pick-count response.
+func (f *Fuzzer) powerScore(score int, e *QueueEntry) int {
+	rare, mean := f.edgeRarity(e)
+	boost := 1
+	if rare < mean {
+		boost = int(mean / (rare + 1))
+		if boost < 1 {
+			boost = 1
+		}
+		if boost > powerRarityBoostMax {
+			boost = powerRarityBoostMax
+		}
+	}
+	decay := e.Picked
+	if decay > powerDecayCap {
+		decay = powerDecayCap
+	}
+	switch f.power {
+	case PowerExplore:
+		score *= boost
+	case PowerFast:
+		score = score * boost >> decay
+	case PowerCoe:
+		if len(f.edgePicks) > 0 && rare > mean {
+			// Cut-off: even this entry's rarest edge is over-exercised
+			// relative to the campaign mean; spend the minimum here.
+			return energyMinScore
+		}
+		score >>= decay
+	case PowerLin:
+		score = score * boost / (1 + e.Picked)
+	case PowerQuad:
+		score = score * boost / (1 + e.Picked*e.Picked)
+	}
+	return score
+}
+
+// edgeRarity reports the pick frequency of e's rarest covered edge and the
+// mean pick frequency across all tracked edges — the rarity signal the
+// power schedules shape energy with.
+func (f *Fuzzer) edgeRarity(e *QueueEntry) (rare, mean uint64) {
+	if len(f.edgePicks) == 0 {
+		return 0, 0
+	}
+	first := true
+	for _, h := range e.Cov {
+		if h.Bucket == 0 {
+			continue
+		}
+		n := f.edgePicks[h.Index]
+		if first || n < rare {
+			rare = n
+			first = false
+		}
+	}
+	return rare, f.edgePickSum / uint64(len(f.edgePicks))
+}
+
+// energyCeil is the score ceiling the energy clamp enforces. With power
+// off it is the baseline (boosts only offset penalties — the PR-2
+// short-horizon tuning). Power schedules keep that ceiling while the
+// frontier still holds never-picked entries (first rounds for fresh states
+// stay the priority), then lift it with the campaign horizon: the deeper
+// the campaign is into the re-pick regime — measured by the mean pick
+// count across the queue — the more an outsized boost on a rare entry is
+// worth, up to powerHorizonMaxBoost x the baseline.
+func (f *Fuzzer) energyCeil() int {
+	if f.power == PowerOff || f.pendingNew > 0 || len(f.Queue) == 0 {
+		return energyMaxScore
+	}
+	h := f.totalPicked / uint64(len(f.Queue))
+	factor := 1
+	for h > 0 && factor < powerHorizonMaxBoost {
+		h >>= 1
+		factor++
+	}
+	return energyMaxScore * factor
 }
 
 // spliceMate picks a random queue entry other than e. Callers guarantee
@@ -282,28 +496,62 @@ func (f *Fuzzer) spliceMate(e *QueueEntry) *QueueEntry {
 // entries once before fuzzing them; here only favored entries qualify and
 // Step enforces the trimBudgetPct cap): the shorter input replaces the
 // original when trimming succeeded, and the entry's derived metadata
-// follows it.
+// follows it — including ExecTime, re-estimated from the trim's final
+// validating execution. Keeping the pre-trim estimate mis-ranked trimmed
+// entries everywhere the scheduler reads time: favFactor scored them as if
+// they still cost the full-length run, and energy kept charging the old
+// cost against the queue average.
 func (f *Fuzzer) trimEntry(e *QueueEntry) error {
 	e.Trimmed = true
+	oldKey := InputKey(e.Input)
 	t0 := f.Agent.Now()
-	trimmed, err := f.Trim(e.Input)
+	trimmed, execTime, err := f.trimMeasured(e.Input)
 	f.trimTime += f.Agent.Now() - t0
 	if err != nil {
 		return err
 	}
-	if len(trimmed.Ops) >= len(e.Input.Ops) {
-		return nil
+	if len(trimmed.Ops) < len(e.Input.Ops) {
+		e.Input = trimmed
+		e.Size = len(spec.Serialize(trimmed))
+		e.Packets = trimmed.Packets(f.Spec)
+		if e.aggrBack >= e.Packets {
+			e.aggrBack = 0
+		}
 	}
-	e.Input = trimmed
-	e.Size = len(spec.Serialize(trimmed))
-	e.Packets = trimmed.Packets(f.Spec)
-	if e.aggrBack >= e.Packets {
-		e.aggrBack = 0
-	}
-	// The smaller size improves e's fav factor; re-compete it for the
-	// edges it covers so culling can promote it.
+	// Even when no op could be dropped, the trim measured a real
+	// full-length root execution — a better estimate than the suffix-run
+	// extrapolation most entries are queued with.
+	f.execTimeSum += execTime - e.ExecTime
+	e.ExecTime = execTime
+	// The smaller size / corrected time changes e's fav factor;
+	// re-compete it for the edges it covers so culling can promote it,
+	// and remember it for the campaign broker, whose global claims still
+	// carry the pre-trim content key and cost (DrainRetrimmed).
 	f.updateTopRated(e)
+	if f.opts.TrackRetrims {
+		f.retrimmed = append(f.retrimmed, Retrim{Entry: e, OldKey: oldKey})
+	}
 	return nil
+}
+
+// Retrim records one lazy trim for the campaign broker: the entry (now
+// carrying the trimmed input and re-measured cost) and the content key it
+// was published under, which is what the broker's global claims are filed
+// by.
+type Retrim struct {
+	Entry  *QueueEntry
+	OldKey string
+}
+
+// DrainRetrimmed returns the trims since the last call and resets the
+// list. The campaign broker transfers each entry's global claims from the
+// pre-trim key to the trimmed form's key with the re-measured cost: a trim
+// changes the entry's content and cost, so the claim recorded when it was
+// published no longer describes it.
+func (f *Fuzzer) DrainRetrimmed() []Retrim {
+	r := f.retrimmed
+	f.retrimmed = nil
+	return r
 }
 
 // ---- Scheduler metadata persistence (checkpoint/resume) ----
@@ -324,6 +572,9 @@ type EntryMeta struct {
 	Trimmed    bool          `json:"trimmed"`
 	AggrBack   int           `json:"aggr_back"`
 	AggrBarren int           `json:"aggr_barren"`
+	// Dominated records that the campaign broker's global favored
+	// competition demoted this entry (absent in pre-power checkpoints).
+	Dominated bool `json:"dominated,omitempty"`
 }
 
 // InputKey returns the content key EntryMeta uses to match metadata back
@@ -346,6 +597,7 @@ func (f *Fuzzer) SchedMeta() []EntryMeta {
 			Trimmed:    e.Trimmed,
 			AggrBack:   e.aggrBack,
 			AggrBarren: e.aggrBarren,
+			Dominated:  e.GloballyDominated,
 		})
 	}
 	return out
@@ -406,5 +658,63 @@ func (f *Fuzzer) applySeedMeta(e *QueueEntry) bool {
 	e.Trimmed = m.Trimmed
 	e.aggrBack = m.AggrBack
 	e.aggrBarren = m.AggrBarren
+	e.GloballyDominated = m.Dominated
 	return true
+}
+
+// ---- Power-schedule state persistence (checkpoint/resume) ----
+
+// PowerMeta is the durable power-schedule state of one fuzzer: the
+// per-edge pick-frequency map and the total pick count the horizon-aware
+// energy ceiling reads. Without it a resumed long campaign would restart
+// the rarity signal from zero and re-boost edges it had already worn out.
+type PowerMeta struct {
+	TotalPicked uint64            `json:"total_picked"`
+	EdgePicks   map[uint32]uint64 `json:"edge_picks"`
+}
+
+// PowerState snapshots the fuzzer's power-schedule state.
+func (f *Fuzzer) PowerState() *PowerMeta {
+	m := &PowerMeta{TotalPicked: f.totalPicked, EdgePicks: make(map[uint32]uint64, len(f.edgePicks))}
+	for idx, n := range f.edgePicks {
+		m.EdgePicks[idx] = n
+	}
+	return m
+}
+
+// powerMetaFile is where SavePowerMeta persists power-schedule state
+// inside a corpus directory, next to sched.json.
+const powerMetaFile = "power.json"
+
+// SavePowerMeta writes the fuzzer's power-schedule state to dir.
+func (f *Fuzzer) SavePowerMeta(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save power meta: %w", err)
+	}
+	enc, err := json.Marshal(f.PowerState())
+	if err != nil {
+		return fmt.Errorf("core: save power meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, powerMetaFile), enc, 0o644); err != nil {
+		return fmt.Errorf("core: save power meta: %w", err)
+	}
+	return nil
+}
+
+// LoadPowerMeta reads state written by SavePowerMeta. A missing file is
+// not an error: version-1 checkpoints (pre-power) resume with zeroed
+// power state.
+func LoadPowerMeta(dir string) (*PowerMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, powerMetaFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: load power meta: %w", err)
+	}
+	var m PowerMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("core: load power meta: %w", err)
+	}
+	return &m, nil
 }

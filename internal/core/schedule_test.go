@@ -137,6 +137,16 @@ func TestRoundRobinKeepsFlatRotation(t *testing.T) {
 	}
 }
 
+// setQueue installs a hand-built queue the way account() would: the cached
+// exec-time sum follows the entries (energy's O(1) queue average).
+func setQueue(f *Fuzzer, entries ...*QueueEntry) {
+	f.Queue = entries
+	f.execTimeSum = 0
+	for _, e := range entries {
+		f.execTimeSum += e.ExecTime
+	}
+}
+
 // The energy budget must penalize slow, narrow and fatigued entries, let
 // boosts offset penalties without exceeding the baseline, and stay within
 // the documented clamps.
@@ -150,7 +160,7 @@ func TestEnergyScalesAndClamps(t *testing.T) {
 	cov := []coverage.BucketHit{{Index: 1, Bucket: 1}}
 	fast := &QueueEntry{ExecTime: time.Millisecond, Cov: cov}
 	slow := &QueueEntry{ExecTime: 100 * time.Millisecond, Cov: cov}
-	f.Queue = []*QueueEntry{fast, fast, fast, slow}
+	setQueue(f, fast, fast, fast, slow)
 
 	if ef, es := f.energy(fast), f.energy(slow); ef <= es {
 		t.Fatalf("fast entry energy %d not above slow entry's %d", ef, es)
@@ -158,7 +168,7 @@ func TestEnergyScalesAndClamps(t *testing.T) {
 	// A depth boost offsets the slowness penalty, but never pushes the
 	// budget past the baseline.
 	deepSlow := &QueueEntry{ExecTime: 100 * time.Millisecond, Cov: cov, Depth: 20}
-	f.Queue = []*QueueEntry{fast, fast, fast, deepSlow}
+	setQueue(f, fast, fast, fast, deepSlow)
 	if ed, es := f.energy(deepSlow), f.energy(slow); ed <= es {
 		t.Fatalf("depth boost did not offset the slowness penalty: %d vs %d", ed, es)
 	}
@@ -167,18 +177,18 @@ func TestEnergyScalesAndClamps(t *testing.T) {
 	}
 	tired := &QueueEntry{ExecTime: time.Millisecond, Cov: cov, Picked: 100}
 	fresh := &QueueEntry{ExecTime: time.Millisecond, Cov: cov}
-	f.Queue = []*QueueEntry{tired, fresh}
+	setQueue(f, tired, fresh)
 	if et, efr := f.energy(tired), f.energy(fresh); et >= efr {
 		t.Fatalf("fatigued entry energy %d not below fresh entry's %d", et, efr)
 	}
 	// Clamps: every entry stays within [25, 100]% of the baseline.
 	extreme := &QueueEntry{ExecTime: time.Nanosecond, Cov: cov, Depth: 50}
-	f.Queue = []*QueueEntry{extreme, slow, slow, slow}
+	setQueue(f, extreme, slow, slow, slow)
 	if e := f.energy(extreme); e > 100*energyMaxScore/100 {
 		t.Fatalf("energy %d exceeds max clamp", e)
 	}
 	worst := &QueueEntry{ExecTime: time.Second, Picked: 100}
-	f.Queue = []*QueueEntry{worst, fast}
+	setQueue(f, worst, fast)
 	if e := f.energy(worst); e < 100*energyMinScore/100 {
 		t.Fatalf("energy %d below min clamp", e)
 	}
@@ -389,6 +399,335 @@ func TestLazyTrimOnFirstPick(t *testing.T) {
 	// may overshoot the cap — but never by more than one trim's worth.
 	if budget := f.Elapsed() * 2 * trimBudgetPct / 100; f.trimTime > budget {
 		t.Fatalf("trim consumed %v, far beyond the %d%% budget", f.trimTime, trimBudgetPct)
+	}
+}
+
+// opCostExec is an Executor whose virtual cost is proportional to the
+// input length (one millisecond per op) and whose coverage is independent
+// of it — so trimming always succeeds and measurably shortens exec time.
+type opCostExec struct {
+	loc     uint32
+	now     time.Duration
+	hasSnap bool
+}
+
+func (o *opCostExec) RunFromRoot(in *spec.Input, tr *coverage.Trace) (netemu.Result, error) {
+	if tr != nil {
+		tr.Reset()
+		tr.Hit(o.loc)
+	}
+	o.now += time.Millisecond * time.Duration(len(in.Ops))
+	res := netemu.Result{CrashOp: -1, OpsExecuted: len(in.Ops)}
+	if in.SnapshotAt >= 0 {
+		res.SnapshotTaken = true
+		o.hasSnap = true
+	}
+	return res, nil
+}
+
+func (o *opCostExec) RunSuffix(in *spec.Input, tr *coverage.Trace) (netemu.Result, error) {
+	if tr != nil {
+		tr.Reset()
+		tr.Hit(o.loc)
+	}
+	o.now += time.Millisecond
+	return netemu.Result{FromSnapshot: true, CrashOp: -1, OpsExecuted: len(in.Ops)}, nil
+}
+
+func (o *opCostExec) HasSnapshot() bool  { return o.hasSnap }
+func (o *opCostExec) DropSnapshot()      { o.hasSnap = false }
+func (o *opCostExec) Now() time.Duration { return o.now }
+
+// ParsePower and Power.String round-trip the flag values.
+func TestPowerParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Power
+	}{
+		{"off", PowerOff}, {"", PowerOff}, {"fast", PowerFast}, {"coe", PowerCoe},
+		{"explore", PowerExplore}, {"lin", PowerLin}, {"quad", PowerQuad},
+	} {
+		got, err := ParsePower(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePower(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+	if _, err := ParsePower("bogus"); err == nil {
+		t.Fatal("ParsePower must reject unknown names")
+	}
+	for _, p := range []Power{PowerOff, PowerFast, PowerCoe, PowerExplore, PowerLin, PowerQuad} {
+		rt, err := ParsePower(p.String())
+		if err != nil || rt != p {
+			t.Fatalf("power %v does not round-trip through its name %q", p, p.String())
+		}
+	}
+	if Power(9).String() == "" {
+		t.Fatal("unknown power should still render")
+	}
+}
+
+// Power-schedule energy must be monotone in Picked the way each schedule
+// promises: fast, coe, lin and quad decay over-fuzzed entries, explore
+// stays flat.
+func TestPowerEnergyMonotonicityInPicked(t *testing.T) {
+	s, _ := stubSpecInput()
+	cov := []coverage.BucketHit{{Index: 1, Bucket: 1}}
+	newPowered := func(p Power) *Fuzzer {
+		f := New(&stubExec{loc: 1}, s, Options{
+			Policy:           PolicyNone,
+			Rand:             rand.New(rand.NewSource(5)),
+			ExecsPerSchedule: 100,
+			Power:            p,
+		})
+		// A settled single-edge campaign: the edge has been picked often,
+		// so rarity applies no boost and only the pick-count response of
+		// the schedule under test shows through.
+		f.edgePicks[1] = 10
+		f.edgePickSum = 10
+		return f
+	}
+	energyAt := func(f *Fuzzer, picked int) int {
+		e := &QueueEntry{ExecTime: time.Millisecond, Cov: cov, Picked: picked}
+		mate := &QueueEntry{ExecTime: time.Millisecond, Cov: cov}
+		setQueue(f, e, mate)
+		return f.energy(e)
+	}
+
+	for _, p := range []Power{PowerFast, PowerCoe, PowerLin, PowerQuad} {
+		f := newPowered(p)
+		prev := energyAt(f, 0)
+		decayed := false
+		for _, picked := range []int{1, 2, 4, 8, 16} {
+			cur := energyAt(f, picked)
+			if cur > prev {
+				t.Fatalf("%v: energy rose from %d to %d as Picked grew", p, prev, cur)
+			}
+			if cur < prev {
+				decayed = true
+			}
+			prev = cur
+		}
+		if !decayed {
+			t.Fatalf("%v: energy never decayed over 16 picks", p)
+		}
+	}
+
+	f := newPowered(PowerExplore)
+	base := energyAt(f, 0)
+	for _, picked := range []int{1, 4, 16, 64} {
+		if cur := energyAt(f, picked); cur != base {
+			t.Fatalf("explore: energy changed from %d to %d at Picked=%d — must stay flat", base, cur, picked)
+		}
+	}
+}
+
+// Entries exercising rarely-picked edges must earn more budget than
+// entries whose every edge is over-exercised, and coe must cut entries
+// whose rarest edge sits above the mean pick frequency to the floor.
+func TestPowerEdgeRarityBoostAndCutoff(t *testing.T) {
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy:           PolicyNone,
+		Rand:             rand.New(rand.NewSource(6)),
+		ExecsPerSchedule: 100,
+		Power:            PowerExplore,
+	})
+	// Edge 1 is worn out, edge 2 barely touched: mean sits between.
+	f.edgePicks = map[uint32]uint64{1: 100, 2: 1}
+	f.edgePickSum = 101
+	hot := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 1, Bucket: 1}}}
+	rare := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 2, Bucket: 1}}}
+	setQueue(f, hot, rare)
+	// The frontier is drained and the campaign deep into re-picks, so the
+	// lifted ceiling lets the rarity boost show through.
+	f.totalPicked = 128
+	if eh, er := f.energy(hot), f.energy(rare); er <= eh {
+		t.Fatalf("rare-edge entry energy %d not above hot-edge entry's %d", er, eh)
+	}
+
+	f.power = PowerCoe
+	if e := f.energy(hot); e != energyMinScore*f.opts.ExecsPerSchedule/100 {
+		t.Fatalf("coe did not cut the over-exercised entry to the floor: energy %d", e)
+	}
+}
+
+// Under a power schedule the energy ceiling must stay at the baseline
+// while never-picked entries remain, then lift with the campaign horizon
+// once the frontier drains — the whole point of the -power family.
+func TestPowerCeilingLiftsWhenFrontierDrains(t *testing.T) {
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy:           PolicyNone,
+		Rand:             rand.New(rand.NewSource(7)),
+		ExecsPerSchedule: 100,
+		Power:            PowerFast,
+	})
+	f.edgePicks = map[uint32]uint64{1: 100, 2: 1}
+	f.edgePickSum = 101
+	rare := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 2, Bucket: 1}}}
+	mate := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 1, Bucket: 1}}}
+	setQueue(f, rare, mate)
+	f.totalPicked = 2 * 64 // deep re-pick regime: mean picks per entry = 64
+
+	f.pendingNew = 1
+	if e := f.energy(rare); e > f.opts.ExecsPerSchedule {
+		t.Fatalf("energy %d exceeded the baseline while the frontier still held entries", e)
+	}
+	f.pendingNew = 0
+	boosted := f.energy(rare)
+	if boosted <= f.opts.ExecsPerSchedule {
+		t.Fatalf("energy %d did not exceed the baseline after the frontier drained", boosted)
+	}
+	if max := f.opts.ExecsPerSchedule * powerHorizonMaxBoost; boosted > max {
+		t.Fatalf("energy %d exceeded the lifted ceiling %d", boosted, max)
+	}
+
+	// The baseline scheduler keeps its clamp no matter the horizon.
+	f.power = PowerOff
+	if e := f.energy(rare); e > f.opts.ExecsPerSchedule {
+		t.Fatalf("power-off energy %d exceeded the baseline clamp", e)
+	}
+}
+
+// The cached queue exec-time sum (energy's O(1) average) must agree with a
+// full recompute after a real campaign — append, import and trim all
+// update it.
+func TestEnergyCachedExecTimeSum(t *testing.T) {
+	inst := launch(t, "lightftp")
+	f := newFuzzer(t, inst, PolicyBalanced, 21)
+	if err := f.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	check := func(f *Fuzzer, when string) {
+		t.Helper()
+		var total time.Duration
+		for _, e := range f.Queue {
+			total += e.ExecTime
+		}
+		if total != f.execTimeSum {
+			t.Fatalf("%s: cached exec-time sum %v != recomputed %v over %d entries",
+				when, f.execTimeSum, total, len(f.Queue))
+		}
+	}
+	check(f, "after solo campaign (append + trim)")
+
+	// Imports land through the same accounting.
+	inst2 := launch(t, "lightftp")
+	g := newFuzzer(t, inst2, PolicyBalanced, 22)
+	if err := g.Step(); err != nil {
+		t.Fatal(err)
+	}
+	imported := 0
+	for _, e := range f.Queue {
+		ok, err := g.ImportInput(e.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			imported++
+		}
+	}
+	if imported == 0 {
+		t.Fatal("no entry imported — import accounting not exercised")
+	}
+	check(g, "after imports")
+}
+
+// A trim must re-estimate the entry's exec time from the trim's final
+// validating execution: the old full-length estimate mis-ranks the
+// trimmed entry in favFactor and energy.
+func TestTrimReestimatesExecTime(t *testing.T) {
+	s, seed := stubSpecInput()
+	f := New(&opCostExec{loc: 3}, s, Options{
+		Policy:       PolicyNone,
+		Seeds:        []*spec.Input{seed},
+		Rand:         rand.New(rand.NewSource(8)),
+		TrackRetrims: true,
+	})
+	if err := f.Step(); err != nil { // seed import
+		t.Fatal(err)
+	}
+	if len(f.Queue) != 1 {
+		t.Fatalf("queue = %d entries, want 1", len(f.Queue))
+	}
+	e := f.Queue[0]
+	before := e.ExecTime
+	if before != time.Millisecond*time.Duration(len(e.Input.Ops)) {
+		t.Fatalf("seed exec time %v not proportional to its %d ops", before, len(e.Input.Ops))
+	}
+	if err := f.trimEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Input.Ops) >= len(seed.Ops) {
+		t.Fatalf("trim did not shrink the input (%d ops)", len(e.Input.Ops))
+	}
+	want := time.Millisecond * time.Duration(len(e.Input.Ops))
+	if e.ExecTime != want {
+		t.Fatalf("trimmed exec time %v, want %v (the final validating run's cost)", e.ExecTime, want)
+	}
+	if e.ExecTime >= before {
+		t.Fatalf("trim left the stale full-length estimate: %v >= %v", e.ExecTime, before)
+	}
+	if f.execTimeSum != e.ExecTime {
+		t.Fatalf("cached exec-time sum %v not updated with the re-estimate %v", f.execTimeSum, e.ExecTime)
+	}
+	// The trim is queued for the campaign broker, which transfers the
+	// entry's global claims from the pre-trim key to the trimmed form's.
+	re := f.DrainRetrimmed()
+	if len(re) != 1 || re[0].Entry != e {
+		t.Fatalf("DrainRetrimmed returned %v, want the trimmed entry", re)
+	}
+	if re[0].OldKey != InputKey(seed) {
+		t.Fatal("DrainRetrimmed did not record the pre-trim content key")
+	}
+	if re[0].OldKey == InputKey(e.Input) {
+		t.Fatal("trim did not change the content key (test premise broken)")
+	}
+	if f.DrainRetrimmed() != nil {
+		t.Fatal("DrainRetrimmed did not reset the list")
+	}
+}
+
+// Power-schedule state must round-trip through SavePowerMeta/LoadPowerMeta,
+// and a missing file must load as nil (version-1 checkpoints resume with
+// zeroed power state).
+func TestPowerMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Rand:  rand.New(rand.NewSource(9)),
+		Power: PowerFast,
+	})
+	f.edgePicks = map[uint32]uint64{7: 3, 9: 1}
+	f.edgePickSum = 4
+	f.totalPicked = 12
+	if err := f.SavePowerMeta(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadPowerMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.TotalPicked != 12 || len(m.EdgePicks) != 2 || m.EdgePicks[7] != 3 || m.EdgePicks[9] != 1 {
+		t.Fatalf("power meta did not round-trip: %+v", m)
+	}
+
+	r := New(&stubExec{loc: 1}, s, Options{
+		Rand:       rand.New(rand.NewSource(10)),
+		Power:      PowerFast,
+		PowerState: m,
+	})
+	if r.totalPicked != 12 || r.edgePickSum != 4 || r.edgePicks[7] != 3 {
+		t.Fatalf("restored fuzzer power state wrong: total=%d sum=%d picks=%v",
+			r.totalPicked, r.edgePickSum, r.edgePicks)
+	}
+
+	missing, err := LoadPowerMeta(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != nil {
+		t.Fatalf("missing power meta should load as nil, got %+v", missing)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/coverage"
 	"repro/internal/spec"
@@ -32,12 +33,25 @@ func traceSignature(tr *coverage.Trace) uint64 {
 // queue's inputs, which matters doubly under incremental snapshots (shorter
 // prefixes are cheaper to re-create).
 func (f *Fuzzer) Trim(in *spec.Input) (*spec.Input, error) {
+	out, _, err := f.trimMeasured(in)
+	return out, err
+}
+
+// trimMeasured is Trim plus a measured exec-time estimate for the result:
+// the virtual cost of the last execution that validated the returned input
+// (the final accepted candidate's run, or the reference run when nothing
+// could be dropped). The scheduler uses it to refresh QueueEntry.ExecTime
+// after a trim — the pre-trim estimate describes an input that no longer
+// exists.
+func (f *Fuzzer) trimMeasured(in *spec.Input) (*spec.Input, time.Duration, error) {
 	cur := in.Clone()
 	cur.SnapshotAt = -1
 	var ref coverage.Trace
+	t0 := f.Agent.Now()
 	if _, err := f.Agent.RunFromRoot(cur, &ref); err != nil {
-		return nil, fmt.Errorf("core: trim reference run: %w", err)
+		return nil, 0, fmt.Errorf("core: trim reference run: %w", err)
 	}
+	curTime := f.Agent.Now() - t0
 	want := traceSignature(&ref)
 	var tr coverage.Trace
 
@@ -49,13 +63,15 @@ func (f *Fuzzer) Trim(in *spec.Input) (*spec.Input, error) {
 		if f.Spec.Validate(cand) != nil {
 			continue
 		}
+		t0 := f.Agent.Now()
 		res, err := f.Agent.RunFromRoot(cand, &tr)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		f.execs++
 		if !res.Crashed && traceSignature(&tr) == want {
 			cur = cand
+			curTime = f.Agent.Now() - t0
 		}
 	}
 
@@ -64,18 +80,20 @@ func (f *Fuzzer) Trim(in *spec.Input) (*spec.Input, error) {
 		for len(cur.Ops[i].Data) > 1 {
 			cand := cur.Clone()
 			cand.Ops[i].Data = cand.Ops[i].Data[:len(cand.Ops[i].Data)/2]
+			t0 := f.Agent.Now()
 			res, err := f.Agent.RunFromRoot(cand, &tr)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			f.execs++
 			if res.Crashed || traceSignature(&tr) != want {
 				break
 			}
 			cur = cand
+			curTime = f.Agent.Now() - t0
 		}
 	}
-	return cur, nil
+	return cur, curTime, nil
 }
 
 // MinimizeCrash shrinks a crashing input while it still crashes with the

@@ -101,14 +101,19 @@ func AblationSnapshotReuse(reuses []int, dur time.Duration, seed int64) ([]Ablat
 	return out, nil
 }
 
+// ablationPowers is the power-schedule family the scheduling ablation
+// sweeps, one row per schedule, after the rr and plain-afl rows.
+var ablationPowers = []core.Power{core.PowerFast, core.PowerCoe, core.PowerExplore, core.PowerLin, core.PowerQuad}
+
 // AblationScheduling ablates the corpus scheduler at equal virtual time:
 // the same target, policy, master seed and duration, once under the flat
-// round-robin rotation the seed reproduction used and once under the
+// round-robin rotation the seed reproduction used, once under the
 // AFL-style scheduler (favored culling, energy budgets, splice, lazy
-// trim). It reports both runs' final coverage plus the virtual time the
-// AFL scheduler needed to reach the round-robin run's final coverage — the
-// "no more virtual time for the same coverage" claim, measured rather than
-// asserted.
+// trim), and once per AFLfast-style power schedule layered on it. It
+// reports every run's final coverage plus the virtual time the AFL
+// scheduler needed to reach the round-robin run's final coverage — the
+// "no more virtual time for the same coverage" claim, measured rather
+// than asserted.
 func AblationScheduling(target string, dur time.Duration, seed int64) ([]AblationResult, error) {
 	if target == "" {
 		target = "lightftp"
@@ -116,7 +121,7 @@ func AblationScheduling(target string, dur time.Duration, seed int64) ([]Ablatio
 	if dur == 0 {
 		dur = 10 * time.Second
 	}
-	runSched := func(sched core.Sched) (*core.Fuzzer, error) {
+	runSched := func(sched core.Sched, power core.Power) (*core.Fuzzer, error) {
 		inst, err := targets.Launch(target, targets.LaunchConfig{})
 		if err != nil {
 			return nil, err
@@ -127,23 +132,35 @@ func AblationScheduling(target string, dur time.Duration, seed int64) ([]Ablatio
 			Rand:   rand.New(rand.NewSource(seed)),
 			Dict:   inst.Info.Dict,
 			Sched:  sched,
+			Power:  power,
 		})
 		if err := f.RunFor(dur); err != nil {
 			return nil, err
 		}
 		return f, nil
 	}
-	rr, err := runSched(core.SchedRoundRobin)
+	rr, err := runSched(core.SchedRoundRobin, core.PowerOff)
 	if err != nil {
 		return nil, err
 	}
-	afl, err := runSched(core.SchedAFL)
+	afl, err := runSched(core.SchedAFL, core.PowerOff)
 	if err != nil {
 		return nil, err
 	}
 	out := []AblationResult{
 		{Name: "round-robin final coverage", Value: float64(rr.Coverage()), Unit: "edges"},
 		{Name: "afl-sched final coverage", Value: float64(afl.Coverage()), Unit: "edges"},
+	}
+	for _, p := range ablationPowers {
+		f, err := runSched(core.SchedAFL, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name:  fmt.Sprintf("afl+%s final coverage", p),
+			Value: float64(f.Coverage()),
+			Unit:  "edges",
+		})
 	}
 	if tt := afl.TimeToCoverage(rr.Coverage()); tt >= 0 {
 		out = append(out, AblationResult{

@@ -46,6 +46,7 @@ func ParallelScaling(cfg Config, workerCounts []int) ([]ScalingRow, error) {
 			Target:  target,
 			Workers: n,
 			Policy:  core.PolicyAggressive,
+			Power:   cfg.Power,
 			Seed:    cfg.Seed,
 		})
 		if err != nil {

@@ -56,6 +56,10 @@ type Config struct {
 	Seed int64
 	// Targets overrides the target list (default: the ProFuzzBench 13).
 	Targets []string
+	// Power is the power schedule campaign-style experiments (the
+	// parallel-scaling table) layer on the AFL scheduler. Default
+	// core.PowerOff.
+	Power core.Power
 }
 
 // withDefaults fills zero fields.

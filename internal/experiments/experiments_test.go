@@ -265,7 +265,8 @@ func TestAblations(t *testing.T) {
 
 // The scheduling ablation must show the AFL-style scheduler reaching the
 // round-robin baseline's final coverage in no more virtual time (i.e.
-// within the shared campaign duration) on at least one bundled target.
+// within the shared campaign duration) on at least one bundled target,
+// and must emit one row per power schedule at the same virtual time.
 func TestAblationScheduling(t *testing.T) {
 	const dur = 10 * time.Second
 	reached := false
@@ -277,12 +278,21 @@ func TestAblationScheduling(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rs) != 3 {
-			t.Fatalf("ablation returned %d rows, want 3", len(rs))
+		// rr + afl + one row per power schedule + the time-to row.
+		if want := 3 + len(ablationPowers); len(rs) != want {
+			t.Fatalf("ablation returned %d rows, want %d", len(rs), want)
 		}
-		rr, afl, tt := rs[0].Value, rs[1].Value, rs[2].Value
+		rr, afl, tt := rs[0].Value, rs[1].Value, rs[len(rs)-1].Value
 		if rr <= 0 || afl <= 0 {
 			t.Fatalf("%s: degenerate coverage (rr=%.0f, afl=%.0f)", tc.target, rr, afl)
+		}
+		for _, r := range rs[2 : len(rs)-1] {
+			if !strings.Contains(r.Name, "afl+") {
+				t.Fatalf("unexpected power row name %q", r.Name)
+			}
+			if r.Value <= 0 {
+				t.Fatalf("%s: power schedule row %q found no coverage", tc.target, r.Name)
+			}
 		}
 		if tt >= 0 && tt <= dur.Seconds() {
 			reached = true
