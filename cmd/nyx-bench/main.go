@@ -26,7 +26,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate table N (1-5)")
 		figure   = flag.Int("figure", 0, "regenerate figure N (5 or 6; 7 = figure 5 with all fuzzers)")
-		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | sched | all")
+		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | sched | snappool | all")
 		all      = flag.Bool("all", false, "regenerate everything")
 		dur      = flag.Duration("time", 30*time.Second, "virtual campaign duration (= 24 scaled hours)")
 		reps     = flag.Int("reps", 3, "repetitions per cell")
@@ -34,7 +34,8 @@ func main() {
 		tgts     = flag.String("targets", "", "comma-separated target subset (default: all 13)")
 		levels   = flag.String("levels", "", "comma-separated Mario levels for table 4 (default subset)")
 		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8)")
-		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad (the sched ablation sweeps all of them)")
+		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad | adaptive (the sched ablation sweeps all of them)")
+		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget for -ablation snappool")
 	)
 	flag.Parse()
 
@@ -186,6 +187,13 @@ func main() {
 				fatalf("ablation sched: %v", err)
 			}
 			fmt.Println(experiments.RenderAblation("== Ablation: queue scheduling (round-robin vs AFL-style vs power schedules) ==", rs))
+		}
+		if abl == "snappool" || abl == "all" {
+			rs, err := experiments.AblationSnapshotPool(cfg.Targets, *dur, *seed, *snapbud)
+			if err != nil {
+				fatalf("ablation snappool: %v", err)
+			}
+			fmt.Println(experiments.RenderAblation("== Ablation: snapshot pool (prefix-keyed slots vs single slot vs none) ==", rs))
 		}
 	}
 

@@ -17,9 +17,17 @@
 // budgets, a splice stage and lazy trim — while "rr" restores the flat
 // round-robin rotation (the scheduling-ablation baseline). On top of the
 // AFL scheduler, -power selects an AFLfast-style power schedule for
-// long-horizon campaigns (fast | coe | explore | lin | quad): energy is
-// reshaped over pick counts and per-edge pick frequencies, with the energy
-// ceiling lifted past the baseline once the queue frontier drains.
+// long-horizon campaigns (fast | coe | explore | lin | quad | adaptive):
+// energy is reshaped over pick counts and per-edge pick frequencies, with
+// the energy ceiling lifted past the baseline once the queue frontier
+// drains; "adaptive" starts as explore and flips to coe when the frontier
+// drains.
+//
+// Incremental snapshots are pooled by default (-snapbudget bytes per
+// worker): snapshot slots are keyed by input-prefix digest, survive
+// queue-entry switches, are shared across entries with common prefixes,
+// and evict LRU/cheapest-first under the budget. -snapbudget 0 restores
+// the paper's single-snapshot model.
 //
 // Usage:
 //
@@ -41,6 +49,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/spec"
 	"repro/internal/targets"
 )
@@ -50,7 +59,8 @@ func main() {
 		target   = flag.String("target", "lightftp", "target to fuzz (see -list)")
 		policy   = flag.String("policy", "aggressive", "snapshot policy: none | balanced | aggressive")
 		sched    = flag.String("sched", "afl", "queue scheduler: afl (favored culling, energy, splice, trim) | rr (flat round-robin)")
-		power    = flag.String("power", "off", "AFLfast-style power schedule for long campaigns: off | fast | coe | explore | lin | quad")
+		power    = flag.String("power", "off", "AFLfast-style power schedule for long campaigns: off | fast | coe | explore | lin | quad | adaptive (explore until the frontier drains, then coe)")
+		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget per worker (prefix-keyed incremental snapshots; 0 disables the pool, restoring the single-slot model)")
 		duration = flag.Duration("time", 30*time.Second, "virtual campaign duration")
 		seed     = flag.Int64("seed", 1, "campaign RNG seed (master seed with -workers)")
 		asan     = flag.Bool("asan", false, "enable AddressSanitizer-like checking")
@@ -97,7 +107,7 @@ func main() {
 	if *workers > 1 || *resume || *ckpt != "" {
 		runParallel(parallelOpts{
 			target: *target, policy: pol, sched: sc, power: pw, duration: *duration, seed: *seed,
-			asan: *asan, workers: *workers, sync: *syncIvl,
+			asan: *asan, workers: *workers, sync: *syncIvl, snapBudget: *snapbud,
 			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir,
 		})
 		return
@@ -110,12 +120,13 @@ func main() {
 	fmt.Printf("[*] launched %s on %s (root snapshot taken)\n", *target, inst.Info.Port)
 
 	f := core.New(inst.Agent, inst.Spec, core.Options{
-		Policy: pol,
-		Sched:  sc,
-		Power:  pw,
-		Seeds:  inst.Seeds(),
-		Rand:   rand.New(rand.NewSource(*seed)),
-		Dict:   inst.Info.Dict,
+		Policy:     pol,
+		Sched:      sc,
+		Power:      pw,
+		Seeds:      inst.Seeds(),
+		Rand:       rand.New(rand.NewSource(*seed)),
+		Dict:       inst.Info.Dict,
+		SnapBudget: *snapbud,
 	})
 	start := time.Now()
 	if err := f.RunFor(*duration); err != nil {
@@ -125,6 +136,12 @@ func main() {
 	fmt.Printf("[*] campaign done: %v virtual in %v wall\n", f.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("    execs:          %d (%.1f/virtual-second, %d from incremental snapshots)\n",
 		f.Execs(), f.ExecsPerSecond(), f.SnapshotExecs())
+	if f.PoolEnabled() {
+		st := f.PoolStats()
+		fmt.Printf("    snapshot pool:  %d hits / %d misses, %d evictions, %d slots, %.1f MiB peak (budget %.1f MiB), %d full-prefix re-execs\n",
+			st.Hits, st.Misses, st.Evictions, st.Slots,
+			float64(st.PeakBytes)/(1<<20), float64(*snapbud)/(1<<20), f.FullPrefixReexecs())
+	}
 	fmt.Printf("    branch coverage: %d edges, %d queue entries\n", f.Coverage(), len(f.Queue))
 	fmt.Printf("    crashes:        %d unique\n", len(f.Crashes))
 	reportCrashes(f.Crashes, *crashDir)
@@ -140,6 +157,7 @@ type parallelOpts struct {
 	asan       bool
 	workers    int
 	sync       time.Duration
+	snapBudget int64
 	checkpoint string
 	resume     bool
 	crashDir   string
@@ -167,6 +185,7 @@ func runParallel(o parallelOpts) {
 			Power:        o.power,
 			Seed:         o.seed,
 			SyncInterval: o.sync,
+			SnapBudget:   o.snapBudget,
 			Asan:         o.asan,
 		})
 		if err != nil {
@@ -185,6 +204,10 @@ func runParallel(o parallelOpts) {
 		c.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), c.Rounds())
 	fmt.Printf("    execs:          %d total (%.1f/virtual-second aggregate)\n",
 		c.Execs(), c.ExecsPerSecond())
+	if ps := c.PoolStats(); ps.Hits+ps.Misses > 0 {
+		fmt.Printf("    snapshot pool:  %d hits / %d misses, %d evictions, %d slots, %.1f MiB pooled, %d full-prefix re-execs\n",
+			ps.Hits, ps.Misses, ps.Evictions, ps.Slots, float64(ps.Bytes)/(1<<20), c.FullPrefixReexecs())
+	}
 	fmt.Printf("    branch coverage: %d edges aggregated, %d broker corpus entries (%d deduped)\n",
 		c.Coverage(), c.CorpusSize(), c.Deduped())
 	for _, st := range c.PerWorker() {

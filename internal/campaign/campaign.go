@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/snappool"
 	"repro/internal/spec"
 	"repro/internal/targets"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	// Power is the AFLfast-style power schedule every worker layers on the
 	// AFL scheduler (default core.PowerOff).
 	Power core.Power
+	// SnapBudget, when > 0, enables each worker's prefix-keyed snapshot
+	// pool with this byte budget (core.Options.SnapBudget). Slots are
+	// per-VM, so the budget is per worker; cross-worker snapshot sharing
+	// is an open ROADMAP item.
+	SnapBudget int64
 	// Asan enables sanitizer instrumentation in every worker's VM.
 	Asan bool
 }
@@ -163,6 +169,7 @@ func newCampaign(cfg Config, epoch int, seedsFor func(i int) (workerSeeds, error
 			SeedMeta:      seedMeta,
 			PowerState:    powerState,
 			TrackRetrims:  true,
+			SnapBudget:    cfg.SnapBudget,
 			Rand:          rand.New(rand.NewSource(deriveSeed(cfg.Seed, epoch, i))),
 			Dict:          inst.Info.Dict,
 		})
@@ -224,13 +231,54 @@ func (c *Campaign) RunFor(d time.Duration) error {
 
 // sync runs one broker round: single-threaded ingest (deterministic worker
 // order), then parallel redistribution (each worker only touches itself).
+// Under a power schedule the broker also pushes the campaign-wide per-edge
+// pick frequencies back into every worker's rarity signal.
 func (c *Campaign) sync() error {
 	c.broker.ingest(c.workers)
+	if c.cfg.Power != core.PowerOff {
+		c.shareEdgePicks()
+	}
 	if err := c.parallel(func(w *worker) error { return w.drainImports() }); err != nil {
 		return err
 	}
 	c.broker.sample(c.Elapsed())
 	return nil
+}
+
+// shareEdgePicks aggregates every worker's per-edge pick frequencies and
+// hands each worker the others' totals. Without this, N workers each see
+// only their own pick history: an edge the whole campaign has hammered
+// still looks rare to the one worker that happened to pick it seldom, and
+// all N keep re-boosting the same edges independently. Each worker gets its
+// own exclusive-of-self map (fresh copies — workers run on goroutines), so
+// local picks are never double-counted.
+func (c *Campaign) shareEdgePicks() {
+	type pickState struct {
+		picks map[uint32]uint64
+		sum   uint64
+	}
+	states := make([]pickState, len(c.workers))
+	total := make(map[uint32]uint64)
+	var totalSum uint64
+	for i, w := range c.workers {
+		st := w.fz.PowerState()
+		var sum uint64
+		for idx, n := range st.EdgePicks {
+			total[idx] += n
+			sum += n
+		}
+		states[i] = pickState{picks: st.EdgePicks, sum: sum}
+		totalSum += sum
+	}
+	for i, w := range c.workers {
+		peer := make(map[uint32]uint64, len(total))
+		for idx, n := range total {
+			if rest := n - states[i].picks[idx]; rest > 0 {
+				peer[idx] = rest
+			}
+		}
+		w.fz.SetPeerEdgePicks(peer, totalSum-states[i].sum)
+	}
 }
 
 // parallel applies f to every worker concurrently and collects the first
@@ -334,19 +382,68 @@ type WorkerStats struct {
 	Coverage int
 	Queue    int
 	Crashes  int
+	// Snapshot-pool counters (zero when the pool is disabled).
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+	PoolBytes     int64
 }
 
 // PerWorker returns each worker's local statistics.
 func (c *Campaign) PerWorker() []WorkerStats {
 	out := make([]WorkerStats, len(c.workers))
 	for i, w := range c.workers {
+		ps := w.fz.PoolStats()
 		out[i] = WorkerStats{
-			ID:       w.id,
-			Execs:    w.fz.Execs(),
-			Coverage: w.fz.Coverage(),
-			Queue:    len(w.fz.Queue),
-			Crashes:  len(w.fz.Crashes),
+			ID:            w.id,
+			Execs:         w.fz.Execs(),
+			Coverage:      w.fz.Coverage(),
+			Queue:         len(w.fz.Queue),
+			Crashes:       len(w.fz.Crashes),
+			PoolHits:      ps.Hits,
+			PoolMisses:    ps.Misses,
+			PoolEvictions: ps.Evictions,
+			PoolBytes:     ps.Bytes,
 		}
 	}
 	return out
+}
+
+// PoolStats returns the snapshot-pool counters aggregated across workers
+// (sums; PeakBytes is the sum of per-worker peaks, since each worker's
+// budget is independent).
+func (c *Campaign) PoolStats() snappool.Stats {
+	var agg snappool.Stats
+	for _, w := range c.workers {
+		st := w.fz.PoolStats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Uncacheable += st.Uncacheable
+		agg.Bytes += st.Bytes
+		agg.PeakBytes += st.PeakBytes
+		agg.Slots += st.Slots
+	}
+	return agg
+}
+
+// RootExecs returns the campaign-wide count of whole-input root
+// executions.
+func (c *Campaign) RootExecs() uint64 {
+	var n uint64
+	for _, w := range c.workers {
+		n += w.fz.RootExecs()
+	}
+	return n
+}
+
+// FullPrefixReexecs returns the campaign-wide count of snapshot-creation
+// runs that re-executed a full prefix from the root (the redundancy the
+// snapshot pool eliminates).
+func (c *Campaign) FullPrefixReexecs() uint64 {
+	var n uint64
+	for _, w := range c.workers {
+		n += w.fz.FullPrefixReexecs()
+	}
+	return n
 }

@@ -684,3 +684,72 @@ func TestCampaignRejectsPowerWithRoundRobin(t *testing.T) {
 		t.Fatal("power + round-robin must fail")
 	}
 }
+
+func TestCampaignSnapshotPool(t *testing.T) {
+	cfg := testCfg(2, 1)
+	cfg.SnapBudget = 4 << 20
+	c := run(t, cfg, 2*time.Second)
+	agg := c.PoolStats()
+	if agg.Hits == 0 || agg.Misses == 0 {
+		t.Fatalf("pool not exercised across workers: %+v", agg)
+	}
+	for _, st := range c.PerWorker() {
+		if st.PoolHits+st.PoolMisses == 0 {
+			t.Fatalf("worker %d never touched its pool", st.ID)
+		}
+		if st.PoolBytes > cfg.SnapBudget {
+			t.Fatalf("worker %d pool bytes %d exceed budget %d", st.ID, st.PoolBytes, cfg.SnapBudget)
+		}
+	}
+	if c.RootExecs() == 0 || c.RootExecs() >= c.Execs() {
+		t.Fatalf("root-exec accounting wrong: %d of %d", c.RootExecs(), c.Execs())
+	}
+}
+
+func TestCampaignSharesEdgePicksOnSync(t *testing.T) {
+	cfg := testCfg(2, 3)
+	cfg.Power = core.PowerFast
+	c := run(t, cfg, 2*time.Second)
+	// After at least one sync, every worker must have received the
+	// others' pick frequencies.
+	if c.Rounds() == 0 {
+		t.Fatal("no sync rounds ran")
+	}
+	for i, w := range c.workers {
+		if len(w.fz.PowerState().EdgePicks) == 0 {
+			t.Fatalf("worker %d has no local pick state", i)
+		}
+	}
+	got := 0
+	for _, w := range c.workers {
+		if w.fz.PeerPickSum() > 0 {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("no worker received peer edge picks")
+	}
+}
+
+func TestCheckpointPersistsSnapBudget(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cfg := testCfg(1, 5)
+	cfg.SnapBudget = 2 << 20
+	c := run(t, cfg, 1*time.Second)
+	if err := c.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.SnapBudget != cfg.SnapBudget {
+		t.Fatalf("resumed snap budget = %d, want %d", r.cfg.SnapBudget, cfg.SnapBudget)
+	}
+	if err := r.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if agg := r.PoolStats(); agg.Hits+agg.Misses == 0 {
+		t.Fatal("resumed campaign did not re-enable the pool")
+	}
+}

@@ -34,9 +34,13 @@ import (
 // manifestVersion guards the checkpoint format. Version 2 added the
 // power-schedule choice, the broker's global top-rated digest, and full
 // per-entry metadata (favored bit, trace digest, exec time, size) on the
-// corpus history; version-1 checkpoints still resume, with zeroed power
-// state and a bare corpus history.
-const manifestVersion = 2
+// corpus history; version 3 adds the snapshot-pool budget (and power.json
+// gained the adaptive schedule's flip bit). Earlier versions still resume:
+// version 1 with zeroed power state and a bare corpus history, versions
+// 1-2 with the pool disabled. Pool contents themselves are never
+// checkpointed — slots are live VM state, recreated on demand after a
+// resume.
+const manifestVersion = 3
 
 type manifest struct {
 	Version       int           `json:"version"`
@@ -57,7 +61,10 @@ type manifest struct {
 	// unmarshal to core.PowerOff — the zeroed power state).
 	Power     int    `json:"power,omitempty"`
 	PowerName string `json:"power_name,omitempty"` // informational
-	Asan      bool   `json:"asan"`
+	// SnapBudget is the per-worker snapshot-pool byte budget (absent
+	// before version 3, which unmarshals to 0 — pool disabled).
+	SnapBudget int64 `json:"snap_budget,omitempty"`
+	Asan       bool  `json:"asan"`
 	// Elapsed is the campaign's cumulative virtual time at checkpoint;
 	// the resumed campaign's clock (and hence its coverage-log and crash
 	// timestamps) continues from here instead of restarting at zero.
@@ -226,6 +233,7 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 		SchedName:     c.cfg.Sched.String(),
 		Power:         int(c.cfg.Power),
 		PowerName:     c.cfg.Power.String(),
+		SnapBudget:    c.cfg.SnapBudget,
 		Asan:          c.cfg.Asan,
 		Elapsed:       c.Elapsed(),
 		Published:     c.broker.published,
@@ -373,6 +381,7 @@ func Resume(dir string) (*Campaign, error) {
 		SnapshotReuse: m.SnapshotReuse,
 		Sched:         core.Sched(m.Sched),
 		Power:         core.Power(m.Power),
+		SnapBudget:    m.SnapBudget,
 		Asan:          m.Asan,
 	}.withDefaults()
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/guest"
 	"repro/internal/netemu"
+	"repro/internal/snappool"
 	"repro/internal/spec"
 )
 
@@ -155,6 +156,14 @@ type Options struct {
 	// global claims priced at post-trim cost; solo runs leave it off so
 	// the undrained list cannot grow for the life of the process.
 	TrackRetrims bool
+	// SnapBudget, when > 0, enables the prefix-keyed snapshot pool with
+	// this many bytes of slot overlay memory: snapshots survive entry
+	// switches and are shared across queue entries with common prefixes,
+	// with LRU + cheapest-to-recreate-first eviction keeping the pool
+	// under budget. Requires an executor implementing SlotExecutor
+	// (netemu.Agent does); silently ignored otherwise, so baseline
+	// executors keep working unchanged.
+	SnapBudget int64
 }
 
 // Executor abstracts how test cases reach the target. Nyx-Net's executor
@@ -179,6 +188,23 @@ type Executor interface {
 	Now() time.Duration
 }
 
+// SlotExecutor is the optional executor extension the snapshot pool needs:
+// many named incremental snapshots that survive root runs and restores of
+// one another. netemu.Agent implements it; the restart-based baseline
+// executors do not, which is the point of the comparison.
+type SlotExecutor interface {
+	Executor
+	// RunCreatingSlot executes in, creating a snapshot into newSlot at
+	// in.SnapshotAt; fromSlot >= 0 resumes from that slot's prefix first.
+	RunCreatingSlot(in *spec.Input, tr *coverage.Trace, fromSlot, newSlot int) (netemu.Result, error)
+	// RunFromSnapshot executes in.Ops[SnapshotAt:] resuming from slot.
+	RunFromSnapshot(slot int, in *spec.Input, tr *coverage.Trace) (netemu.Result, error)
+	// DropSlot releases a pooled snapshot slot.
+	DropSlot(slot int)
+	// SlotBytes returns the slot's guest-memory charge for the budget.
+	SlotBytes(slot int) int64
+}
+
 // Fuzzer is a Nyx-Net campaign against one target.
 type Fuzzer struct {
 	Agent Executor
@@ -196,6 +222,8 @@ type Fuzzer struct {
 	nextID     int
 	execs      uint64
 	snapExecs  uint64 // executions served from an incremental snapshot
+	rootExecs  uint64 // executions that ran the whole input from the root
+	prefixRuns uint64 // snapshot-creation runs that re-executed a full prefix from root
 	crashSeen  map[string]bool
 	covLog     []CoveragePoint
 	started    time.Duration
@@ -221,6 +249,14 @@ type Fuzzer struct {
 	edgePicks   map[uint32]uint64 // edge index -> picks of entries covering it
 	edgePickSum uint64            // sum of edgePicks values (O(1) mean)
 	totalPicked uint64            // picks across all entries (campaign horizon)
+	peerPicks   map[uint32]uint64 // other workers' picks per edge (broker feedback)
+	peerPickSum uint64            // sum of peerPicks values
+	powerFlip   bool              // adaptive schedule flipped explore -> coe
+	drainStreak int               // consecutive frontier-empty picks (adaptive)
+
+	// Snapshot-pool state (nil/zero when the pool is disabled).
+	slotExec SlotExecutor
+	pool     *snappool.Pool
 }
 
 // New creates a fuzzer. The agent's machine must already hold a root
@@ -263,6 +299,14 @@ func New(agent Executor, s *spec.Spec, opts Options) *Fuzzer {
 			f.edgePicks[idx] = n
 			f.edgePickSum += n
 		}
+		f.powerFlip = opts.PowerState.Flipped
+		f.drainStreak = opts.PowerState.DrainStreak
+	}
+	if opts.SnapBudget > 0 {
+		if se, ok := agent.(SlotExecutor); ok {
+			f.slotExec = se
+			f.pool = snappool.New(opts.SnapBudget)
+		}
 	}
 	return f
 }
@@ -273,6 +317,32 @@ func (f *Fuzzer) Execs() uint64 { return f.execs }
 // SnapshotExecs returns how many executions resumed from an incremental
 // snapshot.
 func (f *Fuzzer) SnapshotExecs() uint64 { return f.snapExecs }
+
+// RootExecs returns how many executions ran their whole input from the
+// root snapshot (includes seed imports, non-snapshot rounds and trims, so
+// it scales with round throughput).
+func (f *Fuzzer) RootExecs() uint64 { return f.rootExecs }
+
+// FullPrefixReexecs returns how many snapshot-creation runs re-executed
+// their entire prefix from the root — the redundant re-execution the
+// snapshot pool exists to kill (the snappool ablation's comparison
+// metric). Single-slot mode pays one per snapshot round; the pool pays one
+// only when neither the exact prefix nor any shorter prefix of it is
+// cached (a pool hit skips the run entirely, a chained creation resumes
+// from the longest cached prefix and only executes the uncached tail).
+func (f *Fuzzer) FullPrefixReexecs() uint64 { return f.prefixRuns }
+
+// PoolStats returns the snapshot pool's counters (zero when the pool is
+// disabled).
+func (f *Fuzzer) PoolStats() snappool.Stats {
+	if f.pool == nil {
+		return snappool.Stats{}
+	}
+	return f.pool.Stats()
+}
+
+// PoolEnabled reports whether the prefix-keyed snapshot pool is active.
+func (f *Fuzzer) PoolEnabled() bool { return f.pool != nil }
 
 // Coverage returns the number of distinct edges found so far.
 func (f *Fuzzer) Coverage() int { return f.Virgin.Edges() }
@@ -346,10 +416,20 @@ func (f *Fuzzer) Step() error {
 		return f.fuzzFromRoot(entry, budget)
 	}
 
-	// Incremental-snapshot fuzzing: one full run creates the snapshot,
-	// then reuse it for suffix-only mutations (§3.4, Figure 4).
+	// Incremental-snapshot fuzzing (§3.4, Figure 4). The policy proposed a
+	// snapshot position; with the pool enabled the pool answers hit or
+	// miss for the entry's prefix at that position — a hit resumes a
+	// snapshot that survived earlier rounds (possibly created by a
+	// different entry sharing the prefix) with no full run at all.
 	base := entry.Input.Clone()
 	base.SnapshotAt = snapAt
+	if f.pool != nil {
+		return f.fuzzWithPool(entry, base, snapAt, budget)
+	}
+
+	// Single-slot mode: one full run creates the snapshot, then reuse it
+	// for suffix-only mutations; the slot dies with the round.
+	f.prefixRuns++
 	res, err := f.execFromRoot(base, true)
 	if err != nil {
 		return err
@@ -385,6 +465,116 @@ func (f *Fuzzer) Step() error {
 		f.chargeBarren(entry, budget)
 	}
 	return nil
+}
+
+// fuzzWithPool runs one scheduling round against a pooled prefix snapshot:
+// resolve (or create) the slot for base's prefix at snapAt, then spend the
+// budget on suffix-only mutations resumed from it. The slot stays pooled
+// after the round — the next round with the same prefix, on this entry or
+// any other sharing it, skips the creation run entirely.
+func (f *Fuzzer) fuzzWithPool(entry *QueueEntry, base *spec.Input, snapAt, budget int) error {
+	slot, prefixCost, transient, ok, err := f.ensurePoolSlot(entry, base, snapAt, budget)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Crashing/short-circuiting prefix: same fallback as single-slot
+		// mode (chargeBarren already applied by ensurePoolSlot).
+		return f.fuzzFromRoot(entry, budget)
+	}
+	f.snapBaseTime = prefixCost
+	foundNew := false
+	for i := 0; i < budget; i++ {
+		mut := f.Mut.MutateSuffix(base, snapAt)
+		mut.SnapshotAt = snapAt
+		isNew, err := f.execSuffixSlot(slot, mut)
+		if err != nil {
+			return err
+		}
+		foundNew = foundNew || isNew
+	}
+	if transient {
+		// The snapshot alone exceeded the whole budget: it served this
+		// round like a single-slot snapshot and dies with it.
+		f.slotExec.DropSlot(slot)
+	}
+	if foundNew {
+		entry.aggrBarren = 0
+	} else {
+		f.chargeBarren(entry, budget)
+	}
+	return nil
+}
+
+// ensurePoolSlot resolves the snapshot slot for base's prefix ending at
+// snapAt: a pool hit returns the cached slot; a miss creates one — resuming
+// from the longest pooled strict prefix of base when one exists, so even
+// creation re-executes as little as possible — and pools it, dropping
+// whatever the budget evicts. ok is false when the creation run never
+// reached the marker (crashing prefix); transient marks a slot too large to
+// pool, which the caller must drop after the round.
+func (f *Fuzzer) ensurePoolSlot(entry *QueueEntry, base *spec.Input, snapAt, budget int) (slot int, prefixCost time.Duration, transient, ok bool, err error) {
+	hit, parent, digest := f.pool.Resolve(base, snapAt)
+	if hit != nil {
+		return hit.Slot, hit.PrefixCost, false, true, nil
+	}
+
+	// Miss: create, starting from the longest cached strict prefix.
+	fromSlot, parentOps := -1, 0
+	var parentCost time.Duration
+	if parent != nil {
+		f.pool.Touch(parent)
+		fromSlot, parentOps, parentCost = parent.Slot, parent.Ops, parent.PrefixCost
+	}
+	newSlot := f.pool.AllocSlot()
+	t0 := f.Agent.Now()
+	res, runErr := f.slotExec.RunCreatingSlot(base, &f.trace, fromSlot, newSlot)
+	if runErr != nil {
+		return 0, 0, false, false, runErr
+	}
+	runTime := f.Agent.Now() - t0
+	// The creation run covers base end to end (prefix resumed or executed,
+	// tail executed), so account it exactly like the single-slot creation
+	// run: it can queue, crash and advance the coverage log.
+	f.lastExecTime = parentCost + runTime
+	if res.FromSnapshot {
+		f.snapExecs++
+	} else {
+		// No cached prefix to chain from: this run re-executed the whole
+		// prefix from the root, the redundancy the pool meters.
+		f.rootExecs++
+		f.prefixRuns++
+	}
+	f.account(base, res, true)
+	if !res.SnapshotTaken {
+		f.chargeBarren(entry, budget)
+		return 0, 0, false, false, nil
+	}
+	// Estimate what re-executing just the prefix from the root costs: the
+	// inherited prefix's cost plus this run's share up to the marker.
+	prefixCost = parentCost
+	if tail := len(base.Ops) - parentOps; tail > 0 {
+		prefixCost += runTime * time.Duration(snapAt-parentOps) / time.Duration(tail)
+	}
+	kept, evicted := f.pool.Insert(digest, newSlot, snapAt, f.slotExec.SlotBytes(newSlot), prefixCost)
+	for _, ev := range evicted {
+		f.slotExec.DropSlot(ev.Slot)
+	}
+	return newSlot, prefixCost, !kept, true, nil
+}
+
+// execSuffixSlot runs a suffix-only mutation resumed from a pooled slot.
+// Returns whether the execution found new coverage.
+func (f *Fuzzer) execSuffixSlot(slot int, in *spec.Input) (bool, error) {
+	t0 := f.Agent.Now()
+	res, err := f.slotExec.RunFromSnapshot(slot, in, &f.trace)
+	if err != nil {
+		return false, err
+	}
+	// Same full-cost estimate as execSuffix: prefix share + suffix time.
+	f.lastExecTime = f.snapBaseTime + (f.Agent.Now() - t0)
+	f.snapExecs++
+	return f.account(in, res, true), nil
 }
 
 // fuzzFromRoot spends budget executions mutating entry's whole input from
@@ -508,6 +698,7 @@ func (f *Fuzzer) execFromRoot(in *spec.Input, addToQueue bool) (netemu.Result, e
 		return res, err
 	}
 	f.lastExecTime = f.Agent.Now() - t0
+	f.rootExecs++
 	f.account(in, res, addToQueue)
 	return res, nil
 }

@@ -110,6 +110,13 @@ const (
 	PowerLin
 	// PowerQuad: quadratic decay in Picked plus edge-rarity boost.
 	PowerQuad
+	// PowerAdaptive switches schedules mid-campaign: it starts as explore
+	// (flat rarity-boosted budgets while the frontier cascade is alive)
+	// and flips to coe once the queue frontier drains — the cut-off
+	// schedule is where the long-horizon gains live, but it starves a
+	// young campaign whose rarity signal is still forming. The flip is
+	// one-way and persists across checkpoint/resume (power.json).
+	PowerAdaptive
 )
 
 // String names the power schedule for flags, manifests and reports.
@@ -127,6 +134,8 @@ func (p Power) String() string {
 		return "lin"
 	case PowerQuad:
 		return "quad"
+	case PowerAdaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("power(%d)", int(p))
 	}
@@ -147,8 +156,10 @@ func ParsePower(name string) (Power, error) {
 		return PowerLin, nil
 	case "quad":
 		return PowerQuad, nil
+	case "adaptive":
+		return PowerAdaptive, nil
 	default:
-		return 0, fmt.Errorf("core: unknown power schedule %q (want off | fast | coe | explore | lin | quad)", name)
+		return 0, fmt.Errorf("core: unknown power schedule %q (want off | fast | coe | explore | lin | quad | adaptive)", name)
 	}
 }
 
@@ -206,6 +217,12 @@ const (
 	// powerHorizonMaxBoost caps how far past the baseline the lifted
 	// energy ceiling may grow once the frontier drains (energyCeil).
 	powerHorizonMaxBoost = 8
+	// adaptiveFlipPicks is how many consecutive frontier-empty picks the
+	// adaptive schedule waits before flipping explore -> coe. A single
+	// empty observation is noise — the frontier refills on every
+	// discovery — but a sustained drought means the campaign has entered
+	// the re-pick regime coe is built for.
+	adaptiveFlipPicks = 16
 )
 
 // updateTopRated competes e for every edge its recorded trace covers.
@@ -284,6 +301,19 @@ func (f *Fuzzer) cullQueue() {
 // terminates.
 func (f *Fuzzer) pickEntry() *QueueEntry {
 	f.cullQueue()
+	// Adaptive schedule phase detection: count consecutive picks that find
+	// the frontier empty; a sustained drought flips explore -> coe for the
+	// rest of the campaign (sticky, checkpointed).
+	if f.power == PowerAdaptive && !f.powerFlip {
+		if f.pendingNew == 0 && len(f.Queue) > 0 {
+			f.drainStreak++
+			if f.drainStreak >= adaptiveFlipPicks {
+				f.powerFlip = true
+			}
+		} else {
+			f.drainStreak = 0
+		}
+	}
 	var e *QueueEntry
 	for tries := len(f.Queue); ; tries-- {
 		e = f.Queue[f.queueCur%len(f.Queue)]
@@ -420,15 +450,17 @@ func (f *Fuzzer) powerScore(score int, e *QueueEntry) int {
 	if decay > powerDecayCap {
 		decay = powerDecayCap
 	}
-	switch f.power {
+	switch f.effectivePower() {
 	case PowerExplore:
 		score *= boost
 	case PowerFast:
 		score = score * boost >> decay
 	case PowerCoe:
-		if len(f.edgePicks) > 0 && rare > mean {
+		if rare > mean {
 			// Cut-off: even this entry's rarest edge is over-exercised
-			// relative to the campaign mean; spend the minimum here.
+			// relative to the campaign mean (edgeRarity yields rare ==
+			// mean == 0 while no pick data exists, so the cut-off never
+			// fires on an empty signal); spend the minimum here.
 			return energyMinScore
 		}
 		score >>= decay
@@ -440,11 +472,45 @@ func (f *Fuzzer) powerScore(score int, e *QueueEntry) int {
 	return score
 }
 
+// effectivePower resolves the schedule actually shaping energy this pick:
+// the adaptive schedule reads as explore before its flip and coe after.
+func (f *Fuzzer) effectivePower() Power {
+	if f.power != PowerAdaptive {
+		return f.power
+	}
+	if f.powerFlip {
+		return PowerCoe
+	}
+	return PowerExplore
+}
+
+// SetPeerEdgePicks installs the aggregated per-edge pick frequencies of
+// the other campaign workers (broker feedback, refreshed every sync). The
+// rarity signal then ranks edges by campaign-wide attention instead of
+// local attention, so N workers stop independently re-boosting the same
+// edges each of them happens to have picked rarely.
+func (f *Fuzzer) SetPeerEdgePicks(picks map[uint32]uint64, sum uint64) {
+	f.peerPicks = picks
+	f.peerPickSum = sum
+}
+
+// PeerPickSum returns the total peer picks last installed by
+// SetPeerEdgePicks (campaign telemetry / tests).
+func (f *Fuzzer) PeerPickSum() uint64 { return f.peerPickSum }
+
 // edgeRarity reports the pick frequency of e's rarest covered edge and the
 // mean pick frequency across all tracked edges — the rarity signal the
-// power schedules shape energy with.
+// power schedules shape energy with. Both sides combine local picks with
+// the broker's peer feedback when present, so the frequencies approximate
+// the campaign-wide totals between syncs (local picks since the last sync
+// are only known locally; the mean divides by the larger tracked-edge set
+// as the campaign-wide denominator).
 func (f *Fuzzer) edgeRarity(e *QueueEntry) (rare, mean uint64) {
-	if len(f.edgePicks) == 0 {
+	tracked := len(f.edgePicks)
+	if len(f.peerPicks) > tracked {
+		tracked = len(f.peerPicks)
+	}
+	if tracked == 0 {
 		return 0, 0
 	}
 	first := true
@@ -452,13 +518,13 @@ func (f *Fuzzer) edgeRarity(e *QueueEntry) (rare, mean uint64) {
 		if h.Bucket == 0 {
 			continue
 		}
-		n := f.edgePicks[h.Index]
+		n := f.edgePicks[h.Index] + f.peerPicks[h.Index]
 		if first || n < rare {
 			rare = n
 			first = false
 		}
 	}
-	return rare, f.edgePickSum / uint64(len(f.edgePicks))
+	return rare, (f.edgePickSum + f.peerPickSum) / uint64(tracked)
 }
 
 // energyCeil is the score ceiling the energy clamp enforces. With power
@@ -666,16 +732,28 @@ func (f *Fuzzer) applySeedMeta(e *QueueEntry) bool {
 
 // PowerMeta is the durable power-schedule state of one fuzzer: the
 // per-edge pick-frequency map and the total pick count the horizon-aware
-// energy ceiling reads. Without it a resumed long campaign would restart
-// the rarity signal from zero and re-boost edges it had already worn out.
+// energy ceiling reads, plus the adaptive schedule's phase. Without it a
+// resumed long campaign would restart the rarity signal from zero, re-boost
+// edges it had already worn out, and (under -power adaptive) drop back into
+// the explore phase it had already outgrown.
 type PowerMeta struct {
 	TotalPicked uint64            `json:"total_picked"`
 	EdgePicks   map[uint32]uint64 `json:"edge_picks"`
+	// Flipped records the adaptive schedule's one-way explore -> coe
+	// transition; DrainStreak the progress towards it (both absent in
+	// pre-adaptive checkpoints, resuming unflipped).
+	Flipped     bool `json:"flipped,omitempty"`
+	DrainStreak int  `json:"drain_streak,omitempty"`
 }
 
 // PowerState snapshots the fuzzer's power-schedule state.
 func (f *Fuzzer) PowerState() *PowerMeta {
-	m := &PowerMeta{TotalPicked: f.totalPicked, EdgePicks: make(map[uint32]uint64, len(f.edgePicks))}
+	m := &PowerMeta{
+		TotalPicked: f.totalPicked,
+		EdgePicks:   make(map[uint32]uint64, len(f.edgePicks)),
+		Flipped:     f.powerFlip,
+		DrainStreak: f.drainStreak,
+	}
 	for idx, n := range f.edgePicks {
 		m.EdgePicks[idx] = n
 	}

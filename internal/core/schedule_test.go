@@ -446,6 +446,7 @@ func TestPowerParseAndString(t *testing.T) {
 	}{
 		{"off", PowerOff}, {"", PowerOff}, {"fast", PowerFast}, {"coe", PowerCoe},
 		{"explore", PowerExplore}, {"lin", PowerLin}, {"quad", PowerQuad},
+		{"adaptive", PowerAdaptive},
 	} {
 		got, err := ParsePower(tc.name)
 		if err != nil || got != tc.want {
@@ -455,7 +456,7 @@ func TestPowerParseAndString(t *testing.T) {
 	if _, err := ParsePower("bogus"); err == nil {
 		t.Fatal("ParsePower must reject unknown names")
 	}
-	for _, p := range []Power{PowerOff, PowerFast, PowerCoe, PowerExplore, PowerLin, PowerQuad} {
+	for _, p := range []Power{PowerOff, PowerFast, PowerCoe, PowerExplore, PowerLin, PowerQuad, PowerAdaptive} {
 		rt, err := ParsePower(p.String())
 		if err != nil || rt != p {
 			t.Fatalf("power %v does not round-trip through its name %q", p, p.String())
@@ -750,5 +751,106 @@ func TestSchedParseAndString(t *testing.T) {
 	}
 	if Sched(9).String() == "" {
 		t.Fatal("unknown sched should still render")
+	}
+}
+
+// The adaptive schedule must read as explore before the frontier drains,
+// flip to coe after a sustained drought, and stay flipped.
+func TestAdaptivePowerFlipsOnFrontierDrain(t *testing.T) {
+	s, seed := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy:        PolicyNone,
+		Seeds:         []*spec.Input{seed},
+		Rand:          rand.New(rand.NewSource(4)),
+		SnapshotReuse: 2,
+		Power:         PowerAdaptive,
+	})
+	if f.effectivePower() != PowerExplore {
+		t.Fatalf("fresh adaptive campaign must act as explore, got %v", f.effectivePower())
+	}
+	// The stub yields one queue entry; after its first pick the frontier
+	// stays empty, so adaptiveFlipPicks further picks flip the schedule.
+	for i := 0; i < adaptiveFlipPicks+4 && !f.powerFlip; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.powerFlip || f.effectivePower() != PowerCoe {
+		t.Fatalf("adaptive schedule never flipped (flip=%v effective=%v)", f.powerFlip, f.effectivePower())
+	}
+	// Sticky: further steps keep coe.
+	for i := 0; i < 4; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.effectivePower() != PowerCoe {
+		t.Fatal("adaptive flip must be one-way")
+	}
+}
+
+// The adaptive flip must persist through power.json and restore on resume.
+func TestAdaptiveFlipPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Rand:  rand.New(rand.NewSource(11)),
+		Power: PowerAdaptive,
+	})
+	f.powerFlip = true
+	f.drainStreak = 3
+	if err := f.SavePowerMeta(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadPowerMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || !m.Flipped || m.DrainStreak != 3 {
+		t.Fatalf("flip did not round-trip: %+v", m)
+	}
+	r := New(&stubExec{loc: 1}, s, Options{
+		Rand:       rand.New(rand.NewSource(12)),
+		Power:      PowerAdaptive,
+		PowerState: m,
+	})
+	if !r.powerFlip || r.effectivePower() != PowerCoe {
+		t.Fatalf("resumed fuzzer lost the adaptive flip (flip=%v)", r.powerFlip)
+	}
+}
+
+// Peer pick frequencies from the broker must feed the local rarity signal:
+// an edge other workers hammer stops looking rare here, and the combined
+// mean moves with the campaign-wide total.
+func TestPeerEdgePicksShapeRarity(t *testing.T) {
+	s, _ := stubSpecInput()
+	f := New(&stubExec{loc: 1}, s, Options{
+		Policy:           PolicyNone,
+		Rand:             rand.New(rand.NewSource(6)),
+		ExecsPerSchedule: 100,
+		Power:            PowerExplore,
+	})
+	// Locally, edge 1 looks rare (1 pick) against a hot edge 2.
+	f.edgePicks = map[uint32]uint64{1: 1, 2: 15}
+	f.edgePickSum = 16
+	e := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 1, Bucket: 1}}}
+	mate := &QueueEntry{ExecTime: time.Millisecond, Cov: []coverage.BucketHit{{Index: 2, Bucket: 1}}}
+	setQueue(f, e, mate)
+	boosted := f.powerScore(100, e)
+	if boosted <= f.powerScore(100, mate) {
+		t.Fatalf("locally rare edge should out-earn the hot one (%d vs %d)", boosted, f.powerScore(100, mate))
+	}
+	// The broker reports every other worker has been hammering edge 1.
+	f.SetPeerEdgePicks(map[uint32]uint64{1: 200}, 200)
+	unboosted := f.powerScore(100, e)
+	if unboosted >= boosted {
+		t.Fatalf("peer-hammered edge kept its rarity boost: %d -> %d", boosted, unboosted)
+	}
+	rare, mean := f.edgeRarity(e)
+	if rare != 201 {
+		t.Fatalf("combined rarity = %d, want local 1 + peer 200", rare)
+	}
+	if mean != (16+200)/2 {
+		t.Fatalf("combined mean = %d, want %d", mean, (16+200)/2)
 	}
 }

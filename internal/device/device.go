@@ -36,10 +36,48 @@ type Device interface {
 	// DropIncremental discards the secondary snapshot (state unchanged).
 	DropIncremental()
 
+	// SaveSnapshot captures the device's current state as an opaque
+	// in-memory value for the snapshot-slot pool: unlike TakeIncremental
+	// (one layered snapshot per device) any number of snapshots can be
+	// held at once, and LoadSnapshot restores one regardless of what ran
+	// in between. Loading deactivates the layered incremental snapshot,
+	// whose timeline the load abandons.
+	SaveSnapshot() Snapshot
+	// LoadSnapshot restores the state captured by SaveSnapshot.
+	LoadSnapshot(Snapshot)
+
 	// SaveState serializes the full device state (QEMU-style, slow).
 	SaveState() ([]byte, error)
 	// LoadState restores the full device state from SaveState output.
 	LoadState([]byte) error
+}
+
+// Snapshot is an opaque captured device state (SaveSnapshot/LoadSnapshot).
+// Only the device that produced a value may consume it.
+type Snapshot any
+
+// SnapshotBytes estimates the heap bytes a pool snapshot holds, so the
+// snapshot pool's budget can charge device captures alongside the memory
+// overlay (a disk-heavy prefix stores its whole sector delta per slot —
+// uncounted, that cost would grow unbounded under a "respected" budget).
+func SnapshotBytes(s Snapshot) int64 {
+	switch v := s.(type) {
+	case *blockSnap:
+		return int64(len(v.delta)) * SectorSize
+	case *nicState:
+		var n int64
+		for _, f := range v.RxQueue {
+			n += int64(len(f))
+		}
+		for _, f := range v.TxQueue {
+			n += int64(len(f))
+		}
+		return n
+	case []byte:
+		return int64(len(v))
+	default:
+		return 0
+	}
 }
 
 // BlockDevice models an emulated disk. Sector writes since the root
@@ -188,6 +226,41 @@ func (d *BlockDevice) DropIncremental() {
 // DirtySectors returns how many sectors differ from the root snapshot.
 func (d *BlockDevice) DirtySectors() int { return len(d.l1) + len(d.l2) }
 
+// blockSnap is a BlockDevice pool snapshot: the flattened dirty delta
+// against the base image.
+type blockSnap struct {
+	delta  map[uint64][]byte
+	writes uint64
+}
+
+// SaveSnapshot implements Device: flatten both caching layers into one
+// delta-vs-base map. Sector contents are copied because WriteSector mutates
+// layer buffers in place.
+func (d *BlockDevice) SaveSnapshot() Snapshot {
+	sn := &blockSnap{delta: make(map[uint64][]byte, len(d.l1)+len(d.l2)), writes: d.WritesSinceRoot}
+	for s, b := range d.l1 {
+		sn.delta[s] = append([]byte(nil), b...)
+	}
+	for s, b := range d.l2 {
+		sn.delta[s] = append([]byte(nil), b...)
+	}
+	return sn
+}
+
+// LoadSnapshot implements Device: the captured delta becomes the first
+// caching layer (reads fall through to the untouched base image for
+// everything else), the second layer is discarded.
+func (d *BlockDevice) LoadSnapshot(s Snapshot) {
+	sn := s.(*blockSnap)
+	d.l1 = make(map[uint64][]byte, len(sn.delta))
+	for sec, b := range sn.delta {
+		d.l1[sec] = append([]byte(nil), b...)
+	}
+	d.l2 = make(map[uint64][]byte)
+	d.incActive = false
+	d.WritesSinceRoot = sn.writes
+}
+
 type blockState struct {
 	NSectors uint64
 	Sectors  map[uint64][]byte
@@ -310,6 +383,15 @@ func (n *NIC) RestoreIncremental() {
 // DropIncremental implements Device.
 func (n *NIC) DropIncremental() { n.incActive = false }
 
+// SaveSnapshot implements Device.
+func (n *NIC) SaveSnapshot() Snapshot { st := n.capture(); return &st }
+
+// LoadSnapshot implements Device.
+func (n *NIC) LoadSnapshot(s Snapshot) {
+	n.apply(*s.(*nicState))
+	n.incActive = false
+}
+
 // SaveState implements Device.
 func (n *NIC) SaveState() ([]byte, error) {
 	var buf bytes.Buffer
@@ -368,6 +450,17 @@ func (s *Serial) RestoreIncremental() {
 
 // DropIncremental implements Device.
 func (s *Serial) DropIncremental() { s.incActive = false }
+
+// SaveSnapshot implements Device.
+func (s *Serial) SaveSnapshot() Snapshot {
+	return append([]byte(nil), s.Log...)
+}
+
+// LoadSnapshot implements Device.
+func (s *Serial) LoadSnapshot(sn Snapshot) {
+	s.Log = append(s.Log[:0:0], sn.([]byte)...)
+	s.incActive = false
+}
 
 // SaveState implements Device.
 func (s *Serial) SaveState() ([]byte, error) {
@@ -438,6 +531,23 @@ func (s *Set) RestoreIncremental() {
 func (s *Set) DropIncremental() {
 	for _, d := range s.devices {
 		d.DropIncremental()
+	}
+}
+
+// SaveSnapshots captures every device's pool snapshot, in registration
+// order (the order LoadSnapshots expects).
+func (s *Set) SaveSnapshots() []Snapshot {
+	out := make([]Snapshot, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = d.SaveSnapshot()
+	}
+	return out
+}
+
+// LoadSnapshots restores a SaveSnapshots capture from the same device set.
+func (s *Set) LoadSnapshots(snaps []Snapshot) {
+	for i, d := range s.devices {
+		d.LoadSnapshot(snaps[i])
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/snappool"
 	"repro/internal/targets"
 	"repro/internal/vm"
 )
@@ -103,7 +104,7 @@ func AblationSnapshotReuse(reuses []int, dur time.Duration, seed int64) ([]Ablat
 
 // ablationPowers is the power-schedule family the scheduling ablation
 // sweeps, one row per schedule, after the rr and plain-afl rows.
-var ablationPowers = []core.Power{core.PowerFast, core.PowerCoe, core.PowerExplore, core.PowerLin, core.PowerQuad}
+var ablationPowers = []core.Power{core.PowerFast, core.PowerCoe, core.PowerExplore, core.PowerLin, core.PowerQuad, core.PowerAdaptive}
 
 // AblationScheduling ablates the corpus scheduler at equal virtual time:
 // the same target, policy, master seed and duration, once under the flat
@@ -172,6 +173,95 @@ func AblationScheduling(target string, dur time.Duration, seed int64) ([]Ablatio
 		})
 	}
 	return out, nil
+}
+
+// DefaultSnapBudget is the per-worker snapshot-pool byte budget the
+// snappool ablation (and the nyx-net default) uses: 8 MiB — half a default
+// 16 MiB VM, comfortably many prefix overlays, small enough that long
+// campaigns exercise eviction.
+const DefaultSnapBudget int64 = 8 << 20
+
+// AblationSnapshotPool ablates the snapshot mechanism itself at equal
+// virtual time and equal seed: the prefix-keyed snapshot pool
+// (-snapbudget) against the single-slot snapshot the paper describes, and
+// against no incremental snapshots at all. The pool's claim is that it
+// strictly reduces full-prefix re-executions — snapshot-creation runs
+// that re-ran their whole prefix from the root (Fuzzer.FullPrefixReexecs)
+// — because snapshots survive queue-entry switches and are shared across
+// entries with common prefixes. Total root execs (a separate counter that
+// also covers seed imports, trims and non-snapshot rounds) typically
+// RISES under the pool: cheaper rounds mean more rounds fit in the same
+// virtual time. Each target contributes rows for final coverage, both
+// exec counters per configuration, and the pool's hit/miss/eviction
+// counters and peak bytes (which must stay under the budget).
+func AblationSnapshotPool(tgts []string, dur time.Duration, seed int64, budget int64) ([]AblationResult, error) {
+	if len(tgts) == 0 {
+		tgts = []string{"tinydtls", "dnsmasq"}
+	}
+	if dur == 0 {
+		dur = 10 * time.Second
+	}
+	if budget <= 0 {
+		// 0 means "pool off" everywhere else (nyx-net), and an ablation
+		// of the pool against itself-disabled is meaningless — reject
+		// rather than silently substitute the default.
+		return nil, fmt.Errorf("experiments: snappool ablation needs a positive budget, got %d", budget)
+	}
+	runCfg := func(target string, policy core.Policy, snapBudget int64) (*core.Fuzzer, error) {
+		inst, err := targets.Launch(target, targets.LaunchConfig{})
+		if err != nil {
+			return nil, err
+		}
+		f := core.New(inst.Agent, inst.Spec, core.Options{
+			Policy:     policy,
+			Seeds:      inst.Seeds(),
+			Rand:       rand.New(rand.NewSource(seed)),
+			Dict:       inst.Info.Dict,
+			SnapBudget: snapBudget,
+		})
+		if err := f.RunFor(dur); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	var out []AblationResult
+	for _, target := range tgts {
+		pool, err := runCfg(target, core.PolicyAggressive, budget)
+		if err != nil {
+			return nil, err
+		}
+		single, err := runCfg(target, core.PolicyAggressive, 0)
+		if err != nil {
+			return nil, err
+		}
+		none, err := runCfg(target, core.PolicyNone, 0)
+		if err != nil {
+			return nil, err
+		}
+		st := pool.PoolStats()
+		out = append(out,
+			AblationResult{Name: fmt.Sprintf("%s pool coverage", target), Value: float64(pool.Coverage()), Unit: "edges"},
+			AblationResult{Name: fmt.Sprintf("%s single-slot coverage", target), Value: float64(single.Coverage()), Unit: "edges"},
+			AblationResult{Name: fmt.Sprintf("%s no-snapshot coverage", target), Value: float64(none.Coverage()), Unit: "edges"},
+			AblationResult{Name: fmt.Sprintf("%s pool full-prefix re-execs", target), Value: float64(pool.FullPrefixReexecs()), Unit: "execs"},
+			AblationResult{Name: fmt.Sprintf("%s single-slot full-prefix re-execs", target), Value: float64(single.FullPrefixReexecs()), Unit: "execs"},
+			AblationResult{Name: fmt.Sprintf("%s pool root execs", target), Value: float64(pool.RootExecs()), Unit: "execs"},
+			AblationResult{Name: fmt.Sprintf("%s single-slot root execs", target), Value: float64(single.RootExecs()), Unit: "execs"},
+			AblationResult{Name: fmt.Sprintf("%s no-snapshot root execs", target), Value: float64(none.RootExecs()), Unit: "execs"},
+			AblationResult{Name: fmt.Sprintf("%s pool hit rate", target), Value: hitRate(st), Unit: "% of rounds"},
+			AblationResult{Name: fmt.Sprintf("%s pool evictions", target), Value: float64(st.Evictions), Unit: "slots"},
+			AblationResult{Name: fmt.Sprintf("%s pool peak memory", target), Value: float64(st.PeakBytes) / (1 << 20), Unit: "MiB"},
+		)
+	}
+	return out, nil
+}
+
+// hitRate renders pool hits as a percentage of snapshot rounds.
+func hitRate(st snappool.Stats) float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
 }
 
 // AblationReMirror sweeps the incremental-snapshot re-mirror interval

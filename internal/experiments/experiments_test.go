@@ -303,3 +303,38 @@ func TestAblationScheduling(t *testing.T) {
 		t.Fatal("AFL scheduler never matched round-robin coverage within equal virtual time on any target")
 	}
 }
+
+// The snapshot-pool ablation must show the pool strictly reducing
+// full-prefix re-executions (root execs) versus the single-slot baseline
+// at equal virtual time, with pool memory under budget.
+func TestAblationSnapshotPool(t *testing.T) {
+	const budget = int64(8 << 20)
+	rs, err := AblationSnapshotPool([]string{"tinydtls"}, 5*time.Second, 1, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 11 {
+		t.Fatalf("ablation returned %d rows, want 11", len(rs))
+	}
+	byName := map[string]float64{}
+	for _, r := range rs {
+		byName[r.Name] = r.Value
+	}
+	poolPfx := byName["tinydtls pool full-prefix re-execs"]
+	singlePfx := byName["tinydtls single-slot full-prefix re-execs"]
+	if poolPfx <= 0 || singlePfx <= 0 {
+		t.Fatalf("degenerate re-exec counts: pool=%.0f single=%.0f", poolPfx, singlePfx)
+	}
+	if poolPfx >= singlePfx {
+		t.Fatalf("pool must strictly reduce full-prefix re-execs: pool %.0f >= single-slot %.0f", poolPfx, singlePfx)
+	}
+	if cov := byName["tinydtls pool coverage"]; cov <= 0 {
+		t.Fatal("pool run found no coverage")
+	}
+	if peak := byName["tinydtls pool peak memory"]; peak > float64(budget)/(1<<20) {
+		t.Fatalf("pool peak %.2f MiB exceeds budget", peak)
+	}
+	if hr := byName["tinydtls pool hit rate"]; hr <= 0 {
+		t.Fatal("pool never hit")
+	}
+}

@@ -8,6 +8,14 @@
 // numbers that lets the restore path avoid walking the whole bitmap. Both
 // structures are maintained so that the ablation benchmarks can compare the
 // stack-based restore against an Agamotto-style full bitmap walk.
+//
+// Incremental snapshots are held in named overlay slots: each slot stores
+// the delta of the captured state against the root snapshot, and slots
+// survive root restores and restores of other slots, so a snapshot pool
+// (package snappool) can keep many prefix states alive at once under a
+// memory budget. The original single-slot API (TakeIncremental /
+// RestoreIncremental / DropIncremental) is preserved as a thin wrapper over
+// a reserved slot with the paper's exact one-secondary-snapshot semantics.
 package mem
 
 import (
@@ -38,8 +46,25 @@ const (
 var ErrNoRootSnapshot = errors.New("mem: no root snapshot taken")
 
 // ErrNoIncrementalSnapshot is returned when an operation requires an active
-// incremental snapshot.
+// incremental snapshot (or, for the slot API, a slot that exists).
 var ErrNoIncrementalSnapshot = errors.New("mem: no incremental snapshot active")
+
+// LegacySlot is the reserved slot id the single-slot wrapper API operates
+// on. Pool consumers must allocate their slot ids starting above it.
+const LegacySlot = 0
+
+// snapSlot is one named incremental snapshot: the overlay of pages whose
+// captured content differs from the root snapshot (plus, for the legacy
+// slot, retained buffers from discarded snapshots awaiting reuse).
+type snapSlot struct {
+	pages map[uint32][]byte
+	// live marks the slot restorable. The legacy wrapper clears it on
+	// DropIncremental while retaining the buffers for the next take.
+	live bool
+	// sinceMirror counts creations into this slot since its overlay was
+	// last cleared (the re-mirror bookkeeping, §4.2).
+	sinceMirror int
+}
 
 // Memory models the physical memory of a guest VM.
 //
@@ -66,15 +91,16 @@ type Memory struct {
 	backing    [][]byte
 	sharedRoot bool
 
-	// Incremental snapshot state (§4.2). The "mirror" is conceptually a
-	// copy-on-write remap of the root snapshot: incPages overlays root.
-	// Pages accumulate in the overlay across incremental snapshots and
-	// are re-mirrored (cleared) every ReMirrorInterval creations to bound
-	// the duplicate-copy worst case the paper describes.
-	incActive   bool
-	incPages    map[uint32][]byte
-	incCreated  uint64 // total incremental snapshots created
-	sinceMirror int    // creations since the overlay was last cleared
+	// Incremental snapshot state (§4.2). Each slot is conceptually a
+	// copy-on-write remap of the root snapshot: slot.pages overlays root.
+	// active names the slot the current memory state derives from (-1 =
+	// root), which is what dirty tracking is relative to. For the legacy
+	// slot, pages accumulate in the overlay across creations and are
+	// re-mirrored (cleared) every ReMirrorInterval creations to bound the
+	// duplicate-copy worst case the paper describes.
+	slots      map[int]*snapSlot
+	active     int
+	incCreated uint64 // total incremental snapshots created
 
 	// ReMirrorInterval is the number of incremental snapshot creations
 	// between full overlay re-mirrors. The paper uses 2,000.
@@ -106,6 +132,8 @@ func New(npages int) *Memory {
 		npages:           npages,
 		pages:            make([][]byte, npages),
 		dirtyBitmap:      make([]byte, npages),
+		slots:            make(map[int]*snapSlot),
+		active:           -1,
 		ReMirrorInterval: 2000,
 		Strategy:         RestoreStack,
 	}
@@ -125,8 +153,9 @@ func (m *Memory) Stats() Stats { return m.stats }
 func (m *Memory) DirtyCount() int { return len(m.dirtyStack) }
 
 // DirtyPages returns the page numbers dirtied since the last snapshot point.
-// The returned slice aliases internal state and is invalidated by restores.
-func (m *Memory) DirtyPages() []uint32 { return m.dirtyStack }
+// The result is a copy: callers may keep or mutate it without aliasing the
+// tracking state the restore paths depend on.
+func (m *Memory) DirtyPages() []uint32 { return append([]uint32(nil), m.dirtyStack...) }
 
 // page returns the backing slice for page pn, allocating it if needed.
 // When a copy-on-write backing is present, the fresh page is populated from
@@ -246,9 +275,8 @@ func (m *Memory) TakeRoot() {
 	m.sharedRoot = false
 	m.root = root
 	m.hasRoot = true
-	m.incActive = false
-	m.incPages = nil
-	m.sinceMirror = 0
+	m.slots = make(map[int]*snapSlot)
+	m.active = -1
 	m.clearDirty()
 }
 
@@ -280,10 +308,10 @@ func (m *Memory) resetPage(pn uint32, src []byte) {
 }
 
 // snapshotPageFor returns the content page pn must be restored to under the
-// currently selected snapshot (incremental overlay first, then root).
+// currently selected snapshot (active slot overlay first, then root).
 func (m *Memory) snapshotPageFor(pn uint32) []byte {
-	if m.incActive {
-		if p, ok := m.incPages[pn]; ok {
+	if m.active >= 0 {
+		if p, ok := m.slots[m.active].pages[pn]; ok {
 			return p
 		}
 	}
@@ -316,108 +344,208 @@ func (m *Memory) restoreDirty() {
 }
 
 // RestoreRoot resets the VM memory to the root snapshot. Only pages dirtied
-// since the last snapshot point are touched. If an incremental snapshot is
-// active it is discarded first (the paper keeps at most one secondary
-// snapshot and returns to the root when scheduling a new input).
+// since the last snapshot point are touched, plus — when the state derives
+// from an incremental slot — the pages that slot had overlaid. The slots
+// themselves stay restorable (the pool keeps snapshots across root runs);
+// only the derivation returns to the root.
 func (m *Memory) RestoreRoot() error {
 	if !m.hasRoot {
 		return ErrNoRootSnapshot
 	}
-	if m.incActive {
-		// Pages dirtied since the incremental snapshot must go back to
-		// root content, as must the pages the incremental snapshot had
-		// overlaid.
-		m.incActive = false
-		for _, pn := range m.dirtyStack {
-			m.resetPage(pn, m.rootPage(pn))
-			m.dirtyBitmap[pn] = 0
-			m.stats.PagesReset++
+	if m.active >= 0 {
+		// Pages the active slot overlaid (and that were not re-dirtied,
+		// which restoreDirty handles below) would otherwise keep slot
+		// content after the derivation flips to the root.
+		s := m.slots[m.active]
+		m.active = -1
+		for pn := range s.pages {
+			if m.dirtyBitmap[pn] == 0 {
+				m.resetPage(pn, m.rootPage(pn))
+				m.stats.PagesReset++
+			}
 		}
-		m.dirtyStack = m.dirtyStack[:0]
-		for pn := range m.incPages {
-			m.resetPage(pn, m.rootPage(pn))
-			m.stats.PagesReset++
-		}
-	} else {
-		m.restoreDirty()
 	}
+	m.restoreDirty()
 	m.stats.RootRestores++
 	m.rootEpochs++
 	return nil
 }
 
-// TakeIncremental creates (or recreates) the secondary snapshot at the
-// current VM state. Per §4.2 this is about as cheap as a reset: only the
-// pages dirtied since the root snapshot are copied into the overlay.
+// slot returns (allocating if needed) the slot with the given id.
+func (m *Memory) slot(id int) *snapSlot {
+	s := m.slots[id]
+	if s == nil {
+		s = &snapSlot{pages: make(map[uint32][]byte)}
+		m.slots[id] = s
+	}
+	return s
+}
+
+// copyInto overwrites buf with src, where nil src means the zero page.
+func copyInto(buf, src []byte) {
+	if src == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return
+	}
+	copy(buf, src)
+}
+
+// slotBuf returns (allocating if needed) slot s's overlay buffer for pn.
+func (s *snapSlot) buf(pn uint32) []byte {
+	b := s.pages[pn]
+	if b == nil {
+		b = make([]byte, PageSize)
+		s.pages[pn] = b
+	}
+	return b
+}
+
+// TakeIncremental creates (or recreates) the single secondary snapshot at
+// the current VM state — the paper's one-snapshot model, preserved as a
+// wrapper over LegacySlot. Per §4.2 this is about as cheap as a reset: only
+// the pages dirtied since the root snapshot are copied into the overlay.
 // Existing overlay buffers are reused to avoid fresh allocations; the
 // overlay accumulates copies across creations and is cleared ("re-mirrored")
-// every ReMirrorInterval creations.
+// every ReMirrorInterval creations. The caller is assumed to create from a
+// root-derived state (the agent always snapshots inside a from-root run);
+// use TakeIncrementalSlot to capture a state derived from another slot.
 func (m *Memory) TakeIncremental() error {
 	if !m.hasRoot {
 		return ErrNoRootSnapshot
 	}
-	if m.incPages == nil {
-		m.incPages = make(map[uint32][]byte)
+	if m.active != LegacySlot {
+		// From the root, or chained from a pool slot whose overlay must
+		// fold in: exactly the general slot path (which also covers the
+		// buffer-retention case — a legacy overlay discarded by a root
+		// restore or drop keeps its map, and the slot path refreshes the
+		// stale buffers to root content before reuse).
+		_, err := m.TakeIncrementalSlot(LegacySlot)
+		return err
 	}
-	m.sinceMirror++
-	if m.sinceMirror >= m.ReMirrorInterval {
+	// Re-taking while the legacy snapshot is active. The paper's model
+	// recreates its one secondary snapshot from a root-derived state, so
+	// the overlay is rebuilt from the dirty set alone — non-dirty leftover
+	// buffers refresh to root content in place (reusing copies avoids the
+	// page-table churn the paper mentions) and the re-mirror bookkeeping
+	// keeps counting. The general slot path deliberately does neither for
+	// an active slot (chained-take accumulation), so this branch stays.
+	s := m.slots[LegacySlot]
+	s.sinceMirror++
+	if s.sinceMirror >= m.ReMirrorInterval {
 		// Re-mirror: drop accumulated copies so the overlay cannot
 		// grow into a second full copy of the root snapshot.
-		m.incPages = make(map[uint32][]byte)
-		m.sinceMirror = 0
+		s.pages = make(map[uint32][]byte)
+		s.sinceMirror = 0
 		m.stats.ReMirrors++
 	} else {
-		// Pages left over from a previous incremental snapshot that
-		// are not re-dirtied now must read as root content again.
-		// Overwrite them in place (reusing copies avoids the page
-		// table churn the paper mentions). This must happen even when
-		// the previous snapshot was already discarded by a root
-		// restore: the overlay map retains its buffers for reuse.
-		for pn, buf := range m.incPages {
+		for pn, buf := range s.pages {
 			if m.dirtyBitmap[pn] == 0 {
-				src := m.rootPage(pn)
-				if src == nil {
-					for i := range buf {
-						buf[i] = 0
-					}
-				} else {
-					copy(buf, src)
-				}
+				copyInto(buf, m.rootPage(pn))
 			}
 		}
 	}
+	m.captureDirty(s)
+	m.finishTake(LegacySlot, s)
+	return nil
+}
+
+// captureDirty copies every dirty page's live content into s and clears
+// dirty tracking (the shared tail of all snapshot creations).
+func (m *Memory) captureDirty(s *snapSlot) {
 	for _, pn := range m.dirtyStack {
-		buf, ok := m.incPages[pn]
-		if !ok {
-			buf = make([]byte, PageSize)
-			m.incPages[pn] = buf
-		}
-		src := m.pages[pn]
-		if src == nil {
-			for i := range buf {
-				buf[i] = 0
-			}
-		} else {
-			copy(buf, src)
-		}
+		copyInto(s.buf(pn), m.pages[pn])
 		m.dirtyBitmap[pn] = 0
 		m.stats.PagesCopied++
 	}
 	m.dirtyStack = m.dirtyStack[:0]
-	m.incActive = true
-	m.incCreated++
-	m.stats.IncrementalCreates++
-	return nil
 }
 
-// HasIncremental reports whether an incremental snapshot is active.
-func (m *Memory) HasIncremental() bool { return m.incActive }
+// finishTake marks slot id live and active after a creation.
+func (m *Memory) finishTake(id int, s *snapSlot) {
+	s.live = true
+	m.active = id
+	m.incCreated++
+	m.stats.IncrementalCreates++
+}
+
+// TakeIncrementalSlot captures the current VM state into snapshot slot id:
+// the slot records the state's full delta against the root snapshot, so it
+// can be restored after any number of root restores or restores of other
+// slots. Unlike the single-slot TakeIncremental, the current state may
+// derive from another slot (a chained creation: a snapshot taken while
+// resumed from a cached prefix inherits that prefix's overlay). Returns the
+// number of pages copied, which is the creation cost the VM layer charges.
+//
+// Retaking an id the pool has dropped and reallocated reuses its buffers;
+// taking a slot while it is itself the active derivation accumulates the
+// new dirty pages into it (and skips re-mirror bookkeeping, which would
+// discard overlay content the current state still derives from).
+func (m *Memory) TakeIncrementalSlot(id int) (int, error) {
+	if !m.hasRoot {
+		return 0, ErrNoRootSnapshot
+	}
+	s := m.slot(id)
+	copied := int(m.stats.PagesCopied)
+	if m.active != id {
+		var src map[uint32][]byte
+		if m.active >= 0 {
+			src = m.slots[m.active].pages
+		}
+		s.sinceMirror++
+		if s.sinceMirror >= m.ReMirrorInterval {
+			s.pages = make(map[uint32][]byte)
+			s.sinceMirror = 0
+			m.stats.ReMirrors++
+		} else {
+			// Stale buffers from a previous life of this slot that the
+			// new delta does not cover must read as root content again.
+			for pn, buf := range s.pages {
+				if m.dirtyBitmap[pn] != 0 {
+					continue // dirty content wins below
+				}
+				if _, ok := src[pn]; ok {
+					continue // source overlay content wins below
+				}
+				copyInto(buf, m.rootPage(pn))
+			}
+		}
+		// Fold in the overlay of the slot the state derives from: those
+		// pages differ from root in the current state too, unless
+		// re-dirtied (then the live content wins below).
+		for pn, content := range src {
+			if m.dirtyBitmap[pn] != 0 {
+				continue
+			}
+			copy(s.buf(pn), content)
+			m.stats.PagesCopied++
+		}
+	}
+	m.captureDirty(s)
+	m.finishTake(id, s)
+	return int(m.stats.PagesCopied) - copied, nil
+}
+
+// HasIncremental reports whether the single-slot incremental snapshot is
+// active (taken, and not discarded by a root restore or drop since).
+func (m *Memory) HasIncremental() bool { return m.active == LegacySlot }
+
+// HasSlot reports whether snapshot slot id is restorable.
+func (m *Memory) HasSlot(id int) bool {
+	s := m.slots[id]
+	return s != nil && s.live
+}
+
+// ActiveSlot returns the slot id the current memory state derives from, or
+// -1 when it derives from the root snapshot.
+func (m *Memory) ActiveSlot() int { return m.active }
 
 // RestoreIncremental resets the VM memory to the active incremental
 // snapshot: dirty pages are restored from the overlay where present and
 // from the root snapshot otherwise (the CoW-mirror lookup of §4.2).
 func (m *Memory) RestoreIncremental() error {
-	if !m.incActive {
+	if m.active != LegacySlot {
 		return ErrNoIncrementalSnapshot
 	}
 	m.restoreDirty()
@@ -425,25 +553,103 @@ func (m *Memory) RestoreIncremental() error {
 	return nil
 }
 
-// DropIncremental discards the incremental snapshot without resetting
-// memory. Subsequent restores go to the root snapshot; the overlay pages
-// are retained for reuse by the next TakeIncremental (until re-mirror).
+// RestoreIncrementalSlot resets the VM memory to snapshot slot id and makes
+// it the active derivation. Restoring the slot the state already derives
+// from only touches the dirty pages (the cheap path every suffix execution
+// takes); switching slots additionally resets the pages either slot's
+// overlay covers — still proportional to the deltas involved, never to the
+// VM size. Returns the number of pages reset, which is the restore cost the
+// VM layer charges.
+func (m *Memory) RestoreIncrementalSlot(id int) (int, error) {
+	s := m.slots[id]
+	if s == nil || !s.live {
+		return 0, ErrNoIncrementalSnapshot
+	}
+	before := m.stats.PagesReset
+	if m.active != id {
+		// Union of the pages that can differ between the current state
+		// and the slot's state: dirty pages, the overlay of the slot the
+		// state derives from, and the target slot's overlay. markDirty
+		// dedups via the bitmap; restoreDirty then resets the union
+		// against the target slot's lookup chain.
+		if m.active >= 0 {
+			for pn := range m.slots[m.active].pages {
+				m.markDirty(pn)
+			}
+		}
+		for pn := range s.pages {
+			m.markDirty(pn)
+		}
+		m.active = id
+	}
+	m.restoreDirty()
+	m.stats.IncrementalRestores++
+	return int(m.stats.PagesReset - before), nil
+}
+
+// DropIncremental discards the single-slot incremental snapshot without
+// resetting memory. Subsequent restores go to the root snapshot; the
+// overlay pages are retained for reuse by the next TakeIncremental (until
+// re-mirror).
 //
 // Note the next RestoreRoot must still reset the overlaid pages, so they
 // are folded into the dirty set here.
 func (m *Memory) DropIncremental() {
-	if !m.incActive {
+	if m.active != LegacySlot {
 		return
 	}
-	m.incActive = false
-	for pn := range m.incPages {
+	s := m.slots[LegacySlot]
+	s.live = false
+	m.active = -1
+	for pn := range s.pages {
 		m.markDirty(pn)
 	}
 }
 
+// DropSlot discards snapshot slot id and frees its overlay (the pool's
+// eviction path — a host-side decision, so the VM layer charges nothing).
+// If the current state derives from the slot, its overlay pages fold into
+// the dirty set so the next restore resets them.
+func (m *Memory) DropSlot(id int) {
+	s := m.slots[id]
+	if s == nil {
+		return
+	}
+	if m.active == id {
+		m.active = -1
+		for pn := range s.pages {
+			m.markDirty(pn)
+		}
+	}
+	delete(m.slots, id)
+}
+
+// SlotBytes returns the heap bytes slot id's overlay holds (the charge the
+// pool's memory budget accounts per slot).
+func (m *Memory) SlotBytes(id int) int64 {
+	s := m.slots[id]
+	if s == nil {
+		return 0
+	}
+	return int64(len(s.pages)) * PageSize
+}
+
+// SlotPages returns the number of overlay pages slot id holds.
+func (m *Memory) SlotPages(id int) int {
+	s := m.slots[id]
+	if s == nil {
+		return 0
+	}
+	return len(s.pages)
+}
+
+// Slots returns the number of allocated snapshot slots (including the
+// legacy slot once used).
+func (m *Memory) Slots() int { return len(m.slots) }
+
 // IncrementalOverlaySize returns the number of pages currently held in the
-// incremental snapshot overlay (the accumulated real copies).
-func (m *Memory) IncrementalOverlaySize() int { return len(m.incPages) }
+// single-slot incremental snapshot overlay (the accumulated real copies).
+func (m *Memory) IncrementalOverlaySize() int { return m.SlotPages(LegacySlot) }
 
 // CloneSharedRoot creates a new Memory that shares this Memory's root
 // snapshot copy-on-write instead of duplicating it. The clone starts at
@@ -480,7 +686,9 @@ func (m *Memory) OwnedBytes() int64 {
 			n += PageSize
 		}
 	}
-	n += int64(len(m.incPages)) * PageSize
+	for _, s := range m.slots {
+		n += int64(len(s.pages)) * PageSize
+	}
 	if m.hasRoot && !m.sharedRoot {
 		for _, p := range m.root {
 			if p != nil {

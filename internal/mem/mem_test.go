@@ -435,3 +435,352 @@ func BenchmarkWriteAt(b *testing.B) {
 		m.WriteAt(buf, int64(i%1000)*PageSize)
 	}
 }
+
+func TestDirtyPagesReturnsCopy(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, 10)
+	fill(t, m, 2*PageSize, 0x22, 10)
+	dp := m.DirtyPages()
+	if len(dp) != 2 {
+		t.Fatalf("expected 2 dirty pages, got %d", len(dp))
+	}
+	// Mutating the returned slice must not corrupt restore tracking.
+	dp[0], dp[1] = 7, 7
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0 {
+		t.Fatalf("page 0 not restored after DirtyPages mutation: %#x", got)
+	}
+	if got := readByte(t, m, 2*PageSize); got != 0 {
+		t.Fatalf("page 2 not restored after DirtyPages mutation: %#x", got)
+	}
+}
+
+func TestSlotPoolBasic(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x01, 10)
+	m.TakeRoot()
+
+	// Slot 1 captures state A (page 0 = 0x02).
+	fill(t, m, 0, 0x02, 10)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// Back to root, then slot 2 captures state B (page 1 = 0x03).
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, m, PageSize, 0x03, 10)
+	if _, err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasSlot(1) || !m.HasSlot(2) {
+		t.Fatal("both slots should survive")
+	}
+
+	// Restore slot 1: page 0 = 0x02, page 1 back to root zero.
+	if _, err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x02 {
+		t.Fatalf("slot 1 page 0: got %#x want 0x02", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0 {
+		t.Fatalf("slot 1 page 1: got %#x want 0", got)
+	}
+
+	// Dirty something, then switch straight to slot 2.
+	fill(t, m, 3*PageSize, 0x99, 10)
+	if _, err := m.RestoreIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x01 {
+		t.Fatalf("slot 2 page 0: got %#x want root 0x01", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0x03 {
+		t.Fatalf("slot 2 page 1: got %#x want 0x03", got)
+	}
+	if got := readByte(t, m, 3*PageSize); got != 0 {
+		t.Fatalf("slot 2 page 3: got %#x want 0", got)
+	}
+}
+
+func TestSlotSurvivesRootRestore(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	fill(t, m, 0, 0x42, 10)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// Root runs in between do not discard pool slots.
+	for i := 0; i < 3; i++ {
+		if err := m.RestoreRoot(); err != nil {
+			t.Fatal(err)
+		}
+		fill(t, m, int64(i+1)*PageSize, byte(i+1), 10)
+	}
+	if _, err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x42 {
+		t.Fatalf("slot content lost across root restores: %#x", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := readByte(t, m, int64(i)*PageSize); got != 0 {
+			t.Fatalf("page %d should be back at root zero, got %#x", i, got)
+		}
+	}
+}
+
+func TestSlotChainedCreation(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	// Slot 1: page 0 = 0x11.
+	fill(t, m, 0, 0x11, 10)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// Resume from slot 1, extend with page 1 = 0x22, capture as slot 2.
+	fill(t, m, PageSize, 0x22, 10)
+	if _, err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	// Detour to root, dirty everything relevant, then restore slot 2: it
+	// must reproduce the chained state (both pages), not just its own tail.
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, m, 0, 0x77, 10)
+	fill(t, m, PageSize, 0x77, 10)
+	if _, err := m.RestoreIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x11 {
+		t.Fatalf("chained slot lost inherited page: got %#x want 0x11", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0x22 {
+		t.Fatalf("chained slot lost own page: got %#x want 0x22", got)
+	}
+	// Slot 1 must be untouched by the chained creation.
+	if _, err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x11 {
+		t.Fatalf("slot 1 page 0: got %#x want 0x11", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0 {
+		t.Fatalf("slot 1 page 1: got %#x want 0", got)
+	}
+}
+
+func TestDropSlotActiveFoldsIntoDirty(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, 10)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	m.DropSlot(1)
+	if m.HasSlot(1) {
+		t.Fatal("slot should be gone after drop")
+	}
+	if m.SlotBytes(1) != 0 {
+		t.Fatal("dropped slot should hold no bytes")
+	}
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0 {
+		t.Fatalf("overlay page leaked past drop+root restore: %#x", got)
+	}
+}
+
+func TestSlotRestoreCostProportionalToDeltas(t *testing.T) {
+	m := New(4096)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, 3*PageSize)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, m, 10*PageSize, 0x22, 2*PageSize)
+	if _, err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	// Switching from slot 2 to slot 1: 2 pages of slot 2's overlay plus 3
+	// of slot 1's, no dirty pages.
+	n, err := m.RestoreIncrementalSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("expected 5 pages reset on slot switch, got %d", n)
+	}
+	// Restoring the already-active slot with k dirty pages resets k.
+	fill(t, m, 100*PageSize, 0x33, 1)
+	n, err = m.RestoreIncrementalSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("expected 1 page reset on same-slot restore, got %d", n)
+	}
+}
+
+// TestCloneSharedRootSlotIsolation is the CloneSharedRoot x incremental-slot
+// interplay: clones taking, restoring and dropping slots must never leak
+// pages into the shared root backing the parent (and its siblings) read
+// through copy-on-write.
+func TestCloneSharedRootSlotIsolation(t *testing.T) {
+	parent := New(8)
+	fill(t, parent, 0, 0x01, 10)
+	fill(t, parent, PageSize, 0x02, 10)
+	parent.TakeRoot()
+	parentImg := make([]byte, parent.Size())
+	parent.ReadAt(parentImg, 0)
+
+	clone, err := parent.CloneSharedRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone exercises slots over both materialized and zero pages.
+	fill(t, clone, 0, 0xAA, 10)
+	fill(t, clone, 3*PageSize, 0xBB, 10)
+	if _, err := clone.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, clone, PageSize, 0xCC, 10)
+	if _, err := clone.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, clone, 0); got != 0xAA {
+		t.Fatalf("clone slot 1 page 0: got %#x want 0xAA", got)
+	}
+	if got := readByte(t, clone, PageSize); got != 0x02 {
+		t.Fatalf("clone slot 1 page 1: got %#x want shared root 0x02", got)
+	}
+	clone.DropSlot(1)
+	if err := clone.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	cloneImg := make([]byte, clone.Size())
+	clone.ReadAt(cloneImg, 0)
+	if !bytes.Equal(cloneImg, parentImg) {
+		t.Fatal("clone at root does not match the shared root image")
+	}
+
+	// The parent must have seen none of it.
+	got := make([]byte, parent.Size())
+	parent.ReadAt(got, 0)
+	if !bytes.Equal(got, parentImg) {
+		t.Fatal("clone slot activity leaked into the parent's memory")
+	}
+	if err := parent.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	parent.ReadAt(got, 0)
+	if !bytes.Equal(got, parentImg) {
+		t.Fatal("shared root backing was corrupted by clone slot activity")
+	}
+}
+
+// TestSlotRestoreIdentity is the slot-pool analogue of the core snapshot
+// property: restoring any held slot yields exactly the captured image, for
+// random interleavings of writes, slot creations and restores.
+func TestSlotRestoreIdentity(t *testing.T) {
+	const npages = 32
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(npages)
+		m.TakeRoot()
+		images := make(map[int][]byte)
+		slotIDs := []int{}
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(3) {
+			case 0: // write
+				buf := make([]byte, 128)
+				rng.Read(buf)
+				m.WriteAt(buf, int64(rng.Intn(npages*PageSize-128)))
+			case 1: // take a new slot
+				id := len(slotIDs) + 1
+				if _, err := m.TakeIncrementalSlot(id); err != nil {
+					return false
+				}
+				img := make([]byte, m.Size())
+				m.ReadAt(img, 0)
+				images[id] = img
+				slotIDs = append(slotIDs, id)
+			case 2: // restore a random held slot (or root)
+				if len(slotIDs) == 0 || rng.Intn(4) == 0 {
+					if err := m.RestoreRoot(); err != nil {
+						return false
+					}
+					continue
+				}
+				id := slotIDs[rng.Intn(len(slotIDs))]
+				if _, err := m.RestoreIncrementalSlot(id); err != nil {
+					return false
+				}
+				got := make([]byte, m.Size())
+				m.ReadAt(got, 0)
+				if !bytes.Equal(got, images[id]) {
+					return false
+				}
+			}
+		}
+		// Every held slot must still restore to its captured image.
+		for _, id := range slotIDs {
+			if _, err := m.RestoreIncrementalSlot(id); err != nil {
+				return false
+			}
+			got := make([]byte, m.Size())
+			m.ReadAt(got, 0)
+			if !bytes.Equal(got, images[id]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The single-slot TakeIncremental must not silently drop the inherited
+// overlay when the state derives from a pool slot: the legacy snapshot has
+// to capture the full delta-vs-root, like a chained slot creation.
+func TestLegacyTakeWhilePoolSlotActive(t *testing.T) {
+	m := New(8)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, 10)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// State = slot 1 (page 0 = 0x11) + dirty page 1.
+	fill(t, m, PageSize, 0x22, 10)
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the inherited page, then restore the legacy snapshot: page 0
+	// must come back as 0x11 (the inherited content), not root zero.
+	fill(t, m, 0, 0x99, 10)
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x11 {
+		t.Fatalf("legacy snapshot dropped inherited overlay page: got %#x want 0x11", got)
+	}
+	if got := readByte(t, m, PageSize); got != 0x22 {
+		t.Fatalf("legacy snapshot lost dirty page: got %#x want 0x22", got)
+	}
+}

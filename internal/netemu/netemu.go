@@ -65,18 +65,41 @@ type Agent struct {
 	custom map[spec.NodeID]CustomHandler
 
 	// Snapshot bookkeeping: the value environment at the snapshot point,
-	// and how many ops the snapshotted prefix contained.
+	// and how many ops the snapshotted prefix contained (the single-slot
+	// snapshot the paper's policies use).
 	snapValues []Value
 	snapOps    int
 	snapValid  bool
+
+	// slots carries the same bookkeeping per named snapshot slot for the
+	// pool: the machine restores memory, devices and (via memory) kernel
+	// state, but the bytecode value environment lives on the host side
+	// and must be re-attached when a slot resumes.
+	slots map[int]*slotState
 }
 
-// ErrNoSnapshot is returned by RunSuffix without a prior snapshot.
+// slotState is the host-side state of one pooled snapshot slot.
+type slotState struct {
+	values []Value
+	ops    int
+}
+
+// ErrNoSnapshot is returned by RunSuffix and RunFromSnapshot without the
+// requested snapshot.
 var ErrNoSnapshot = errors.New("netemu: no incremental snapshot available")
+
+// Creation modes for run's create parameter: createNone never takes a
+// snapshot at the marker (suffix runs); createSingle takes the single-slot
+// snapshot via the classic HcSnapshot hypercall; ids >= 0 name the pool
+// slot to create into.
+const (
+	createNone   = -2
+	createSingle = -1
+)
 
 // New creates an agent.
 func New(m *vm.Machine, k *guest.Kernel, s *spec.Spec) *Agent {
-	return &Agent{M: m, K: k, S: s, custom: make(map[spec.NodeID]CustomHandler)}
+	return &Agent{M: m, K: k, S: s, custom: make(map[spec.NodeID]CustomHandler), slots: make(map[int]*slotState)}
 }
 
 // RegisterCustom installs a handler for a KindCustom node.
@@ -108,7 +131,7 @@ func (a *Agent) RunFromRoot(in *spec.Input, tr *coverage.Trace) (Result, error) 
 	if err := a.M.RestoreRoot(); err != nil {
 		return Result{}, fmt.Errorf("netemu: root restore: %w", err)
 	}
-	return a.run(in, tr, 0, nil)
+	return a.run(in, tr, 0, nil, createSingle)
 }
 
 // RunSuffix executes only in.Ops[SnapshotAt:], resuming from the
@@ -127,14 +150,119 @@ func (a *Agent) RunSuffix(in *spec.Input, tr *coverage.Trace) (Result, error) {
 		return Result{}, fmt.Errorf("netemu: incremental restore: %w", err)
 	}
 	vals := append([]Value(nil), a.snapValues...)
-	res, err := a.run(in, tr, a.snapOps, vals)
+	res, err := a.run(in, tr, a.snapOps, vals, createNone)
 	res.FromSnapshot = true
 	res.OpsExecuted += a.snapOps
 	return res, err
 }
 
-// run executes ops[start:] with the given initial value environment.
-func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Value) (res Result, err error) {
+// ---- Pooled snapshot slots ----
+
+// HasSlot reports whether pooled snapshot slot id is available.
+func (a *Agent) HasSlot(slot int) bool {
+	return a.slots[slot] != nil && a.M.HasSlot(slot)
+}
+
+// SlotOps returns the prefix length (in ops) of pooled slot id, or -1.
+func (a *Agent) SlotOps(slot int) int {
+	if st := a.slots[slot]; st != nil {
+		return st.ops
+	}
+	return -1
+}
+
+// SlotBytes returns the guest-memory bytes slot id holds (the pool's
+// budget charge).
+func (a *Agent) SlotBytes(slot int) int64 { return a.M.SlotBytes(slot) }
+
+// DropSlot releases pooled snapshot slot id (the pool's eviction path).
+func (a *Agent) DropSlot(slot int) {
+	delete(a.slots, slot)
+	a.M.DropSlot(slot)
+}
+
+// RunCreatingSlot executes in, creating a pooled snapshot into newSlot when
+// execution reaches in.SnapshotAt (which must be set). With fromSlot < 0
+// the run starts at the root snapshot; otherwise it resumes from pooled
+// slot fromSlot, whose prefix must be a prefix of in ending at or before
+// the marker — the chained-creation path that extends the longest cached
+// prefix instead of re-executing everything from the root.
+func (a *Agent) RunCreatingSlot(in *spec.Input, tr *coverage.Trace, fromSlot, newSlot int) (Result, error) {
+	if in.SnapshotAt < 0 {
+		return Result{}, fmt.Errorf("netemu: RunCreatingSlot needs a snapshot marker")
+	}
+	if fromSlot < 0 {
+		if err := a.M.RestoreRoot(); err != nil {
+			return Result{}, fmt.Errorf("netemu: root restore: %w", err)
+		}
+		return a.run(in, tr, 0, nil, newSlot)
+	}
+	st := a.slots[fromSlot]
+	if st == nil || !a.M.HasSlot(fromSlot) {
+		return Result{}, ErrNoSnapshot
+	}
+	if in.SnapshotAt < st.ops {
+		return Result{}, fmt.Errorf("netemu: snapshot marker %d precedes base slot prefix %d", in.SnapshotAt, st.ops)
+	}
+	if err := a.M.RestoreIncrementalSlot(fromSlot); err != nil {
+		return Result{}, fmt.Errorf("netemu: slot restore: %w", err)
+	}
+	vals := append([]Value(nil), st.values...)
+	res, err := a.run(in, tr, st.ops, vals, newSlot)
+	res.FromSnapshot = true
+	res.OpsExecuted += st.ops
+	return res, err
+}
+
+// RunFromSnapshot executes in.Ops[SnapshotAt:], resuming from pooled slot
+// slot — the cached longest prefix of the incoming input, chosen by the
+// snapshot pool. The marker must sit exactly at the slot's prefix length
+// (the pool keys slots by prefix digest, so a digest hit guarantees the
+// prefix bytes match; the marker check catches caller bookkeeping bugs).
+func (a *Agent) RunFromSnapshot(slot int, in *spec.Input, tr *coverage.Trace) (Result, error) {
+	st := a.slots[slot]
+	if st == nil || !a.M.HasSlot(slot) {
+		return Result{}, ErrNoSnapshot
+	}
+	if in.SnapshotAt != st.ops {
+		return Result{}, fmt.Errorf("netemu: input snapshot marker %d does not match slot prefix %d",
+			in.SnapshotAt, st.ops)
+	}
+	if err := a.M.RestoreIncrementalSlot(slot); err != nil {
+		return Result{}, fmt.Errorf("netemu: slot restore: %w", err)
+	}
+	vals := append([]Value(nil), st.values...)
+	res, err := a.run(in, tr, st.ops, vals, createNone)
+	res.FromSnapshot = true
+	res.OpsExecuted += st.ops
+	return res, err
+}
+
+// takeSnapshot captures the VM at op index ops with the given value
+// environment, into the single-slot snapshot (create == createSingle) or a
+// pooled slot.
+func (a *Agent) takeSnapshot(create, ops int, values []Value) error {
+	if create == createSingle {
+		if err := a.M.Hypercall(vm.HcSnapshot); err != nil {
+			return err
+		}
+		a.snapValues = append([]Value(nil), values...)
+		a.snapOps = ops
+		a.snapValid = true
+		return nil
+	}
+	if err := a.M.SnapshotHypercall(create); err != nil {
+		return err
+	}
+	a.slots[create] = &slotState{values: append([]Value(nil), values...), ops: ops}
+	return nil
+}
+
+// run executes ops[start:] with the given initial value environment,
+// creating a snapshot at the marker per create (createNone / createSingle /
+// a pooled slot id). The marker can only fire at or after start: resumed
+// runs re-create nothing before their resume point.
+func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Value, create int) (res Result, err error) {
 	res.CrashOp = -1
 	t0 := a.M.Clock.Now()
 	env := a.K.Env()
@@ -149,15 +277,12 @@ func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Valu
 	}()
 
 	for i := start; i < len(in.Ops); i++ {
-		if in.SnapshotAt == i && start == 0 {
+		if in.SnapshotAt == i && create != createNone {
 			// The snapshot opcode: request an incremental snapshot via
 			// hypercall and remember the value environment.
-			if hcErr := a.M.Hypercall(vm.HcSnapshot); hcErr != nil {
+			if hcErr := a.takeSnapshot(create, i, values); hcErr != nil {
 				return res, fmt.Errorf("netemu: snapshot hypercall: %w", hcErr)
 			}
-			a.snapValues = append([]Value(nil), values...)
-			a.snapOps = i
-			a.snapValid = true
 			res.SnapshotTaken = true
 		}
 		op := in.Ops[i]
@@ -179,13 +304,10 @@ func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Valu
 		}
 	}
 	// Snapshot marker positioned after the last op.
-	if in.SnapshotAt == len(in.Ops) && start == 0 {
-		if hcErr := a.M.Hypercall(vm.HcSnapshot); hcErr != nil {
+	if in.SnapshotAt == len(in.Ops) && in.SnapshotAt >= start && create != createNone {
+		if hcErr := a.takeSnapshot(create, len(in.Ops), values); hcErr != nil {
 			return res, fmt.Errorf("netemu: snapshot hypercall: %w", hcErr)
 		}
-		a.snapValues = append([]Value(nil), values...)
-		a.snapOps = len(in.Ops)
-		a.snapValid = true
 		res.SnapshotTaken = true
 	}
 	return res, nil

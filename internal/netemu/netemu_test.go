@@ -335,3 +335,136 @@ func TestSuffixRunsAreCheaperThanFullRuns(t *testing.T) {
 			resSuffix.VirtTime, resFull.VirtTime)
 	}
 }
+
+func TestPooledSlotsSurviveRootRunsAndShareState(t *testing.T) {
+	a, s, tgt := setup(t)
+	var tr coverage.Trace
+
+	// Create slot 1 at the authed state (connect + USER + PASS).
+	in := seq(s, "USER a", "PASS b", "STOR f")
+	in.SnapshotAt = 3
+	res, err := a.RunCreatingSlot(in, &tr, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotTaken || !a.HasSlot(1) {
+		t.Fatal("slot 1 not created")
+	}
+	if a.SlotOps(1) != 3 {
+		t.Fatalf("slot 1 ops = %d, want 3", a.SlotOps(1))
+	}
+
+	// Entry switches (root runs) must not discard pooled slots.
+	if _, err := a.RunFromRoot(seq(s, "USER x"), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasSlot(1) {
+		t.Fatal("slot 1 lost across a root run")
+	}
+
+	// Resume the authed prefix for suffix mutations.
+	for i := 0; i < 5; i++ {
+		mut := in.Clone()
+		mut.Ops[3].Data = []byte("STOR g")
+		res, err := a.RunFromSnapshot(1, mut, &tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FromSnapshot || res.Crashed {
+			t.Fatalf("iteration %d: %+v", i, res)
+		}
+		// The prefix's auth state must be live for STOR to land.
+		if tgt.Stors != 1 {
+			t.Fatalf("iteration %d: stors = %d (slot state wrong)", i, tgt.Stors)
+		}
+	}
+}
+
+func TestChainedSlotCreation(t *testing.T) {
+	a, s, tgt := setup(t)
+	var tr coverage.Trace
+
+	// Slot 1: connect + USER.
+	short := seq(s, "USER a", "PASS b")
+	short.SnapshotAt = 2
+	if _, err := a.RunCreatingSlot(short, &tr, -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 2 extends slot 1 to the authed state without re-running the
+	// prefix from root.
+	long := seq(s, "USER a", "PASS b", "STOR f")
+	long.SnapshotAt = 3
+	res, err := a.RunCreatingSlot(long, &tr, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromSnapshot || !res.SnapshotTaken {
+		t.Fatalf("chained creation: %+v", res)
+	}
+	if res.OpsExecuted != 4 {
+		t.Fatalf("chained creation ops = %d, want 4 (2 cached + 2 run)", res.OpsExecuted)
+	}
+	// The chained slot resumes at the authed state.
+	mut := long.Clone()
+	mut.Ops[3].Data = []byte("STOR z")
+	if _, err := a.RunFromSnapshot(2, mut, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Stors != 1 {
+		t.Fatalf("stors = %d after chained-slot resume", tgt.Stors)
+	}
+	// Both slots stay valid independently.
+	if !a.HasSlot(1) || !a.HasSlot(2) {
+		t.Fatal("slots lost after chained creation")
+	}
+}
+
+func TestSlotMarkerMismatchAndDrop(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR f")
+	in.SnapshotAt = 3
+	if _, err := a.RunCreatingSlot(in, &tr, -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := in.Clone()
+	bad.SnapshotAt = 2
+	if _, err := a.RunFromSnapshot(1, bad, &tr); err == nil {
+		t.Fatal("marker mismatch must error")
+	}
+	a.DropSlot(1)
+	if a.HasSlot(1) {
+		t.Fatal("slot should be gone")
+	}
+	if _, err := a.RunFromSnapshot(1, in, &tr); err != ErrNoSnapshot {
+		t.Fatalf("expected ErrNoSnapshot, got %v", err)
+	}
+	// Creating from a dropped base slot errors too.
+	if _, err := a.RunCreatingSlot(in, &tr, 1, 2); err != ErrNoSnapshot {
+		t.Fatalf("expected ErrNoSnapshot for dropped base, got %v", err)
+	}
+}
+
+func TestSlotResumeIsCheaperThanRootRun(t *testing.T) {
+	a, s, _ := setup(t)
+	var tr coverage.Trace
+	in := seq(s, "USER a", "PASS b", "STOR one", "STOR two", "STOR three")
+	in.SnapshotAt = 5 // after all but the last packet
+
+	if _, err := a.RunCreatingSlot(in, &tr, -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	t0 := a.Now()
+	if _, err := a.RunFromRoot(in.Clone(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	fullCost := a.Now() - t0
+	t0 = a.Now()
+	if _, err := a.RunFromSnapshot(1, in, &tr); err != nil {
+		t.Fatal(err)
+	}
+	suffixCost := a.Now() - t0
+	if suffixCost >= fullCost {
+		t.Fatalf("slot resume (%v) should be cheaper than full run (%v)", suffixCost, fullCost)
+	}
+}

@@ -24,6 +24,21 @@ const bcVersion = 1
 // ErrBadBytecode is wrapped by all deserialization failures.
 var ErrBadBytecode = errors.New("spec: malformed bytecode")
 
+// AppendOp appends op's bytecode encoding to dst and returns the extended
+// slice. It is the single definition of the per-op wire format, shared by
+// Serialize and the snapshot pool's prefix digests (snappool) — any change
+// to the encoded fields automatically reaches both, so a digest can never
+// silently drift from the serialized form.
+func AppendOp(dst []byte, op Op) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(op.Node))
+	dst = append(dst, byte(len(op.Args)))
+	for _, a := range op.Args {
+		dst = binary.LittleEndian.AppendUint16(dst, a)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(op.Data)))
+	return append(dst, op.Data...)
+}
+
 // Serialize encodes the input to flat bytecode.
 func Serialize(in *Input) []byte {
 	out := make([]byte, 0, 64)
@@ -34,23 +49,14 @@ func Serialize(in *Input) []byte {
 		nops++
 	}
 	out = binary.LittleEndian.AppendUint32(out, nops)
-	emit := func(op Op) {
-		out = binary.LittleEndian.AppendUint16(out, uint16(op.Node))
-		out = append(out, byte(len(op.Args)))
-		for _, a := range op.Args {
-			out = binary.LittleEndian.AppendUint16(out, a)
-		}
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(op.Data)))
-		out = append(out, op.Data...)
-	}
 	for i, op := range in.Ops {
 		if in.SnapshotAt == i {
-			emit(Op{Node: SnapshotNode})
+			out = AppendOp(out, Op{Node: SnapshotNode})
 		}
-		emit(op)
+		out = AppendOp(out, op)
 	}
 	if in.SnapshotAt == len(in.Ops) {
-		emit(Op{Node: SnapshotNode})
+		out = AppendOp(out, Op{Node: SnapshotNode})
 	}
 	return out
 }

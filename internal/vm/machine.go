@@ -77,6 +77,12 @@ type Machine struct {
 	rootTaken    bool
 	rootDevImage map[string][]byte // for the serialize-reset baseline
 
+	// slots holds the per-slot device captures of the snapshot pool,
+	// keyed by the same slot ids as the memory overlays (guest kernel
+	// state needs no table of its own: it is serialized into guest memory
+	// and follows the memory snapshot).
+	slots map[int]machSlot
+
 	// GuestHooks let the guest kernel participate in snapshots: its
 	// non-memory bookkeeping (process table, fd table, scheduler state)
 	// must be captured and restored alongside memory and devices.
@@ -161,6 +167,7 @@ func (m *Machine) TakeRoot() error {
 	if m.GuestHooks.TakeRoot != nil {
 		m.GuestHooks.TakeRoot()
 	}
+	m.slots = nil // slots captured deltas against the previous root
 	m.rootTaken = true
 	return nil
 }
@@ -181,15 +188,22 @@ func (m *Machine) chargeReset(base time.Duration, ndirty int) {
 	m.Clock.Advance(d)
 }
 
-// RestoreRoot resets the whole VM to the root snapshot.
+// RestoreRoot resets the whole VM to the root snapshot, charging the
+// virtual clock per page actually reset. The count comes from the memory
+// layer's stats rather than DirtyCount: when the state derives from a
+// pooled snapshot slot, the restore also resets the slot's overlay pages,
+// and skipping that charge would hand the pool free restore work in the
+// equal-virtual-time ablations (the single-slot path pays for the same
+// pages because DropIncremental folds its overlay into the dirty set).
 func (m *Machine) RestoreRoot() error {
 	if !m.rootTaken {
 		return ErrNotReady
 	}
-	m.chargeReset(m.Cost.RootRestoreBase, m.Mem.DirtyCount())
+	before := m.Mem.Stats().PagesReset
 	if err := m.Mem.RestoreRoot(); err != nil {
 		return err
 	}
+	m.chargeReset(m.Cost.RootRestoreBase, int(m.Mem.Stats().PagesReset-before))
 	if m.resetMode == DeviceResetSerialize {
 		if err := m.Devices.LoadAll(m.rootDevImage); err != nil {
 			return err
@@ -246,6 +260,99 @@ func (m *Machine) DropIncremental() {
 	if m.GuestHooks.DropIncremental != nil {
 		m.GuestHooks.DropIncremental()
 	}
+}
+
+// ---- Snapshot slot pool (many concurrent incremental snapshots) ----
+
+// TakeIncrementalSlot captures the whole-VM state (memory delta, devices)
+// into snapshot slot id. Unlike TakeIncremental the slot survives root
+// restores and restores of other slots, and the state being captured may
+// itself derive from another slot (chained creation). The virtual clock is
+// charged per page actually copied, so a chained capture pays for the
+// inherited overlay it folds in.
+func (m *Machine) TakeIncrementalSlot(id int) error {
+	if !m.rootTaken {
+		return ErrNotReady
+	}
+	copied, err := m.Mem.TakeIncrementalSlot(id)
+	if err != nil {
+		return err
+	}
+	m.Clock.Advance(m.Cost.IncCreateBase + time.Duration(copied)*m.Cost.PerDirtyPage)
+	if m.slots == nil {
+		m.slots = make(map[int]machSlot)
+	}
+	devs := m.Devices.SaveSnapshots()
+	var devBytes int64
+	for _, d := range devs {
+		devBytes += device.SnapshotBytes(d)
+	}
+	m.slots[id] = machSlot{devs: devs, devBytes: devBytes}
+	if m.GuestHooks.TakeIncremental != nil {
+		m.GuestHooks.TakeIncremental()
+	}
+	m.stats.IncCreates++
+	return nil
+}
+
+// machSlot is the machine-level half of one pooled snapshot: the device
+// captures and their byte charge (the memory overlay lives in mem).
+type machSlot struct {
+	devs     []device.Snapshot
+	devBytes int64
+}
+
+// RestoreIncrementalSlot resets the whole VM to snapshot slot id, charging
+// reset cost per page the switch actually touched: restoring the slot the
+// state already derives from costs the dirty set, switching slots
+// additionally costs the two overlays' deltas.
+func (m *Machine) RestoreIncrementalSlot(id int) error {
+	ms, ok := m.slots[id]
+	if !ok {
+		return mem.ErrNoIncrementalSnapshot
+	}
+	reset, err := m.Mem.RestoreIncrementalSlot(id)
+	if err != nil {
+		return err
+	}
+	m.chargeReset(m.Cost.IncRestoreBase, reset)
+	m.Devices.LoadSnapshots(ms.devs)
+	if m.GuestHooks.RestoreIncremental != nil {
+		m.GuestHooks.RestoreIncremental()
+	}
+	m.stats.IncRestores++
+	return nil
+}
+
+// DropSlot discards snapshot slot id, freeing its memory overlay and device
+// captures. Eviction is a host-side decision, so no virtual time is
+// charged (no VM exit is involved).
+func (m *Machine) DropSlot(id int) {
+	m.Mem.DropSlot(id)
+	delete(m.slots, id)
+}
+
+// HasSlot reports whether snapshot slot id is restorable.
+func (m *Machine) HasSlot(id int) bool {
+	_, ok := m.slots[id]
+	return ok && m.Mem.HasSlot(id)
+}
+
+// SlotBytes returns the bytes slot id holds — the guest-memory overlay
+// plus the device captures (disk sector delta, NIC rings, serial log) —
+// the per-slot charge a snapshot pool accounts against its byte budget.
+func (m *Machine) SlotBytes(id int) int64 {
+	return m.Mem.SlotBytes(id) + m.slots[id].devBytes
+}
+
+// SnapshotHypercall dispatches the slot-carrying variant of HcSnapshot: the
+// agent requests an incremental snapshot into a named slot (the paper's
+// snapshot opcode, extended with a slot argument). Charges VM-exit cost
+// like any other hypercall.
+func (m *Machine) SnapshotHypercall(slot int) error {
+	m.Clock.Advance(m.Cost.HypercallEntry)
+	m.stats.Hypercalls++
+	return m.TakeIncrementalSlot(slot)
 }
 
 // Hypercall dispatches an agent hypercall, charging VM-exit cost.

@@ -243,3 +243,196 @@ func TestCloneRequiresRoot(t *testing.T) {
 		t.Fatalf("expected ErrNotReady, got %v", err)
 	}
 }
+
+func TestSlotPoolWholeVMRoundTrip(t *testing.T) {
+	m := newTestMachine(t)
+	m.Mem.WriteAt([]byte("root"), 0)
+	m.Serial.WriteString("boot\n")
+	m.Disk.WriteSector(0, bytes.Repeat([]byte{0x01}, 512))
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot 1: state A (memory, serial log, disk all advanced).
+	m.Mem.WriteAt([]byte("AAAA"), 0)
+	m.Serial.WriteString("state-a\n")
+	m.Disk.WriteSector(1, bytes.Repeat([]byte{0xAA}, 512))
+	m.NIC.Receive([]byte("frame-a"))
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Back to root, then slot 2: an unrelated state B.
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte("BBBB"), 0)
+	m.Disk.WriteSector(2, bytes.Repeat([]byte{0xBB}, 512))
+	if err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore slot 1 across the intervening root run and slot 2 creation.
+	if err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	m.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("AAAA")) {
+		t.Fatalf("slot 1 memory: got %q", buf)
+	}
+	if got := string(m.Serial.Log); got != "boot\nstate-a\n" {
+		t.Fatalf("slot 1 serial log: got %q", got)
+	}
+	sec := make([]byte, 512)
+	m.Disk.ReadSector(1, sec)
+	if sec[0] != 0xAA {
+		t.Fatalf("slot 1 disk sector 1: got %#x", sec[0])
+	}
+	m.Disk.ReadSector(2, sec)
+	if sec[0] != 0 {
+		t.Fatalf("slot 2's disk write leaked into slot 1: %#x", sec[0])
+	}
+	if len(m.NIC.RxQueue) != 1 {
+		t.Fatalf("slot 1 NIC rx queue: got %d frames, want 1", len(m.NIC.RxQueue))
+	}
+
+	// Switch straight to slot 2 without a root restore in between.
+	if err := m.RestoreIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte("BBBB")) {
+		t.Fatalf("slot 2 memory: got %q", buf)
+	}
+	if got := string(m.Serial.Log); got != "boot\n" {
+		t.Fatalf("slot 2 serial log: got %q", got)
+	}
+	m.Disk.ReadSector(1, sec)
+	if sec[0] != 0 {
+		t.Fatalf("slot 1's disk write leaked into slot 2: %#x", sec[0])
+	}
+}
+
+func TestSlotDropAndErrors(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.TakeIncrementalSlot(1); err != ErrNotReady {
+		t.Fatalf("expected ErrNotReady before root, got %v", err)
+	}
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreIncrementalSlot(1); err != mem.ErrNoIncrementalSnapshot {
+		t.Fatalf("expected ErrNoIncrementalSnapshot, got %v", err)
+	}
+	m.Mem.WriteAt([]byte{1}, 0)
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasSlot(1) {
+		t.Fatal("slot 1 should exist")
+	}
+	if m.SlotBytes(1) <= 0 {
+		t.Fatal("slot 1 should hold overlay bytes")
+	}
+	m.DropSlot(1)
+	if m.HasSlot(1) {
+		t.Fatal("slot 1 should be gone after drop")
+	}
+	if err := m.RestoreIncrementalSlot(1); err != mem.ErrNoIncrementalSnapshot {
+		t.Fatalf("expected ErrNoIncrementalSnapshot after drop, got %v", err)
+	}
+}
+
+func TestSlotRestoreChargesClock(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt(bytes.Repeat([]byte{1}, 8*mem.PageSize), 0)
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// A cheap same-slot restore (1 dirty page) must cost less than a
+	// restore that resets many pages.
+	m.Mem.WriteAt([]byte{2}, 0)
+	t0 := m.Clock.Now()
+	if err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	cheap := m.Clock.Now() - t0
+	m.Mem.WriteAt(bytes.Repeat([]byte{3}, 32*mem.PageSize), 0)
+	t0 = m.Clock.Now()
+	if err := m.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	expensive := m.Clock.Now() - t0
+	if expensive <= cheap {
+		t.Fatalf("32-page reset (%v) should cost more than 1-page reset (%v)", expensive, cheap)
+	}
+}
+
+// RestoreRoot must charge for the pooled-slot overlay pages it resets, not
+// just the dirty set — otherwise pool-mode campaigns get free restore work
+// in the equal-virtual-time ablations.
+func TestRootRestoreChargesForSlotOverlay(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	// Root restore with 1 dirty page and no active slot: the cheap case.
+	m.Mem.WriteAt([]byte{1}, 0)
+	t0 := m.Clock.Now()
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	cheap := m.Clock.Now() - t0
+
+	// Derive the state from a 32-page slot, then restore root with the
+	// same 1 dirty page: the overlay resets must be billed.
+	m.Mem.WriteAt(bytes.Repeat([]byte{2}, 32*mem.PageSize), 0)
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte{3}, 0)
+	t0 = m.Clock.Now()
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	fromSlot := m.Clock.Now() - t0
+	if fromSlot <= cheap {
+		t.Fatalf("root restore from a slot-derived state (%v) must cost more than a dirty-only restore (%v)", fromSlot, cheap)
+	}
+}
+
+// SlotBytes must charge device captures (disk delta, serial log) alongside
+// the memory overlay, so a disk-heavy prefix cannot grow pool memory
+// unbounded beneath the budget.
+func TestSlotBytesIncludeDeviceCaptures(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte{1}, 0)
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	lean := m.SlotBytes(1)
+
+	// Same memory dirtiness, but a fat disk delta and serial log.
+	for s := uint64(0); s < 16; s++ {
+		m.Disk.WriteSector(s, bytes.Repeat([]byte{byte(s)}, 512))
+	}
+	m.Serial.WriteString("a very long boot transcript\n")
+	m.Mem.WriteAt([]byte{2}, 0)
+	if err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	fat := m.SlotBytes(2)
+	if fat <= lean {
+		t.Fatalf("device captures not charged: fat slot %d <= lean slot %d", fat, lean)
+	}
+	if fat-lean < 16*512 {
+		t.Fatalf("disk delta undercharged: extra = %d bytes, want >= %d", fat-lean, 16*512)
+	}
+}
