@@ -26,7 +26,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate table N (1-5)")
 		figure   = flag.Int("figure", 0, "regenerate figure N (5 or 6; 7 = figure 5 with all fuzzers)")
-		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | sched | snappool | all")
+		ablation = flag.String("ablation", "", "run ablation: dirty | device | reuse | remirror | sched | snappool | hotpath | all")
 		all      = flag.Bool("all", false, "regenerate everything")
 		dur      = flag.Duration("time", 30*time.Second, "virtual campaign duration (= 24 scaled hours)")
 		reps     = flag.Int("reps", 3, "repetitions per cell")
@@ -35,7 +35,8 @@ func main() {
 		levels   = flag.String("levels", "", "comma-separated Mario levels for table 4 (default subset)")
 		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8)")
 		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad | adaptive (the sched ablation sweeps all of them)")
-		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget for -ablation snappool")
+		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget for -ablation snappool / hotpath")
+		benchOut = flag.String("bench-out", experiments.HotpathJSON, "output path for the -ablation hotpath JSON report")
 	)
 	flag.Parse()
 
@@ -194,6 +195,17 @@ func main() {
 				fatalf("ablation snappool: %v", err)
 			}
 			fmt.Println(experiments.RenderAblation("== Ablation: snapshot pool (prefix-keyed slots vs single slot vs none) ==", rs))
+		}
+		if abl == "hotpath" || abl == "all" {
+			rep, err := experiments.AblationHotpath(cfg.Targets, *dur, *seed, *snapbud)
+			if err != nil {
+				fatalf("ablation hotpath: %v", err)
+			}
+			fmt.Println(experiments.RenderHotpath(rep))
+			if err := experiments.WriteHotpathJSON(*benchOut, rep); err != nil {
+				fatalf("ablation hotpath: %v", err)
+			}
+			fmt.Printf("   wall-clock report written to %s\n\n", *benchOut)
 		}
 	}
 

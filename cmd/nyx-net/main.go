@@ -136,6 +136,11 @@ func main() {
 	fmt.Printf("[*] campaign done: %v virtual in %v wall\n", f.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("    execs:          %d (%.1f/virtual-second, %d from incremental snapshots)\n",
 		f.Execs(), f.ExecsPerSecond(), f.SnapshotExecs())
+	if ms := inst.M.Stats(); ms.RootRestores+ms.IncRestores > 0 {
+		fmt.Printf("    restores:       %d in %v wall (%.0f ns each, zero-copy path)\n",
+			ms.RootRestores+ms.IncRestores, ms.RestoreWall.Round(time.Millisecond),
+			float64(ms.RestoreWall.Nanoseconds())/float64(ms.RootRestores+ms.IncRestores))
+	}
 	if f.PoolEnabled() {
 		st := f.PoolStats()
 		fmt.Printf("    snapshot pool:  %d hits / %d misses, %d evictions, %d slots, %.1f MiB peak (budget %.1f MiB), %d full-prefix re-execs\n",

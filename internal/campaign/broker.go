@@ -54,6 +54,14 @@ type broker struct {
 	claimWins  map[string]int
 	claimants  map[string][]*core.QueueEntry
 	claimEdges map[string][]uint32
+
+	// fresh/ordered are reusable scratch slices for ingest's per-sync
+	// working sets (the same scratch-reuse pattern as
+	// coverage.Trace.BucketedInto): the sync loop runs every
+	// SyncInterval for the life of the campaign, and everything durable
+	// is copied out of them (corpus append, per-worker import lists).
+	fresh   []brokerEntry
+	ordered []brokerEntry
 }
 
 // topClaim is one edge's best known coverage claim across all workers.
@@ -92,7 +100,7 @@ func newBroker() *broker {
 // entry in the global favored competition, and assemble each worker's
 // import list for the parallel redistribution phase.
 func (b *broker) ingest(ws []*worker) {
-	var fresh []brokerEntry
+	fresh := b.fresh[:0]
 	for _, w := range ws {
 		for _, e := range w.fz.Queue[w.synced:] {
 			b.published++
@@ -164,7 +172,7 @@ func (b *broker) ingest(ws []*worker) {
 	// receiver's own target, so front-loading the campaign-wide winners
 	// puts the entries most likely to seed new coverage at the head of
 	// every import budget; globally dominated entries ride at the back.
-	ordered := orderImports(fresh)
+	ordered := orderImportsInto(b.ordered[:0], fresh)
 	for _, w := range ws {
 		for _, fe := range ordered {
 			if fe.Worker != w.id {
@@ -172,6 +180,7 @@ func (b *broker) ingest(ws []*worker) {
 			}
 		}
 	}
+	b.fresh, b.ordered = fresh, ordered
 }
 
 // compete enters e (content key: key) into the global favored
@@ -261,10 +270,10 @@ func (b *broker) transferClaims(oldKey, newKey string, e *core.QueueEntry) {
 	}
 }
 
-// orderImports sorts a sync round's fresh entries global-winners-first,
-// stable within each class so redistribution order stays deterministic.
-func orderImports(fresh []brokerEntry) []brokerEntry {
-	ordered := make([]brokerEntry, 0, len(fresh))
+// orderImportsInto sorts a sync round's fresh entries global-winners-first
+// into the supplied scratch, stable within each class so redistribution
+// order stays deterministic.
+func orderImportsInto(ordered, fresh []brokerEntry) []brokerEntry {
 	for _, fe := range fresh {
 		if fe.GlobalFav {
 			ordered = append(ordered, fe)

@@ -357,7 +357,7 @@ func TestOrderImportsGlobalWinnersFirst(t *testing.T) {
 	mk := func(id int, won bool) brokerEntry {
 		return brokerEntry{Worker: 0, Entry: &core.QueueEntry{ID: id}, GlobalFav: won}
 	}
-	ordered := orderImports([]brokerEntry{mk(0, false), mk(1, true), mk(2, false), mk(3, true)})
+	ordered := orderImportsInto(nil, []brokerEntry{mk(0, false), mk(1, true), mk(2, false), mk(3, true)})
 	var ids []int
 	for _, fe := range ordered {
 		ids = append(ids, fe.Entry.ID)

@@ -101,6 +101,11 @@ type QueueEntry struct {
 	// snapshot goes, and unproductive iterations at the current spot.
 	aggrBack   int
 	aggrBarren int
+	// prefixDigests memoizes the snapshot-pool content key of this entry's
+	// prefix per marker position, so repeat pool rounds on an unchanged
+	// input skip hashing entirely (snappool.Pool.LookupDigest). Invalidated
+	// whenever the entry's input changes (trim).
+	prefixDigests map[int]snappool.Digest
 }
 
 // Crash is a deduplicated crash finding.
@@ -514,7 +519,7 @@ func (f *Fuzzer) fuzzWithPool(entry *QueueEntry, base *spec.Input, snapAt, budge
 // reached the marker (crashing prefix); transient marks a slot too large to
 // pool, which the caller must drop after the round.
 func (f *Fuzzer) ensurePoolSlot(entry *QueueEntry, base *spec.Input, snapAt, budget int) (slot int, prefixCost time.Duration, transient, ok bool, err error) {
-	hit, parent, digest := f.pool.Resolve(base, snapAt)
+	hit, parent, digest := f.resolvePrefix(entry, base, snapAt)
 	if hit != nil {
 		return hit.Slot, hit.PrefixCost, false, true, nil
 	}
@@ -561,6 +566,28 @@ func (f *Fuzzer) ensurePoolSlot(entry *QueueEntry, base *spec.Input, snapAt, bud
 		f.slotExec.DropSlot(ev.Slot)
 	}
 	return newSlot, prefixCost, !kept, true, nil
+}
+
+// resolvePrefix answers the pool query for base's prefix ending at snapAt,
+// going through entry's memoized digest when one exists: a repeat round on
+// an unchanged input then resolves its hit without hashing a single opcode
+// (LookupDigest). Only when the memoized digest is absent — or its slot was
+// evicted, in which case the streaming scan is needed anyway to find the
+// longest chainable strict prefix — does the full Resolve pass run, and its
+// digest is memoized for the next round. Mutation invalidates the memo: the
+// only place an entry's input changes is the lazy trim, which drops it.
+func (f *Fuzzer) resolvePrefix(entry *QueueEntry, base *spec.Input, snapAt int) (hit, parent *snappool.Entry, digest snappool.Digest) {
+	if d, ok := entry.prefixDigests[snapAt]; ok {
+		if e := f.pool.LookupDigest(d); e != nil {
+			return e, nil, d
+		}
+	}
+	hit, parent, digest = f.pool.Resolve(base, snapAt)
+	if entry.prefixDigests == nil {
+		entry.prefixDigests = make(map[int]snappool.Digest)
+	}
+	entry.prefixDigests[snapAt] = digest
+	return hit, parent, digest
 }
 
 // execSuffixSlot runs a suffix-only mutation resumed from a pooled slot.
@@ -665,7 +692,10 @@ func (f *Fuzzer) placeSnapshot(e *QueueEntry) int {
 		} else {
 			pi = n/2 + f.rng.Intn(n-n/2) // second half
 		}
-		return pkts[pi] + 1 // after sending the chosen packet
+		// After sending the chosen packet; with the pool enabled, snap to
+		// a position whose prefix snapshot is already cached when the
+		// random draw itself is not known to be.
+		return f.preferCachedPosition(e, pkts[pi]+1)
 	case PolicyAggressive:
 		back := e.aggrBack
 		if back >= n {
@@ -675,6 +705,38 @@ func (f *Fuzzer) placeSnapshot(e *QueueEntry) int {
 	default:
 		return -1
 	}
+}
+
+// preferCachedPosition makes the balanced policy pool-aware: when the
+// proposed snapshot position has been tried before and its prefix snapshot
+// is no longer pooled (evicted, or never kept), the deepest previously
+// tried position whose snapshot IS still cached wins — the round then
+// resumes a live snapshot instead of paying a re-creation run. A position
+// the entry has never tried always stands, so the balanced draw keeps
+// exploring (and caching) fresh depths; only re-creation of a known-cold
+// position is redirected. Decided purely from the entry's memoized digests
+// and a non-counting pool peek (no hashing, no RNG draws), so it adds
+// nothing to the per-round hot path. The aggressive policy is deliberately
+// left alone: its position is the state of its retreat search, and
+// snapping it would break the §3.4 schedule.
+func (f *Fuzzer) preferCachedPosition(e *QueueEntry, pos int) int {
+	if f.pool == nil {
+		return pos
+	}
+	d, tried := e.prefixDigests[pos]
+	if !tried || f.pool.Contains(d) {
+		return pos
+	}
+	best := -1
+	for p, pd := range e.prefixDigests {
+		if p > best && f.pool.Contains(pd) {
+			best = p
+		}
+	}
+	if best > 0 {
+		return best
+	}
+	return pos
 }
 
 // packetOpIndices returns the op indices of data-carrying ops.

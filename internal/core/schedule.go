@@ -583,6 +583,9 @@ func (f *Fuzzer) trimEntry(e *QueueEntry) error {
 		if e.aggrBack >= e.Packets {
 			e.aggrBack = 0
 		}
+		// The input changed, so every memoized prefix digest describes
+		// bytes that no longer exist at those positions.
+		e.prefixDigests = nil
 	}
 	// Even when no op could be dropped, the trim measured a real
 	// full-length root execution — a better estimate than the suffix-run

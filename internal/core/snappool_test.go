@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"repro/internal/snappool"
 )
 
 // poolFuzzer builds a fuzzer with the snapshot pool enabled.
@@ -118,6 +120,71 @@ func TestPoolCampaignDeterministic(t *testing.T) {
 
 // poolTriple is a comparable triple for the determinism check.
 type poolTriple struct{ hits, misses, evictions uint64 }
+
+// TestResolvePrefixMemoizesDigests pins the hash-free repeat-round path:
+// the first pool query for an (entry, position) pays the streaming scan and
+// memoizes the digest; once the prefix is pooled, repeat queries resolve
+// through LookupDigest without hashing (counted as DigestHits).
+func TestResolvePrefixMemoizesDigests(t *testing.T) {
+	f := poolFuzzer(t, "lightftp", 8<<20, 1)
+	inst := launch(t, "lightftp")
+	e := &QueueEntry{Input: inst.Seeds()[0].Clone()}
+	base := e.Input.Clone()
+	base.SnapshotAt = 2
+
+	hit, _, d := f.resolvePrefix(e, base, 2)
+	if hit != nil {
+		t.Fatal("empty pool cannot hit")
+	}
+	if _, ok := e.prefixDigests[2]; !ok {
+		t.Fatal("digest not memoized after first resolve")
+	}
+	f.pool.Insert(d, f.pool.AllocSlot(), 2, 4096, time.Millisecond)
+
+	hit, parent, d2 := f.resolvePrefix(e, base, 2)
+	if hit == nil || parent != nil || d2 != d {
+		t.Fatalf("memoized resolve: hit=%v parent=%v", hit, parent)
+	}
+	if st := f.PoolStats(); st.DigestHits != 1 {
+		t.Fatalf("repeat resolve should be a digest hit, stats %+v", st)
+	}
+}
+
+// TestPreferCachedPosition pins pool-aware balanced placement: a proposed
+// position whose snapshot went cold yields to the deepest memoized position
+// whose prefix snapshot is pooled; a cached proposal and — crucially — a
+// never-tried proposal both stand (exploration must not pin to the first
+// cached position).
+func TestPreferCachedPosition(t *testing.T) {
+	f := poolFuzzer(t, "lightftp", 8<<20, 1)
+	inst := launch(t, "lightftp")
+	in := inst.Seeds()[0].Clone()
+	e := &QueueEntry{Input: in}
+
+	d5, d7, d9 := snappool.Digest{5}, snappool.Digest{7}, snappool.Digest{9}
+	e.prefixDigests = map[int]snappool.Digest{5: d5, 7: d7, 9: d9}
+	f.pool.Insert(d9, f.pool.AllocSlot(), 9, 4096, time.Millisecond)
+
+	// Position 7 was tried before but its snapshot is not pooled: snap to
+	// the deepest cached position instead of re-creating a cold prefix.
+	if got := f.preferCachedPosition(e, 7); got != 9 {
+		t.Fatalf("cold tried proposal should snap to cached position 9, got %d", got)
+	}
+	// A never-tried position must stand so the draw keeps exploring.
+	if got := f.preferCachedPosition(e, 12); got != 12 {
+		t.Fatalf("never-tried proposal must stand, got %d", got)
+	}
+	// A proposal whose own prefix is cached stands.
+	f.pool.Insert(d5, f.pool.AllocSlot(), 5, 4096, time.Millisecond)
+	if got := f.preferCachedPosition(e, 5); got != 5 {
+		t.Fatalf("cached proposal must stand, got %d", got)
+	}
+	// Nothing cached at all: proposal stands.
+	e2 := &QueueEntry{Input: in, prefixDigests: map[int]snappool.Digest{3: {3}}}
+	if got := f.preferCachedPosition(e2, 3); got != 3 {
+		t.Fatalf("no cached alternative: proposal must stand, got %d", got)
+	}
+}
 
 func TestPoolCrashingPrefixFallsBack(t *testing.T) {
 	// proftpd's crash sits behind a prefix; the aggressive policy will

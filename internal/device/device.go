@@ -86,15 +86,29 @@ func SnapshotBytes(s Snapshot) int64 {
 // snapshot only needs to discard that layer. Reads check the layers
 // top-down and fall back to the base image, exactly the lookup order the
 // paper describes.
+//
+// A pooled snapshot restore (LoadSnapshot) installs the captured delta as a
+// third, immutable layer below l1: the frozen delta is aliased, never
+// copied, and subsequent writes shadow it in l1. Repeat restores therefore
+// cost O(sectors written since the restore) — clearing l1/l2 — instead of
+// O(total delta), which is what made slot switches scale with snapshot size
+// before.
 type BlockDevice struct {
 	name     string
 	nsectors uint64
 
-	base map[uint64][]byte // content at root snapshot time
-	l1   map[uint64][]byte // dirtied since root snapshot
-	l2   map[uint64][]byte // dirtied since incremental snapshot
+	base   map[uint64][]byte // content at root snapshot time
+	shared map[uint64][]byte // frozen pool-snapshot delta (aliased, read-only)
+	l1     map[uint64][]byte // dirtied since root snapshot (or since LoadSnapshot)
+	l2     map[uint64][]byte // dirtied since incremental snapshot
 
 	incActive bool
+
+	// l1Shadowed counts sectors present in both l1 and shared, so
+	// DirtySectors can report |shared ∪ l1| + |l2| — the same union the
+	// pre-layering code measured when the loaded delta and later writes
+	// lived in one map.
+	l1Shadowed int
 
 	// WritesSinceRoot counts sector writes for cost accounting.
 	WritesSinceRoot uint64
@@ -133,6 +147,10 @@ func (d *BlockDevice) ReadSector(sn uint64, buf []byte) error {
 		copy(buf, s)
 		return nil
 	}
+	if s, ok := d.shared[sn]; ok {
+		copy(buf, s)
+		return nil
+	}
 	if s, ok := d.base[sn]; ok {
 		copy(buf, s)
 		return nil
@@ -159,6 +177,11 @@ func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
 	if !ok {
 		s = make([]byte, SectorSize)
 		layer[sn] = s
+		if !d.incActive {
+			if _, shadowed := d.shared[sn]; shadowed {
+				d.l1Shadowed++
+			}
+		}
 	}
 	copy(s, buf)
 	d.WritesSinceRoot++
@@ -167,19 +190,25 @@ func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
 
 // TakeRoot implements Device: current content becomes the base image.
 func (d *BlockDevice) TakeRoot() {
+	for sn, s := range d.shared {
+		d.base[sn] = s
+	}
 	for sn, s := range d.l1 {
 		d.base[sn] = s
 	}
 	for sn, s := range d.l2 {
 		d.base[sn] = s
 	}
+	d.shared = nil
 	d.l1 = make(map[uint64][]byte)
 	d.l2 = make(map[uint64][]byte)
+	d.l1Shadowed = 0
 	d.incActive = false
 	d.WritesSinceRoot = 0
 }
 
-// RestoreRoot implements Device: drop both dirty layers.
+// RestoreRoot implements Device: drop the dirty layers and any installed
+// pool-snapshot delta.
 func (d *BlockDevice) RestoreRoot() {
 	if len(d.l1) > 0 {
 		d.l1 = make(map[uint64][]byte)
@@ -187,18 +216,31 @@ func (d *BlockDevice) RestoreRoot() {
 	if len(d.l2) > 0 {
 		d.l2 = make(map[uint64][]byte)
 	}
+	d.shared = nil
+	d.l1Shadowed = 0
 	d.incActive = false
 	d.WritesSinceRoot = 0
+}
+
+// foldIntoL1 moves every l2 sector down into l1, maintaining the shadow
+// count DirtySectors depends on.
+func (d *BlockDevice) foldIntoL1() {
+	for sn, s := range d.l2 {
+		if _, ok := d.l1[sn]; !ok {
+			if _, shadowed := d.shared[sn]; shadowed {
+				d.l1Shadowed++
+			}
+		}
+		d.l1[sn] = s
+	}
+	d.l2 = make(map[uint64][]byte)
 }
 
 // TakeIncremental implements Device: freeze l1 (folding any l2 writes in)
 // and direct subsequent writes to the second caching layer.
 func (d *BlockDevice) TakeIncremental() {
 	if d.incActive {
-		for sn, s := range d.l2 {
-			d.l1[sn] = s
-		}
-		d.l2 = make(map[uint64][]byte)
+		d.foldIntoL1()
 	}
 	d.incActive = true
 }
@@ -216,28 +258,35 @@ func (d *BlockDevice) DropIncremental() {
 	if !d.incActive {
 		return
 	}
-	for sn, s := range d.l2 {
-		d.l1[sn] = s
-	}
-	d.l2 = make(map[uint64][]byte)
+	d.foldIntoL1()
 	d.incActive = false
 }
 
-// DirtySectors returns how many sectors differ from the root snapshot.
-func (d *BlockDevice) DirtySectors() int { return len(d.l1) + len(d.l2) }
+// DirtySectors returns how many sectors differ from the root snapshot:
+// |shared ∪ l1| + |l2| (the same count the pre-layering code reported, when
+// a loaded delta and subsequent writes shared one map).
+func (d *BlockDevice) DirtySectors() int {
+	return len(d.shared) + len(d.l1) - d.l1Shadowed + len(d.l2)
+}
 
 // blockSnap is a BlockDevice pool snapshot: the flattened dirty delta
-// against the base image.
+// against the base image. The delta map and its sector buffers are frozen
+// at capture time — LoadSnapshot aliases them directly, so they must never
+// be mutated.
 type blockSnap struct {
 	delta  map[uint64][]byte
 	writes uint64
 }
 
-// SaveSnapshot implements Device: flatten both caching layers into one
-// delta-vs-base map. Sector contents are copied because WriteSector mutates
-// layer buffers in place.
+// SaveSnapshot implements Device: flatten the caching layers into one
+// delta-vs-base map. Sectors inherited from an installed frozen delta are
+// aliased (immutable in, immutable out); l1/l2 contents are copied because
+// WriteSector mutates those buffers in place.
 func (d *BlockDevice) SaveSnapshot() Snapshot {
-	sn := &blockSnap{delta: make(map[uint64][]byte, len(d.l1)+len(d.l2)), writes: d.WritesSinceRoot}
+	sn := &blockSnap{delta: make(map[uint64][]byte, len(d.shared)+len(d.l1)+len(d.l2)), writes: d.WritesSinceRoot}
+	for s, b := range d.shared {
+		sn.delta[s] = b
+	}
 	for s, b := range d.l1 {
 		sn.delta[s] = append([]byte(nil), b...)
 	}
@@ -247,16 +296,21 @@ func (d *BlockDevice) SaveSnapshot() Snapshot {
 	return sn
 }
 
-// LoadSnapshot implements Device: the captured delta becomes the first
-// caching layer (reads fall through to the untouched base image for
-// everything else), the second layer is discarded.
+// LoadSnapshot implements Device: the captured delta is installed as the
+// frozen shared layer — aliased, not copied — and the own dirty layers are
+// cleared, so a repeat restore costs O(sectors written since the previous
+// restore) instead of O(delta). Reads fall through shared to the untouched
+// base image; writes shadow the frozen delta in l1.
 func (d *BlockDevice) LoadSnapshot(s Snapshot) {
 	sn := s.(*blockSnap)
-	d.l1 = make(map[uint64][]byte, len(sn.delta))
-	for sec, b := range sn.delta {
-		d.l1[sec] = append([]byte(nil), b...)
+	d.shared = sn.delta
+	if len(d.l1) > 0 {
+		clear(d.l1)
 	}
-	d.l2 = make(map[uint64][]byte)
+	if len(d.l2) > 0 {
+		clear(d.l2)
+	}
+	d.l1Shadowed = 0
 	d.incActive = false
 	d.WritesSinceRoot = sn.writes
 }
@@ -270,6 +324,9 @@ type blockState struct {
 func (d *BlockDevice) SaveState() ([]byte, error) {
 	st := blockState{NSectors: d.nsectors, Sectors: make(map[uint64][]byte)}
 	for sn, s := range d.base {
+		st.Sectors[sn] = s
+	}
+	for sn, s := range d.shared {
 		st.Sectors[sn] = s
 	}
 	for sn, s := range d.l1 {
@@ -293,8 +350,10 @@ func (d *BlockDevice) LoadState(b []byte) error {
 	}
 	d.nsectors = st.NSectors
 	d.base = st.Sectors
+	d.shared = nil
 	d.l1 = make(map[uint64][]byte)
 	d.l2 = make(map[uint64][]byte)
+	d.l1Shadowed = 0
 	d.incActive = false
 	return nil
 }

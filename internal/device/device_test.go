@@ -158,6 +158,188 @@ func TestBlockSnapshotIdentityProperty(t *testing.T) {
 	}
 }
 
+// TestBlockLayeredRestoreInvariants is the zero-copy restore property test:
+// for random workloads, (1) LoadSnapshot → writes → LoadSnapshot yields
+// byte-identical reads (the frozen delta always wins back), (2) the frozen
+// delta installed as the shared layer is never mutated through aliasing —
+// not by writes shadowing it, not by snapshots chained on top of it — and
+// (3) a snapshot saved on top of a loaded one reproduces its own state.
+func TestBlockLayeredRestoreInvariants(t *testing.T) {
+	const nsec = 32
+	image := func(d *BlockDevice) [][]byte {
+		img := make([][]byte, nsec)
+		for sn := 0; sn < nsec; sn++ {
+			img[sn] = make([]byte, SectorSize)
+			d.ReadSector(uint64(sn), img[sn])
+		}
+		return img
+	}
+	sameImage := func(a, b [][]byte) bool {
+		for sn := range a {
+			if !bytes.Equal(a[sn], b[sn]) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewBlockDevice("disk0", nsec)
+		for i := 0; i < 8; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		d.TakeRoot()
+		for i := 0; i < 10; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		snap := d.SaveSnapshot()
+		ref := image(d)
+		// Freeze a private copy of the captured delta for the aliasing check.
+		delta := snap.(*blockSnap).delta
+		frozen := make(map[uint64][]byte, len(delta))
+		for sn, b := range delta {
+			frozen[sn] = append([]byte(nil), b...)
+		}
+
+		for round := 0; round < 4; round++ {
+			d.LoadSnapshot(snap)
+			if !sameImage(image(d), ref) {
+				return false
+			}
+			// Writes — deliberately biased to shadow delta sectors — then
+			// re-restore must return to the exact captured image.
+			for i := 0; i < 6; i++ {
+				d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+			}
+			if rng.Intn(2) == 0 {
+				d.TakeIncremental() // route some writes through l2
+				d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+			}
+			d.LoadSnapshot(snap)
+			if !sameImage(image(d), ref) {
+				return false
+			}
+		}
+
+		// A snapshot chained on top of the loaded one (aliasing frozen
+		// sectors) must reproduce its own state, and loading it must not
+		// have let anything leak into the first snapshot's delta.
+		d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		snap2 := d.SaveSnapshot()
+		ref2 := image(d)
+		for i := 0; i < 4; i++ {
+			d.WriteSector(uint64(rng.Intn(nsec)), sector(byte(rng.Intn(256))))
+		}
+		d.LoadSnapshot(snap2)
+		if !sameImage(image(d), ref2) {
+			return false
+		}
+		d.LoadSnapshot(snap)
+		if !sameImage(image(d), ref) {
+			return false
+		}
+		for sn, b := range snap.(*blockSnap).delta {
+			if !bytes.Equal(b, frozen[sn]) {
+				return false // frozen delta mutated through aliasing
+			}
+		}
+		return len(snap.(*blockSnap).delta) == len(frozen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockDirtySectorAccounting pins DirtySectors across the layered
+// restore: shadowing a frozen-delta sector must not double-count it (the
+// virtual-clock charge must match what the pre-layering deep-copy code
+// measured).
+func TestBlockDirtySectorAccounting(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.TakeRoot()
+	d.WriteSector(1, sector(0x11))
+	d.WriteSector(2, sector(0x22))
+	snap := d.SaveSnapshot()
+	d.LoadSnapshot(snap)
+	if got := d.DirtySectors(); got != 2 {
+		t.Fatalf("after load: dirty = %d, want 2", got)
+	}
+	d.WriteSector(1, sector(0x99)) // shadows a frozen sector
+	d.WriteSector(5, sector(0x55)) // fresh sector
+	if got := d.DirtySectors(); got != 3 {
+		t.Fatalf("after shadow+fresh write: dirty = %d, want 3", got)
+	}
+	d.TakeIncremental()
+	d.WriteSector(1, sector(0x77)) // l2 write over shadowed sector
+	if got := d.DirtySectors(); got != 4 {
+		t.Fatalf("after l2 write: dirty = %d, want 4 (l2 counted separately)", got)
+	}
+	d.DropIncremental() // folds l2 into l1; sector 1 already shadowed
+	if got := d.DirtySectors(); got != 3 {
+		t.Fatalf("after fold: dirty = %d, want 3", got)
+	}
+	d.LoadSnapshot(snap)
+	if got := d.DirtySectors(); got != 2 {
+		t.Fatalf("after re-load: dirty = %d, want 2", got)
+	}
+	d.RestoreRoot()
+	if got := d.DirtySectors(); got != 0 {
+		t.Fatalf("after root restore: dirty = %d, want 0", got)
+	}
+}
+
+// loadSnapshotDeepCopy replicates the pre-layering LoadSnapshot — a full
+// deep copy of the captured delta into l1 — as the benchmark baseline.
+func loadSnapshotDeepCopy(d *BlockDevice, s Snapshot) {
+	sn := s.(*blockSnap)
+	d.shared = nil
+	d.l1Shadowed = 0
+	d.l1 = make(map[uint64][]byte, len(sn.delta))
+	for sec, b := range sn.delta {
+		d.l1[sec] = append([]byte(nil), b...)
+	}
+	d.l2 = make(map[uint64][]byte)
+	d.incActive = false
+	d.WritesSinceRoot = sn.writes
+}
+
+// BenchmarkBlockSnapshotRestore measures a pooled-snapshot restore with a
+// large frozen delta and a small per-round write set: the zero-copy path
+// installs the delta as the shared layer in O(writes-since-restore), the
+// baseline replicates the pre-change O(delta) deep copy.
+func BenchmarkBlockSnapshotRestore(b *testing.B) {
+	const deltaSectors = 4096
+	const writesPerRound = 4
+	build := func() (*BlockDevice, Snapshot) {
+		d := NewBlockDevice("disk0", 2*deltaSectors)
+		d.TakeRoot()
+		for sn := 0; sn < deltaSectors; sn++ {
+			d.WriteSector(uint64(sn), sector(byte(sn)))
+		}
+		return d, d.SaveSnapshot()
+	}
+	b.Run("zero-copy", func(b *testing.B) {
+		d, snap := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < writesPerRound; w++ {
+				d.WriteSector(uint64(w), sector(byte(i)))
+			}
+			d.LoadSnapshot(snap)
+		}
+	})
+	b.Run("deep-copy-baseline", func(b *testing.B) {
+		d, snap := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < writesPerRound; w++ {
+				d.WriteSector(uint64(w), sector(byte(i)))
+			}
+			loadSnapshotDeepCopy(d, snap)
+		}
+	})
+}
+
 func TestNICSnapshotCycle(t *testing.T) {
 	n := NewNIC("eth0")
 	n.Transmit([]byte("boot"))

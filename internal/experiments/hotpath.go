@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/targets"
+)
+
+// This file implements the wall-clock hotpath ablation: unlike every other
+// experiment in the package — which measures the simulated virtual clock —
+// it measures the REAL time the execution hot paths spend, so the zero-copy
+// restore path (device shared-layer restores, mem CoW page aliasing) and
+// the hash-free pool lookups (raw-digest keys, memoized per-entry digests)
+// can be shown to be cheaper on hardware, not just in the cost model.
+// Campaigns still run at equal virtual time and equal seed, so the
+// coverage columns double as a regression check against the recorded
+// snappool-ablation numbers.
+
+// HotpathJSON is the file `nyx-bench -ablation hotpath` writes by default.
+const HotpathJSON = "BENCH_hotpath.json"
+
+// hotpathSchema versions the BENCH_hotpath.json layout.
+const hotpathSchema = "nyx-net/bench-hotpath/v1"
+
+// HotpathRow is one (target, configuration) cell of the hotpath ablation.
+type HotpathRow struct {
+	Target string `json:"target"`
+	// Config is "pool" (prefix-keyed snapshot pool) or "single-slot" (the
+	// paper's one-secondary-snapshot model).
+	Config string `json:"config"`
+
+	// Virtual-time outcome at the configured budget (regression guard).
+	VirtSeconds float64 `json:"virt_seconds"`
+	Edges       int     `json:"edges"`
+	Execs       uint64  `json:"execs"`
+
+	// Restore hot path, wall clock: total restores (root + incremental),
+	// the real time they consumed, and the mean per restore.
+	Restores      uint64  `json:"restores"`
+	RestoreWallNS int64   `json:"restore_wall_ns"`
+	NSPerRestore  float64 `json:"ns_per_restore"`
+
+	// Lookup hot path, wall clock (pool config only): pool queries, the
+	// real time they consumed, the mean per lookup, and how many hits were
+	// served by a memoized digest without hashing a single opcode.
+	Lookups      uint64  `json:"lookups,omitempty"`
+	LookupWallNS int64   `json:"lookup_wall_ns,omitempty"`
+	NSPerLookup  float64 `json:"ns_per_lookup,omitempty"`
+	PoolHits     uint64  `json:"pool_hits,omitempty"`
+	PoolMisses   uint64  `json:"pool_misses,omitempty"`
+	DigestHits   uint64  `json:"digest_hits,omitempty"`
+
+	// BucketWallNS is the mean wall time to snapshot one execution trace
+	// into a reused []BucketHit scratch (coverage.Trace.BucketedInto),
+	// measured over traces rebuilt from this campaign's queue entries —
+	// the cost of the bucketing primitive itself on queue-shaped traces,
+	// with the per-call allocation removed. (Production publication via
+	// Trace.Bucketed additionally pays one exact-size allocation, because
+	// queue entries retain their snapshot.)
+	BucketWallNS int64 `json:"bucket_wall_ns,omitempty"`
+
+	// Memory-layer counters: pages the restores reset (aliased in O(1)
+	// each on the zero-copy path) and CoW breaks writes paid afterwards.
+	PagesReset     uint64 `json:"pages_reset"`
+	PagesCoWBroken uint64 `json:"pages_cow_broken"`
+
+	FullPrefixReexecs uint64 `json:"full_prefix_reexecs"`
+}
+
+// HotpathReport is the machine-readable output of the hotpath ablation.
+type HotpathReport struct {
+	Schema      string       `json:"schema"`
+	VirtSeconds float64      `json:"virt_seconds"`
+	Seed        int64        `json:"seed"`
+	BudgetBytes int64        `json:"budget_bytes"`
+	Rows        []HotpathRow `json:"rows"`
+}
+
+// AblationHotpath runs the wall-clock hotpath ablation: for each target,
+// one pool campaign and one single-slot campaign at equal virtual time and
+// equal seed, reporting real restore/lookup cost alongside the virtual-time
+// coverage outcome.
+func AblationHotpath(tgts []string, dur time.Duration, seed int64, budget int64) (*HotpathReport, error) {
+	if len(tgts) == 0 {
+		tgts = []string{"tinydtls", "dnsmasq"}
+	}
+	if dur == 0 {
+		dur = 10 * time.Second
+	}
+	if budget <= 0 {
+		budget = DefaultSnapBudget
+	}
+	rep := &HotpathReport{
+		Schema:      hotpathSchema,
+		VirtSeconds: dur.Seconds(),
+		Seed:        seed,
+		BudgetBytes: budget,
+	}
+	for _, target := range tgts {
+		for _, cfg := range []struct {
+			name       string
+			snapBudget int64
+		}{
+			{"pool", budget},
+			{"single-slot", 0},
+		} {
+			row, err := runHotpathCell(target, cfg.name, dur, seed, cfg.snapBudget)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// runHotpathCell runs one campaign and collects its wall-clock hot-path
+// telemetry.
+func runHotpathCell(target, name string, dur time.Duration, seed, snapBudget int64) (HotpathRow, error) {
+	inst, err := targets.Launch(target, targets.LaunchConfig{})
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	f := core.New(inst.Agent, inst.Spec, core.Options{
+		Policy:     core.PolicyAggressive,
+		Seeds:      inst.Seeds(),
+		Rand:       rand.New(rand.NewSource(seed)),
+		Dict:       inst.Info.Dict,
+		SnapBudget: snapBudget,
+	})
+	if err := f.RunFor(dur); err != nil {
+		return HotpathRow{}, err
+	}
+	ms := inst.M.Stats()
+	mem := inst.M.Mem.Stats()
+	row := HotpathRow{
+		Target:            target,
+		Config:            name,
+		VirtSeconds:       f.Elapsed().Seconds(),
+		Edges:             f.Coverage(),
+		Execs:             f.Execs(),
+		Restores:          ms.RootRestores + ms.IncRestores,
+		RestoreWallNS:     ms.RestoreWall.Nanoseconds(),
+		PagesReset:        mem.PagesReset,
+		PagesCoWBroken:    mem.PagesCoWBroken,
+		FullPrefixReexecs: f.FullPrefixReexecs(),
+	}
+	if row.Restores > 0 {
+		row.NSPerRestore = float64(row.RestoreWallNS) / float64(row.Restores)
+	}
+	if f.PoolEnabled() {
+		ps := f.PoolStats()
+		row.Lookups = ps.Lookups
+		row.LookupWallNS = ps.LookupWall.Nanoseconds()
+		row.PoolHits = ps.Hits
+		row.PoolMisses = ps.Misses
+		row.DigestHits = ps.DigestHits
+		if ps.Lookups > 0 {
+			row.NSPerLookup = float64(row.LookupWallNS) / float64(ps.Lookups)
+		}
+	}
+	row.BucketWallNS = measureSyncBucketing(f)
+	return row, nil
+}
+
+// measureSyncBucketing times the trace-bucketing primitive with a reused
+// scratch slice (coverage.Trace.BucketedInto) over traces rebuilt from the
+// campaign's queue entries, so the timed workload has the size distribution
+// of this campaign's real coverage snapshots. Only the BucketedInto call is
+// timed (the trace rebuild is setup, not cost); the mean per call is
+// returned, or 0 when the queue carries no coverage.
+func measureSyncBucketing(f *core.Fuzzer) int64 {
+	const (
+		maxEntries = 64
+		rounds     = 16
+	)
+	var tr coverage.Trace
+	var scratch []coverage.BucketHit
+	var total time.Duration
+	calls := 0
+	for r := 0; r < rounds; r++ {
+		seen := 0
+		for _, e := range f.Queue {
+			if len(e.Cov) == 0 {
+				continue
+			}
+			if seen++; seen > maxEntries {
+				break
+			}
+			// Rebuild a trace with this entry's touched indices (hit
+			// counts need not match; only the touched set drives cost).
+			tr.Reset()
+			tr.ResetPrev()
+			for _, h := range e.Cov {
+				tr.Hit(h.Index)
+			}
+			t0 := time.Now()
+			scratch = tr.BucketedInto(scratch)
+			total += time.Since(t0)
+			calls++
+		}
+	}
+	if calls == 0 {
+		return 0
+	}
+	return (total / time.Duration(calls)).Nanoseconds()
+}
+
+// WriteHotpathJSON writes the report to path (HotpathJSON by default).
+func WriteHotpathJSON(path string, rep *HotpathReport) error {
+	if path == "" {
+		path = HotpathJSON
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: hotpath report: %w", err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return fmt.Errorf("experiments: hotpath report: %w", err)
+	}
+	return nil
+}
+
+// RenderHotpath formats the report for the terminal.
+func RenderHotpath(rep *HotpathReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Ablation: wall-clock hot paths (zero-copy restores, hash-free lookups) ==\n")
+	fmt.Fprintf(&b, "   %.0f virt-s per cell, seed %d, pool budget %.1f MiB\n",
+		rep.VirtSeconds, rep.Seed, float64(rep.BudgetBytes)/(1<<20))
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "  %-10s %-12s %6d edges %8d execs | %8d restores @ %7.0f ns | reset %8d pages, %6d CoW breaks",
+			r.Target, r.Config, r.Edges, r.Execs, r.Restores, r.NSPerRestore, r.PagesReset, r.PagesCoWBroken)
+		if r.Lookups > 0 {
+			fmt.Fprintf(&b, " | %6d lookups @ %6.0f ns (%d digest hits)", r.Lookups, r.NSPerLookup, r.DigestHits)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

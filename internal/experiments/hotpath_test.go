@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestAblationHotpathReport runs the wall-clock ablation at reduced scale
+// and checks the report's shape and the JSON round trip: every (target,
+// config) cell present, wall-clock restore accounting populated, lookup
+// telemetry only on the pool rows, and the schema tag intact.
+func TestAblationHotpathReport(t *testing.T) {
+	rep, err := AblationHotpath([]string{"lightftp"}, 2*time.Second, 1, DefaultSnapBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != hotpathSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (pool + single-slot)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Target != "lightftp" {
+			t.Fatalf("row target = %q", r.Target)
+		}
+		if r.Edges == 0 || r.Execs == 0 {
+			t.Fatalf("%s: empty campaign: %+v", r.Config, r)
+		}
+		if r.Restores == 0 || r.RestoreWallNS <= 0 || r.NSPerRestore <= 0 {
+			t.Fatalf("%s: restore wall accounting missing: %+v", r.Config, r)
+		}
+		switch r.Config {
+		case "pool":
+			if r.Lookups == 0 || r.LookupWallNS <= 0 {
+				t.Fatalf("pool row without lookup telemetry: %+v", r)
+			}
+		case "single-slot":
+			if r.Lookups != 0 {
+				t.Fatalf("single-slot row with lookup telemetry: %+v", r)
+			}
+		default:
+			t.Fatalf("unknown config %q", r.Config)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := WriteHotpathJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HotpathReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Rows) != len(rep.Rows) {
+		t.Fatal("JSON round trip lost data")
+	}
+}
+
+// The coverage outcome at equal virtual time and equal seed must be
+// deterministic — the regression-guard property the hotpath ablation's
+// edge columns rely on.
+func TestAblationHotpathDeterministic(t *testing.T) {
+	run := func() []int {
+		rep, err := AblationHotpath([]string{"lightftp"}, time.Second, 7, DefaultSnapBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges []int
+		for _, r := range rep.Rows {
+			edges = append(edges, r.Edges)
+		}
+		return edges
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edges diverge between identical runs: %v vs %v", a, b)
+		}
+	}
+}

@@ -66,6 +66,16 @@ type snapSlot struct {
 	sinceMirror int
 }
 
+// zeroPage is the shared all-zero page restored pages alias when their
+// snapshot content is zero but a CoW backing would otherwise shine through.
+// It is read-only: the cow bit forces a private copy before any write.
+var zeroPage = make([]byte, PageSize)
+
+// maxFreePages bounds the recycled-buffer list (4 MiB of 4 KiB pages):
+// enough to cover any realistic per-round hot set, small enough that a
+// pathological burst of displaced pages cannot pin the heap.
+const maxFreePages = 1024
+
 // Memory models the physical memory of a guest VM.
 //
 // Pages are allocated lazily: a nil entry reads as all zeroes. Writes mark
@@ -74,6 +84,19 @@ type snapSlot struct {
 type Memory struct {
 	npages int
 	pages  [][]byte
+
+	// cow marks pages whose entry in pages aliases frozen snapshot storage
+	// (a slot overlay page, a root page, or zeroPage) instead of holding a
+	// private buffer. Restores install such aliases in O(1) per page — the
+	// zero-copy restore path — and the first write to a cow page copies it
+	// out before mutating (hardware CoW, restated in Go).
+	cow []bool
+
+	// freePages recycles private page buffers displaced when a restore
+	// installs an alias over them, so the steady-state restore→write
+	// cycle (reset a hot page, CoW-break it next round) reuses one buffer
+	// instead of allocating 4 KiB per break. Bounded; see maxFreePages.
+	freePages [][]byte
 
 	// Dirty tracking since the last snapshot point (root restore,
 	// incremental create, or incremental restore).
@@ -121,6 +144,10 @@ type Stats struct {
 	PagesReset          uint64
 	PagesCopied         uint64
 	ReMirrors           uint64
+	// PagesCoWBroken counts writes that had to copy a page out of the
+	// zero-copy restore aliasing — the true per-restore-cycle copy cost,
+	// which the restore path itself no longer pays.
+	PagesCoWBroken uint64
 }
 
 // New returns a Memory of npages pages (npages*PageSize bytes).
@@ -131,6 +158,7 @@ func New(npages int) *Memory {
 	return &Memory{
 		npages:           npages,
 		pages:            make([][]byte, npages),
+		cow:              make([]bool, npages),
 		dirtyBitmap:      make([]byte, npages),
 		slots:            make(map[int]*snapSlot),
 		active:           -1,
@@ -157,9 +185,10 @@ func (m *Memory) DirtyCount() int { return len(m.dirtyStack) }
 // tracking state the restore paths depend on.
 func (m *Memory) DirtyPages() []uint32 { return append([]uint32(nil), m.dirtyStack...) }
 
-// page returns the backing slice for page pn, allocating it if needed.
-// When a copy-on-write backing is present, the fresh page is populated from
-// it before the caller writes.
+// page returns a writable backing slice for page pn, allocating it if
+// needed. When a copy-on-write backing is present, the fresh page is
+// populated from it before the caller writes; a page aliasing frozen
+// snapshot storage (cow) is copied out first so the snapshot stays intact.
 func (m *Memory) page(pn uint32) []byte {
 	p := m.pages[pn]
 	if p == nil {
@@ -168,8 +197,35 @@ func (m *Memory) page(pn uint32) []byte {
 			copy(p, m.backing[pn])
 		}
 		m.pages[pn] = p
+		return p
+	}
+	if m.cow[pn] {
+		cp := m.allocPage()
+		copy(cp, p)
+		m.pages[pn] = cp
+		m.cow[pn] = false
+		m.stats.PagesCoWBroken++
+		return cp
 	}
 	return p
+}
+
+// allocPage returns a page buffer for a caller about to overwrite it fully
+// (content is unspecified): recycled from the free list when possible.
+func (m *Memory) allocPage() []byte {
+	if n := len(m.freePages); n > 0 {
+		p := m.freePages[n-1]
+		m.freePages = m.freePages[:n-1]
+		return p
+	}
+	return make([]byte, PageSize)
+}
+
+// retirePage offers a displaced private buffer to the free list.
+func (m *Memory) retirePage(p []byte) {
+	if len(m.freePages) < maxFreePages {
+		m.freePages = append(m.freePages, p)
+	}
 }
 
 // readPage returns the content of page pn for reading, which may come from
@@ -286,25 +342,29 @@ func (m *Memory) HasRoot() bool { return m.hasRoot }
 // rootPage returns the root snapshot content of page pn (nil = all zero).
 func (m *Memory) rootPage(pn uint32) []byte { return m.root[pn] }
 
-// resetPage restores page pn to the content of src (nil = zero page).
+// resetPage restores page pn to the content of src (nil = zero page) by
+// installing an alias to the frozen snapshot storage instead of copying it:
+// O(1) per page regardless of page size. The cow bit makes the next write
+// to the page copy it out first, so the snapshot content stays immutable.
 func (m *Memory) resetPage(pn uint32, src []byte) {
-	dst := m.pages[pn]
+	if old := m.pages[pn]; old != nil && !m.cow[pn] {
+		// A private buffer is being displaced by the alias; recycle it
+		// for the next CoW break instead of leaving it to the GC.
+		m.retirePage(old)
+	}
 	if src == nil {
-		if dst != nil {
-			for i := range dst {
-				dst[i] = 0
-			}
-		} else if m.backing != nil && m.backing[pn] != nil {
-			// The CoW backing would otherwise shine through.
-			m.pages[pn] = make([]byte, PageSize)
+		if m.backing != nil && m.backing[pn] != nil {
+			// The CoW backing would otherwise shine through a nil entry.
+			m.pages[pn] = zeroPage
+			m.cow[pn] = true
+		} else {
+			m.pages[pn] = nil
+			m.cow[pn] = false
 		}
 		return
 	}
-	if dst == nil {
-		dst = make([]byte, PageSize)
-		m.pages[pn] = dst
-	}
-	copy(dst, src)
+	m.pages[pn] = src
+	m.cow[pn] = true
 }
 
 // snapshotPageFor returns the content page pn must be restored to under the
@@ -381,6 +441,17 @@ func (m *Memory) slot(id int) *snapSlot {
 	return s
 }
 
+// unalias gives page pn a private buffer if its entry currently aliases
+// buf, preserving the live content before buf is mutated in place.
+func (m *Memory) unalias(pn uint32, buf []byte) {
+	if p := m.pages[pn]; m.cow[pn] && len(p) > 0 && &p[0] == &buf[0] {
+		cp := m.allocPage()
+		copy(cp, p)
+		m.pages[pn] = cp
+		m.cow[pn] = false
+	}
+}
+
 // copyInto overwrites buf with src, where nil src means the zero page.
 func copyInto(buf, src []byte) {
 	if src == nil {
@@ -442,6 +513,11 @@ func (m *Memory) TakeIncremental() error {
 	} else {
 		for pn, buf := range s.pages {
 			if m.dirtyBitmap[pn] == 0 {
+				// The live page may alias this very overlay buffer (the
+				// zero-copy restore path installs such aliases); copy it
+				// out first so refreshing the overlay in place does not
+				// rewrite live memory.
+				m.unalias(pn, buf)
 				copyInto(buf, m.rootPage(pn))
 			}
 		}
@@ -508,6 +584,7 @@ func (m *Memory) TakeIncrementalSlot(id int) (int, error) {
 				if _, ok := src[pn]; ok {
 					continue // source overlay content wins below
 				}
+				m.unalias(pn, buf) // defensive: never rewrite live memory
 				copyInto(buf, m.rootPage(pn))
 			}
 		}
@@ -518,7 +595,9 @@ func (m *Memory) TakeIncrementalSlot(id int) (int, error) {
 			if m.dirtyBitmap[pn] != 0 {
 				continue
 			}
-			copy(s.buf(pn), content)
+			buf := s.buf(pn)
+			m.unalias(pn, buf) // defensive: never rewrite live memory
+			copy(buf, content)
 			m.stats.PagesCopied++
 		}
 	}
@@ -678,11 +757,13 @@ func (m *Memory) SharesRoot() bool { return m.sharedRoot }
 
 // OwnedBytes estimates the heap bytes this instance owns exclusively:
 // materialized pages, the incremental overlay, and (unless shared) the root
-// snapshot. Used by the scalability experiment.
+// snapshot. Pages whose entry merely aliases frozen snapshot storage (cow)
+// are not counted — that storage is accounted to the overlay or root that
+// owns it. Used by the scalability experiment.
 func (m *Memory) OwnedBytes() int64 {
 	var n int64
-	for _, p := range m.pages {
-		if p != nil {
+	for pn, p := range m.pages {
+		if p != nil && !m.cow[pn] {
 			n += PageSize
 		}
 	}
@@ -696,7 +777,8 @@ func (m *Memory) OwnedBytes() int64 {
 			}
 		}
 	}
-	n += int64(m.npages) // dirty bitmap
+	n += int64(len(m.freePages)) * PageSize // recycled private buffers
+	n += int64(m.npages)                    // dirty bitmap
 	n += int64(cap(m.dirtyStack)) * 4
 	return n
 }

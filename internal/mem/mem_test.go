@@ -756,6 +756,145 @@ func TestSlotRestoreIdentity(t *testing.T) {
 	}
 }
 
+// TestSlotRestoreCoWInvariants pins the zero-copy restore aliasing: a
+// restore installs frozen overlay/root pages copy-on-write, so (1) writing
+// through a restored page must never corrupt the slot overlay or the root
+// snapshot it aliases (restore → write → re-restore is byte-identical), and
+// (2) the shared zero page stays all-zero even when written through.
+func TestSlotRestoreCoWInvariants(t *testing.T) {
+	m := New(8)
+	fill(t, m, 0, 0x01, PageSize)
+	m.TakeRoot()
+	fill(t, m, 0, 0x11, PageSize)
+	fill(t, m, PageSize, 0x22, PageSize)
+	if _, err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	slotImg := make([]byte, m.Size())
+	m.ReadAt(slotImg, 0)
+
+	for cycle := 0; cycle < 3; cycle++ {
+		if _, err := m.RestoreIncrementalSlot(1); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite both overlay pages THROUGH the restored aliases plus a
+		// root-content page.
+		fill(t, m, 0, 0x99, PageSize)
+		fill(t, m, PageSize, 0x99, PageSize)
+		fill(t, m, 2*PageSize, 0x99, PageSize)
+		if _, err := m.RestoreIncrementalSlot(1); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, m.Size())
+		m.ReadAt(got, 0)
+		if !bytes.Equal(got, slotImg) {
+			t.Fatalf("cycle %d: restore → write → re-restore not identical", cycle)
+		}
+	}
+	// The root snapshot must be intact too (aliased root pages were
+	// written through while the slot was active).
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, m, 0); got != 0x01 {
+		t.Fatalf("root page corrupted through CoW alias: %#x", got)
+	}
+	if m.Stats().PagesCoWBroken == 0 {
+		t.Fatal("writes through restored pages should have broken CoW aliases")
+	}
+}
+
+func TestZeroPageNeverMutated(t *testing.T) {
+	parent := New(4)
+	fill(t, parent, 0, 0x42, PageSize)
+	parent.TakeRoot()
+	clone, err := parent.CloneSharedRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone's slot captures a zeroed page 0 (root backing holds 0x42),
+	// so restoring resets page 0 to explicit zero — the zeroPage alias.
+	zero := make([]byte, PageSize)
+	clone.WriteAt(zero, 0)
+	if _, err := clone.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, clone, 0, 0x77, PageSize)
+	if _, err := clone.RestoreIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, clone, 0); got != 0 {
+		t.Fatalf("restored zero page reads %#x", got)
+	}
+	// Writing through the restored zero page must copy, not mutate the
+	// shared zeroPage.
+	fill(t, clone, 0, 0x55, 16)
+	for i, b := range zeroPage {
+		if b != 0 {
+			t.Fatalf("shared zeroPage mutated at %d: %#x", i, b)
+		}
+	}
+	if got := readByte(t, clone, 0); got != 0x55 {
+		t.Fatalf("write through zero page lost: %#x", got)
+	}
+}
+
+// BenchmarkSlotRestoreMem isolates the memory half of the zero-copy slot
+// switch: flipping between two slots with large overlays and a tiny dirty
+// set installs O(overlay) aliases instead of copying O(overlay) pages; the
+// baseline sub-benchmark replicates the pre-change per-page memcpy.
+func BenchmarkSlotRestoreMem(b *testing.B) {
+	const overlayPages = 2048
+	build := func() *Memory {
+		m := New(4 * overlayPages)
+		m.TakeRoot()
+		for p := 0; p < overlayPages; p++ {
+			m.TouchPage(uint32(p))[0] = 1
+		}
+		if _, err := m.TakeIncrementalSlot(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.RestoreRoot(); err != nil {
+			b.Fatal(err)
+		}
+		for p := 0; p < overlayPages; p++ {
+			m.TouchPage(uint32(overlayPages + p))[0] = 2
+		}
+		if _, err := m.TakeIncrementalSlot(2); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("zero-copy", func(b *testing.B) {
+		m := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.RestoreIncrementalSlot(1 + i%2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("copy-baseline", func(b *testing.B) {
+		m := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := 1 + i%2
+			if _, err := m.RestoreIncrementalSlot(id); err != nil {
+				b.Fatal(err)
+			}
+			// Replicate the pre-change cost: materialize every restored
+			// alias with the per-page copy resetPage used to do.
+			s := m.slots[id]
+			for pn := range s.pages {
+				m.page(pn)
+			}
+			for pn := range m.slots[3-id].pages {
+				m.page(pn)
+			}
+		}
+	})
+}
+
 // The single-slot TakeIncremental must not silently drop the inherited
 // overlay when the state derives from a pool slot: the legacy snapshot has
 // to capture the full delta-vs-root, like a chained slot creation.

@@ -76,6 +76,13 @@ type Agent struct {
 	// state, but the bytecode value environment lives on the host side
 	// and must be re-attached when a slot resumes.
 	slots map[int]*slotState
+
+	// valScratch is the reusable working copy of a resumed run's value
+	// environment. Every snapshot-resumed execution needs a private,
+	// growable copy of the captured values; reusing one backing array
+	// keeps the per-round restore path allocation-free (the snapshot
+	// paths that retain values always copy out of it).
+	valScratch []Value
 }
 
 // slotState is the host-side state of one pooled snapshot slot.
@@ -149,8 +156,7 @@ func (a *Agent) RunSuffix(in *spec.Input, tr *coverage.Trace) (Result, error) {
 	if err := a.M.RestoreIncremental(); err != nil {
 		return Result{}, fmt.Errorf("netemu: incremental restore: %w", err)
 	}
-	vals := append([]Value(nil), a.snapValues...)
-	res, err := a.run(in, tr, a.snapOps, vals, createNone)
+	res, err := a.run(in, tr, a.snapOps, a.resumeValues(a.snapValues), createNone)
 	res.FromSnapshot = true
 	res.OpsExecuted += a.snapOps
 	return res, err
@@ -207,8 +213,7 @@ func (a *Agent) RunCreatingSlot(in *spec.Input, tr *coverage.Trace, fromSlot, ne
 	if err := a.M.RestoreIncrementalSlot(fromSlot); err != nil {
 		return Result{}, fmt.Errorf("netemu: slot restore: %w", err)
 	}
-	vals := append([]Value(nil), st.values...)
-	res, err := a.run(in, tr, st.ops, vals, newSlot)
+	res, err := a.run(in, tr, st.ops, a.resumeValues(st.values), newSlot)
 	res.FromSnapshot = true
 	res.OpsExecuted += st.ops
 	return res, err
@@ -231,11 +236,20 @@ func (a *Agent) RunFromSnapshot(slot int, in *spec.Input, tr *coverage.Trace) (R
 	if err := a.M.RestoreIncrementalSlot(slot); err != nil {
 		return Result{}, fmt.Errorf("netemu: slot restore: %w", err)
 	}
-	vals := append([]Value(nil), st.values...)
-	res, err := a.run(in, tr, st.ops, vals, createNone)
+	res, err := a.run(in, tr, st.ops, a.resumeValues(st.values), createNone)
 	res.FromSnapshot = true
 	res.OpsExecuted += st.ops
 	return res, err
+}
+
+// resumeValues builds the private working copy of a resumed run's value
+// environment in the agent's reusable scratch. Safe because everything
+// that outlives the run copies out of the working slice (takeSnapshot),
+// and run() hands the possibly-grown array back for the next round.
+func (a *Agent) resumeValues(src []Value) []Value {
+	vals := append(a.valScratch[:0], src...)
+	a.valScratch = vals
+	return vals
 }
 
 // takeSnapshot captures the VM at op index ops with the given value
@@ -273,6 +287,9 @@ func (a *Agent) run(in *spec.Input, tr *coverage.Trace, start int, values []Valu
 	defer func() {
 		env.SetTrace(nil)
 		res.VirtTime = a.M.Clock.Now() - t0
+		// Recycle the (possibly grown) value array as the next resumed
+		// run's scratch; every retainer of values copied out of it.
+		a.valScratch = values[:0]
 		a.M.Hypercall(vm.HcExecDone) //nolint:errcheck // informational
 	}()
 

@@ -18,11 +18,16 @@
 // used half of the pool, the snapshot whose prefix costs the least virtual
 // time to re-execute goes first — recreating a cold cheap prefix is nearly
 // free, while a cold expensive one is exactly what the pool exists to keep.
+//
+// Lookups are engineered for the wall-clock hot path: entries are keyed by
+// raw [32]byte digests (no hex strings), callers that memoize an input's
+// prefix digest can resolve repeat hits via LookupDigest without hashing a
+// single opcode, and the streaming scan only finalizes intermediate hashes
+// at positions where a cached prefix of that exact length exists.
 package snappool
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"hash"
 	"sort"
 	"time"
@@ -30,11 +35,16 @@ import (
 	"repro/internal/spec"
 )
 
+// Digest is the raw SHA-256 content key of a serialized opcode prefix.
+// Using the fixed-size array (rather than a hex string) keeps pool lookups
+// allocation-free and map hashing cheap on the per-round hot path.
+type Digest [32]byte
+
 // Entry is one cached prefix snapshot.
 type Entry struct {
 	// Digest is the content key: PrefixDigest of the serialized opcodes
 	// before the snapshot marker.
-	Digest string
+	Digest Digest
 	// Slot is the VM snapshot slot id holding the state.
 	Slot int
 	// Ops is the prefix length in opcodes (the snapshot marker position).
@@ -55,6 +65,9 @@ type Stats struct {
 	// re-execution); Misses counts rounds that had to create one.
 	Hits   uint64
 	Misses uint64
+	// DigestHits counts the hits resolved through a caller-memoized digest
+	// (LookupDigest): rounds that skipped prefix hashing entirely.
+	DigestHits uint64
 	// Evictions counts slots dropped to fit the budget; Uncacheable
 	// counts created snapshots too large to pool at all (used once).
 	Evictions   uint64
@@ -69,6 +82,12 @@ type Stats struct {
 	PeakBytes int64
 	// Slots is the current number of pooled snapshots.
 	Slots int
+	// LookupWall is accumulated real (wall-clock) time spent in Resolve
+	// and LookupDigest, and Lookups the number of such calls — the
+	// hotpath ablation's lookup-cost metric. Wall time is telemetry only;
+	// nothing deterministic reads it.
+	LookupWall time.Duration
+	Lookups    uint64
 }
 
 // Pool is a budgeted prefix-digest-keyed snapshot pool. Not safe for
@@ -77,15 +96,20 @@ type Pool struct {
 	budget   int64
 	clock    uint64
 	nextSlot int
-	entries  map[string]*Entry
+	entries  map[Digest]*Entry
 	order    []*Entry // live entries in insertion order (deterministic scans)
-	stats    Stats
+	// prefixLens counts live entries per prefix length, so the scan only
+	// pays a hash finalization at positions where a cached prefix of that
+	// exact length could match (and none at all when the limit is shorter
+	// than every cached prefix).
+	prefixLens map[int]int
+	stats      Stats
 }
 
 // New creates a pool with the given byte budget for slot overlay memory.
 // budget <= 0 means unlimited.
 func New(budget int64) *Pool {
-	return &Pool{budget: budget, nextSlot: 1, entries: make(map[string]*Entry)}
+	return &Pool{budget: budget, nextSlot: 1, entries: make(map[Digest]*Entry), prefixLens: make(map[int]int)}
 }
 
 // Budget returns the configured byte budget (<= 0: unlimited).
@@ -117,13 +141,42 @@ func (p *Pool) Touch(e *Entry) {
 	e.lastUsed = p.clock
 }
 
+// LookupDigest resolves a caller-memoized exact-prefix digest: on a hit the
+// entry is returned, counted and LRU-refreshed without hashing any opcode —
+// the repeat-round fast path. A nil return is NOT counted as a miss: the
+// caller falls back to Resolve (which needs the streaming scan anyway to
+// find the longest chainable prefix), and that call does the counting.
+func (p *Pool) LookupDigest(d Digest) *Entry {
+	t0 := time.Now()
+	e := p.entries[d]
+	if e != nil {
+		p.stats.Hits++
+		p.stats.DigestHits++
+		p.Touch(e)
+	}
+	p.stats.Lookups++
+	p.stats.LookupWall += time.Since(t0)
+	return e
+}
+
+// Contains reports whether the exact-prefix digest is pooled, without
+// counting a hit or refreshing LRU state — the placement peek policies use
+// to prefer snapshot positions whose prefix is already cached.
+func (p *Pool) Contains(d Digest) bool {
+	_, ok := p.entries[d]
+	return ok
+}
+
 // Resolve answers a snapshot round's pool query in one streaming hash
 // pass: the pooled snapshot for in's exact prefix ending at ops (a hit,
 // counted and LRU-refreshed), or — on a counted miss — the longest pooled
 // strict prefix to chain a creation from, plus the exact prefix's digest
 // for the subsequent Insert.
-func (p *Pool) Resolve(in *spec.Input, ops int) (hit, longest *Entry, digest string) {
+func (p *Pool) Resolve(in *spec.Input, ops int) (hit, longest *Entry, digest Digest) {
+	t0 := time.Now()
 	hit, longest, digest = p.scan(in, ops)
+	p.stats.Lookups++
+	p.stats.LookupWall += time.Since(t0)
 	if hit != nil {
 		p.stats.Hits++
 		p.Touch(hit)
@@ -134,27 +187,31 @@ func (p *Pool) Resolve(in *spec.Input, ops int) (hit, longest *Entry, digest str
 }
 
 // scan hashes in.Ops[:limit] once, resolving the exact-prefix entry, the
-// longest strict-prefix entry, and the exact prefix's digest.
-func (p *Pool) scan(in *spec.Input, limit int) (exact, longest *Entry, digest string) {
+// longest strict-prefix entry, and the exact prefix's digest. Intermediate
+// digests are only finalized at positions where prefixLens records a cached
+// entry of that exact length, so a scan over a queue deeper than every
+// cached prefix pays exactly one finalization (the exact digest).
+func (p *Pool) scan(in *spec.Input, limit int) (exact, longest *Entry, digest Digest) {
 	if limit > len(in.Ops) {
 		limit = len(in.Ops)
 	}
 	h := sha256.New()
 	var buf []byte
+	var d Digest
 	for k := 1; k <= limit; k++ {
 		buf = hashOp(h, buf, in.Ops[k-1])
-		d := hex.EncodeToString(h.Sum(nil))
 		if k == limit {
-			digest = d
 			break
 		}
+		if p.prefixLens[k] == 0 {
+			continue // no cached entry can match at this position
+		}
+		h.Sum(d[:0])
 		if e := p.entries[d]; e != nil && e.Ops == k {
 			longest = e
 		}
 	}
-	if limit <= 0 {
-		digest = hex.EncodeToString(h.Sum(nil))
-	}
+	h.Sum(digest[:0])
 	return p.entries[digest], longest, digest
 }
 
@@ -162,7 +219,7 @@ func (p *Pool) scan(in *spec.Input, limit int) (exact, longest *Entry, digest st
 // holds. The returned evicted entries' slots must be dropped by the caller;
 // when kept is false the new snapshot alone exceeds the whole budget — the
 // caller may use it for the current round but must drop it afterwards.
-func (p *Pool) Insert(digest string, slot, ops int, bytes int64, prefixCost time.Duration) (kept bool, evicted []*Entry) {
+func (p *Pool) Insert(digest Digest, slot, ops int, bytes int64, prefixCost time.Duration) (kept bool, evicted []*Entry) {
 	p.clock++
 	e := &Entry{Digest: digest, Slot: slot, Ops: ops, Bytes: bytes, PrefixCost: prefixCost, lastUsed: p.clock}
 	if p.budget > 0 && bytes > p.budget {
@@ -171,6 +228,7 @@ func (p *Pool) Insert(digest string, slot, ops int, bytes int64, prefixCost time
 	}
 	p.entries[digest] = e
 	p.order = append(p.order, e)
+	p.prefixLens[ops]++
 	p.stats.Bytes += bytes
 	for p.budget > 0 && p.stats.Bytes > p.budget {
 		v := p.victim(e)
@@ -223,6 +281,9 @@ func (p *Pool) remove(e *Entry) {
 			break
 		}
 	}
+	if p.prefixLens[e.Ops]--; p.prefixLens[e.Ops] <= 0 {
+		delete(p.prefixLens, e.Ops)
+	}
 	p.stats.Bytes -= e.Bytes
 }
 
@@ -230,13 +291,15 @@ func (p *Pool) remove(e *Entry) {
 // over the opcodes' serialized form (spec.AppendOp — the bytecode encoding
 // itself, so equal digests mean byte-identical prefixes and therefore
 // identical VM states after execution).
-func PrefixDigest(in *spec.Input, ops int) string {
+func PrefixDigest(in *spec.Input, ops int) Digest {
 	h := sha256.New()
 	var buf []byte
 	for i := 0; i < ops && i < len(in.Ops); i++ {
 		buf = hashOp(h, buf, in.Ops[i])
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	var d Digest
+	h.Sum(d[:0])
+	return d
 }
 
 // hashOp feeds one opcode's bytecode encoding into h, reusing buf as

@@ -179,6 +179,79 @@ func TestEvictionDeterministic(t *testing.T) {
 	}
 }
 
+func TestLookupDigestFastPath(t *testing.T) {
+	p := New(0)
+	in := testInput(10, 1)
+	d4 := PrefixDigest(in, 4)
+	p.Insert(d4, p.AllocSlot(), 4, 4096, time.Millisecond)
+
+	// A memoized-digest hit counts as a (digest) hit and refreshes LRU.
+	e := p.LookupDigest(d4)
+	if e == nil || e.Ops != 4 {
+		t.Fatalf("LookupDigest hit = %+v, want ops=4", e)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.DigestHits != 1 || st.Misses != 0 {
+		t.Fatalf("hits/digest/misses = %d/%d/%d, want 1/1/0", st.Hits, st.DigestHits, st.Misses)
+	}
+
+	// An absent digest is NOT counted as a miss: the caller falls back to
+	// Resolve, which does the counting exactly once.
+	if e := p.LookupDigest(PrefixDigest(in, 5)); e != nil {
+		t.Fatalf("unexpected entry for uncached digest: %+v", e)
+	}
+	if st := p.Stats(); st.Misses != 0 {
+		t.Fatalf("LookupDigest must not count misses, got %d", st.Misses)
+	}
+
+	// Contains peeks without counting anything.
+	if !p.Contains(d4) || p.Contains(PrefixDigest(in, 9)) {
+		t.Fatal("Contains wrong")
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("Contains must not count hits/misses: %+v", st)
+	}
+}
+
+// TestScanEarlyExitMatchesFullScan pins the prefix-length index: the scan
+// must resolve exactly the same hit/longest/digest as a position-by-position
+// scan would, including after evictions retire a prefix length.
+func TestScanEarlyExitMatchesFullScan(t *testing.T) {
+	p := New(0)
+	in := testInput(32, 3)
+	for _, k := range []int{3, 9, 17} {
+		p.Insert(PrefixDigest(in, k), p.AllocSlot(), k, 4096, time.Millisecond)
+	}
+	for limit := 0; limit <= 32; limit++ {
+		hit, longest, d := p.Resolve(in, limit)
+		if d != PrefixDigest(in, limit) {
+			t.Fatalf("limit %d: digest mismatch", limit)
+		}
+		wantHit := limit == 3 || limit == 9 || limit == 17
+		if (hit != nil) != wantHit {
+			t.Fatalf("limit %d: hit = %v, want %v", limit, hit != nil, wantHit)
+		}
+		var wantLongest int
+		for _, k := range []int{3, 9, 17} {
+			if k < limit {
+				wantLongest = k
+			}
+		}
+		if hit == nil && ((longest == nil) != (wantLongest == 0) ||
+			(longest != nil && longest.Ops != wantLongest)) {
+			t.Fatalf("limit %d: longest = %+v, want ops=%d", limit, longest, wantLongest)
+		}
+	}
+	// Retiring the only ops=9 entry must stop the scan from matching there.
+	p.remove(p.entries[PrefixDigest(in, 9)])
+	if p.prefixLens[9] != 0 {
+		t.Fatalf("prefixLens[9] = %d after removal", p.prefixLens[9])
+	}
+	if _, longest, _ := p.Resolve(in, 12); longest == nil || longest.Ops != 3 {
+		t.Fatalf("longest after eviction = %+v, want ops=3", longest)
+	}
+}
+
 func TestResolveSinglePass(t *testing.T) {
 	p := New(0)
 	in := testInput(10, 1)

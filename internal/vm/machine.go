@@ -108,6 +108,12 @@ type MachineStats struct {
 	IncRestores     uint64
 	Hypercalls      uint64
 	VirtualTimeUsed time.Duration
+	// RestoreWall is the accumulated real (wall-clock) time the restore
+	// paths spent — the quantity the simulated virtual clock models, now
+	// measured so the hotpath ablation can verify the zero-copy restore
+	// actually got cheaper on hardware, not just in the cost model.
+	// Telemetry only; nothing deterministic reads it.
+	RestoreWall time.Duration
 }
 
 // New builds a machine from cfg.
@@ -199,6 +205,8 @@ func (m *Machine) RestoreRoot() error {
 	if !m.rootTaken {
 		return ErrNotReady
 	}
+	t0 := time.Now()
+	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	before := m.Mem.Stats().PagesReset
 	if err := m.Mem.RestoreRoot(); err != nil {
 		return err
@@ -241,6 +249,8 @@ func (m *Machine) RestoreIncremental() error {
 	if !m.Mem.HasIncremental() {
 		return mem.ErrNoIncrementalSnapshot
 	}
+	t0 := time.Now()
+	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	m.chargeReset(m.Cost.IncRestoreBase, m.Mem.DirtyCount())
 	if err := m.Mem.RestoreIncremental(); err != nil {
 		return err
@@ -311,6 +321,8 @@ func (m *Machine) RestoreIncrementalSlot(id int) error {
 	if !ok {
 		return mem.ErrNoIncrementalSnapshot
 	}
+	t0 := time.Now()
+	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	reset, err := m.Mem.RestoreIncrementalSlot(id)
 	if err != nil {
 		return err
