@@ -29,6 +29,20 @@
 // and evict LRU/cheapest-first under the budget. -snapbudget 0 restores
 // the paper's single-snapshot model.
 //
+// Checkpoints go through the pluggable store layer (internal/store): with
+// -store URL set, -checkpoint NAME names a tree in that store (dir://PATH
+// for a local directory, mem://BUCKET for the in-process object store)
+// instead of a plain directory, so a campaign checkpointed on one backend
+// can be migrated and resumed from another. SIGINT stops a campaign
+// gracefully at the next sync boundary and still writes the final
+// checkpoint.
+//
+// With -serve ADDR the binary becomes a multi-campaign HTTP service
+// (internal/service): campaigns are submitted, paused, resumed, observed
+// and deleted over a JSON API, auto-checkpoint to -store every -ckpt-every
+// of virtual time, and are recovered from the store at startup. See the
+// README's "Service mode" section for the API.
+//
 // Usage:
 //
 //	nyx-net -target lightftp -policy aggressive -time 30s -seed 1
@@ -37,20 +51,28 @@
 //	nyx-net -target lightftp -workers 4 -seed 1
 //	nyx-net -target lightftp -workers 4 -checkpoint /tmp/camp -time 30s
 //	nyx-net -resume -checkpoint /tmp/camp -time 30s
+//	nyx-net -store dir:///var/nyx -checkpoint camp -workers 4 -time 30s
+//	nyx-net -serve 127.0.0.1:8090 -store dir:///var/nyx
 //	nyx-net -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/targets"
 )
 
@@ -68,8 +90,11 @@ func main() {
 		crashDir = flag.String("crash-dir", "", "directory to write crashing inputs (bytecode) to")
 		workers  = flag.Int("workers", 1, "parallel fuzzer instances (corpus-synced campaign when > 1)")
 		syncIvl  = flag.Duration("sync", campaign.DefaultSyncInterval, "virtual time between corpus broker syncs")
-		ckpt     = flag.String("checkpoint", "", "campaign checkpoint directory (written on exit)")
+		ckpt     = flag.String("checkpoint", "", "campaign checkpoint directory, or tree name when -store is set (written on exit)")
 		resume   = flag.Bool("resume", false, "resume the campaign stored in -checkpoint")
+		storeURL = flag.String("store", "", "checkpoint store URL: dir://PATH | mem://BUCKET (routes -checkpoint/-resume and service-mode persistence)")
+		serve    = flag.String("serve", "", "run as a multi-campaign HTTP service on this address (host:port) instead of one-shot fuzzing")
+		ckptIvl  = flag.Duration("ckpt-every", service.DefaultCheckpointEvery, "service mode: auto-checkpoint cadence in campaign virtual time (negative disables)")
 	)
 	flag.Parse()
 
@@ -81,16 +106,14 @@ func main() {
 		return
 	}
 
-	var pol core.Policy
-	switch *policy {
-	case "none":
-		pol = core.PolicyNone
-	case "balanced":
-		pol = core.PolicyBalanced
-	case "aggressive":
-		pol = core.PolicyAggressive
-	default:
-		fatalf("unknown policy %q", *policy)
+	if *serve != "" {
+		runServe(*serve, *storeURL, *ckptIvl)
+		return
+	}
+
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	sc, err := core.ParseSched(*sched)
 	if err != nil {
@@ -108,7 +131,7 @@ func main() {
 		runParallel(parallelOpts{
 			target: *target, policy: pol, sched: sc, power: pw, duration: *duration, seed: *seed,
 			asan: *asan, workers: *workers, sync: *syncIvl, snapBudget: *snapbud,
-			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir,
+			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir, storeURL: *storeURL,
 		})
 		return
 	}
@@ -166,16 +189,31 @@ type parallelOpts struct {
 	checkpoint string
 	resume     bool
 	crashDir   string
+	storeURL   string
 }
 
 func runParallel(o parallelOpts) {
+	// With -store, -checkpoint names a tree in that backend; without it,
+	// a plain directory (which routes through the dir:// backend anyway,
+	// sweeping stale checkpoint temp dirs as a side effect).
+	var st store.Storer
+	if o.storeURL != "" {
+		var err error
+		if st, err = store.Open(o.storeURL); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	var c *campaign.Campaign
 	var err error
 	if o.resume {
 		if o.checkpoint == "" {
 			fatalf("-resume requires -checkpoint DIR")
 		}
-		c, err = campaign.Resume(o.checkpoint)
+		if st != nil {
+			c, err = campaign.ResumeFrom(st, o.checkpoint)
+		} else {
+			c, err = campaign.Resume(o.checkpoint)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -200,9 +238,25 @@ func runParallel(o parallelOpts) {
 			c.Workers(), o.target, o.seed)
 	}
 
+	// SIGINT stops gracefully: the campaign finishes its in-flight
+	// lockstep round, the final checkpoint below still runs.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Println("[*] interrupt: stopping at the next sync boundary")
+			c.Stop()
+		}
+	}()
+
 	start := time.Now()
 	if err := c.RunFor(o.duration); err != nil {
 		fatalf("campaign: %v", err)
+	}
+	signal.Stop(sig)
+	close(sig)
+	if c.Stopped() {
+		fmt.Printf("[*] campaign interrupted after %v virtual/worker\n", c.Elapsed().Round(time.Millisecond))
 	}
 
 	fmt.Printf("[*] campaign done: %v virtual/worker in %v wall, %d sync rounds\n",
@@ -223,11 +277,62 @@ func runParallel(o parallelOpts) {
 	reportCrashes(c.Crashes(), o.crashDir)
 
 	if o.checkpoint != "" {
-		if err := c.Checkpoint(o.checkpoint); err != nil {
+		if st != nil {
+			err = c.CheckpointTo(st, o.checkpoint)
+		} else {
+			err = c.Checkpoint(o.checkpoint)
+		}
+		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("[*] checkpoint written to %s (resume with -resume -checkpoint %s)\n",
 			o.checkpoint, o.checkpoint)
+	}
+}
+
+// runServe runs the multi-campaign HTTP service until SIGINT, recovering
+// stored campaigns at startup and checkpointing live ones on shutdown.
+func runServe(addr, storeURL string, ckptEvery time.Duration) {
+	var st store.Storer
+	if storeURL != "" {
+		var err error
+		if st, err = store.Open(storeURL); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	m := service.New(service.Config{Store: st, CheckpointEvery: ckptEvery})
+	if st != nil {
+		recovered, err := m.Recover()
+		if err != nil {
+			fatalf("recovering campaigns: %v", err)
+		}
+		for _, r := range recovered {
+			fmt.Printf("[*] recovered campaign %s: %s, %v virtual, %d edges, %d crashes\n",
+				r.ID, r.Spec.Target, r.Elapsed.Round(time.Millisecond), r.Edges, r.Crashes)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := &http.Server{Handler: service.Handler(m)}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("[*] interrupt: checkpointing campaigns and shutting down")
+		srv.Close()
+	}()
+	storeDesc := "no store (campaigns are not persisted)"
+	if st != nil {
+		storeDesc = "store " + st.URL()
+	}
+	fmt.Printf("[*] serving campaign API on http://%s (%s)\n", ln.Addr(), storeDesc)
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+	if err := m.Close(); err != nil {
+		fatalf("shutdown checkpoint: %v", err)
 	}
 }
 

@@ -6,8 +6,11 @@
 // layer (guest, netemu), Nyx's affine-typed bytecode input model (spec,
 // builder, pcap), the snapshot-placement fuzzer itself (core), the
 // parallel campaign orchestrator with corpus sync and checkpoint/resume
-// (campaign), the paper's comparison fuzzers (baseline), the evaluation
-// workloads (targets, mario) and the experiment harness regenerating every
-// table and figure (experiments). See README.md for a tour and DESIGN.md
-// for the paper-to-module map.
+// (campaign), the pluggable checkpoint/corpus storage layer behind it
+// (store: dir:// local directories and mem:// in-process object buckets,
+// both with atomic whole-tree replacement), the multi-campaign HTTP
+// service (service), the paper's comparison fuzzers (baseline), the
+// evaluation workloads (targets, mario) and the experiment harness
+// regenerating every table and figure (experiments). See README.md for a
+// tour and DESIGN.md for the paper-to-module map.
 package repro

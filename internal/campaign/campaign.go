@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -108,6 +109,10 @@ type Campaign struct {
 	// baseElapsed is the cumulative virtual time of previous epochs
 	// (restored from a checkpoint); the campaign clock continues from it.
 	baseElapsed time.Duration
+	// stopped is the sticky graceful-stop flag; RunFor checks it between
+	// lockstep rounds, so a stop always lands on a sync boundary where the
+	// campaign is checkpointable.
+	stopped atomic.Bool
 }
 
 // New launches cfg.Workers fresh instances of the target and wires them to
@@ -199,6 +204,9 @@ func (c *Campaign) RunFor(d time.Duration) error {
 		deadlines[i] = w.fz.Elapsed() + d
 	}
 	for {
+		if c.stopped.Load() {
+			return nil
+		}
 		work := false
 		for i, w := range c.workers {
 			if w.fz.Elapsed() < deadlines[i] {
@@ -325,10 +333,29 @@ func (c *Campaign) maxElapsed() time.Duration {
 	return max
 }
 
+// Stop requests a graceful stop: the current RunFor returns after the
+// in-flight lockstep round and its broker sync complete, leaving the
+// campaign at a checkpointable boundary. Safe to call from any goroutine
+// (e.g. a signal handler); sticky — subsequent RunFor calls return
+// immediately.
+func (c *Campaign) Stop() { c.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (c *Campaign) Stopped() bool { return c.stopped.Load() }
+
 // ---- Aggregated campaign statistics ----
 
 // Workers returns the number of workers.
 func (c *Campaign) Workers() int { return len(c.workers) }
+
+// Target returns the campaign's registered target name.
+func (c *Campaign) Target() string { return c.cfg.Target }
+
+// SyncInterval returns the effective lockstep round length — the
+// deterministic slicing unit service-mode scheduling must respect
+// (RunFor(a); RunFor(b) is not RunFor(a+b) unless both are multiples of
+// it).
+func (c *Campaign) SyncInterval() time.Duration { return c.cfg.SyncInterval }
 
 // Rounds returns how many sync rounds have completed.
 func (c *Campaign) Rounds() int { return c.rounds }

@@ -5,23 +5,30 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/guest"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
-// Checkpoint layout under dir:
+// Checkpoint layout (one store.Tree, written atomically via PutTree):
 //
 //	manifest.json     campaign config, counters, crash metadata, coverage log
 //	virgin.bin        the broker's global virgin map (sparse encoding)
-//	worker-000/       worker 0's corpus via core.SaveCorpus (queue/ + crashes/)
+//	worker-000/       worker 0's corpus via core.EncodeCorpus (queue/ + crashes/)
 //	worker-001/       ...
+//
+// Checkpoint I/O goes through the store.Storer abstraction, so the same
+// tree lands on a local directory (dir://) or a remote-style object store
+// (mem://) unchanged — CheckpointTo/ResumeFrom address any backend, while
+// Checkpoint/Resume keep the historical plain-directory interface on top
+// of the dir backend (same on-disk layout as before the abstraction).
 //
 // Resume relaunches the same target with the same worker count, feeds each
 // worker its saved queue as seeds, and restores the broker's global map,
@@ -157,67 +164,81 @@ type manifestPoint struct {
 	Edges int           `json:"edges"`
 }
 
+// storeForDir maps a plain checkpoint directory onto the dir:// backend:
+// the store root is the parent directory, the tree name is the base — so
+// the historical on-disk layout (tempdir staging, name+".old" parking) is
+// byte-compatible with what the pre-store Checkpoint wrote.
+func storeForDir(dir string) (store.Storer, string, error) {
+	abs, err := filepath.Abs(filepath.Clean(dir))
+	if err != nil {
+		return nil, "", fmt.Errorf("campaign: %w", err)
+	}
+	st, err := store.Open("dir://" + filepath.Dir(abs))
+	if err != nil {
+		return nil, "", fmt.Errorf("campaign: %w", err)
+	}
+	return st, filepath.Base(abs), nil
+}
+
 // Checkpoint writes the campaign's full resumable state to dir. Call it
 // between RunFor calls (never concurrently with one). The write is
-// near-atomic: everything lands in a temporary sibling directory first and
-// is swapped in with renames, so an interruption mid-checkpoint leaves
-// either the old checkpoint (possibly parked at dir+".old") or the new one
-// — never a half-written mix of epochs.
+// near-atomic (see store.Storer's PutTree contract): an interruption
+// mid-checkpoint leaves either the old checkpoint (possibly parked at
+// dir+".old", recovered on the next resume) or the new one — never a
+// half-written mix of epochs.
 func (c *Campaign) Checkpoint(dir string) error {
-	parent := filepath.Dir(filepath.Clean(dir))
-	if err := os.MkdirAll(parent, 0o755); err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
-	}
-	tmp, err := os.MkdirTemp(parent, ".checkpoint-*")
+	st, name, err := storeForDir(dir)
 	if err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
-	}
-	defer os.RemoveAll(tmp)
-	if err := c.writeCheckpoint(tmp); err != nil {
 		return err
 	}
-	old := dir + ".old"
-	if _, err := os.Stat(dir); err == nil {
-		if err := os.RemoveAll(old); err != nil {
-			return fmt.Errorf("campaign: checkpoint: %w", err)
-		}
-		if err := os.Rename(dir, old); err != nil {
-			return fmt.Errorf("campaign: checkpoint: %w", err)
-		}
+	return c.CheckpointTo(st, name)
+}
+
+// CheckpointTo writes the campaign's full resumable state as the tree
+// named name in st, atomically.
+func (c *Campaign) CheckpointTo(st store.Storer, name string) error {
+	t, err := c.CheckpointTree()
+	if err != nil {
+		return err
 	}
-	if err := os.Rename(tmp, dir); err != nil {
+	if err := st.PutTree(name, t); err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	os.RemoveAll(old) //nolint:errcheck // best-effort cleanup of the parked copy
 	return nil
 }
 
-// writeCheckpoint serializes the full campaign state into dir.
-func (c *Campaign) writeCheckpoint(dir string) error {
+// CheckpointTree serializes the full campaign state as a file tree —
+// the storage-agnostic checkpoint form. Callers may add their own
+// supplementary keys before storing; ResumeTree ignores keys it does not
+// know.
+func (c *Campaign) CheckpointTree() (store.Tree, error) {
+	t := store.Tree{}
 	for _, w := range c.workers {
-		wd := filepath.Join(dir, workerDir(w.id))
-		if err := w.fz.SaveCorpus(wd); err != nil {
-			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		wd := workerDir(w.id)
+		for rel, data := range w.fz.EncodeCorpus() {
+			t[wd+"/"+rel] = data
 		}
 		// Scheduler metadata rides next to the corpus so a resumed worker
 		// re-attaches pick counts, trim state and depth instead of
 		// rediscovering them.
-		if err := w.fz.SaveSchedMeta(wd); err != nil {
-			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		sm, err := json.Marshal(w.fz.SchedMeta())
+		if err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
 		}
+		t[wd+"/"+core.SchedMetaFile] = sm
 		// Power-schedule state (per-edge pick frequencies) rides along so
 		// long-horizon energy shaping survives the resume.
-		if err := w.fz.SavePowerMeta(wd); err != nil {
-			return fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
+		pm, err := json.Marshal(w.fz.PowerState())
+		if err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint worker %d: %w", w.id, err)
 		}
+		t[wd+"/"+core.PowerMetaFile] = pm
 	}
 	raw, err := c.broker.global.MarshalBinary()
 	if err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "virgin.bin"), raw, 0o644); err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
-	}
+	t["virgin.bin"] = raw
 	m := manifest{
 		Version:       manifestVersion,
 		Target:        c.cfg.Target,
@@ -274,12 +295,10 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 	}
 	enc, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), enc, 0o644); err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
-	}
-	return nil
+	t["manifest.json"] = enc
+	return t, nil
 }
 
 // Resume relaunches a checkpointed campaign from dir. The stored
@@ -288,9 +307,32 @@ func (c *Campaign) writeCheckpoint(dir string) error {
 // scheduling round, which rebuilds local coverage without polluting the
 // restored global state (the broker dedups the re-published entries).
 func Resume(dir string) (*Campaign, error) {
-	enc, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	st, name, err := storeForDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeFrom(st, name)
+}
+
+// ResumeFrom relaunches a checkpointed campaign from the tree named name
+// in st — any backend, including one the checkpoint was migrated to with
+// store.CopyTree.
+func ResumeFrom(st store.Storer, name string) (*Campaign, error) {
+	t, err := st.GetTree(name)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	return ResumeTree(t)
+}
+
+// ResumeTree relaunches a campaign from an in-memory checkpoint tree (as
+// produced by CheckpointTree and read back via Storer.GetTree). Keys the
+// checkpoint format does not define are ignored, so callers may ride
+// supplementary state (e.g. the service's campaign spec) in the same tree.
+func ResumeTree(t store.Tree) (*Campaign, error) {
+	enc, ok := t["manifest.json"]
+	if !ok {
+		return nil, fmt.Errorf("campaign: resume: checkpoint has no manifest.json")
 	}
 	var m manifest
 	if err := json.Unmarshal(enc, &m); err != nil {
@@ -301,9 +343,9 @@ func Resume(dir string) (*Campaign, error) {
 	}
 
 	br := newBroker()
-	raw, err := os.ReadFile(filepath.Join(dir, "virgin.bin"))
-	if err != nil {
-		return nil, fmt.Errorf("campaign: resume: %w", err)
+	raw, ok := t["virgin.bin"]
+	if !ok {
+		return nil, fmt.Errorf("campaign: resume: checkpoint has no virgin.bin")
 	}
 	if err := br.global.UnmarshalBinary(raw); err != nil {
 		return nil, fmt.Errorf("campaign: resume: %w", err)
@@ -386,24 +428,33 @@ func Resume(dir string) (*Campaign, error) {
 	}.withDefaults()
 
 	seedsFor := func(i int) (workerSeeds, error) {
-		wd := filepath.Join(dir, workerDir(i))
-		queueDir := filepath.Join(wd, "queue")
-		if _, err := os.Stat(queueDir); os.IsNotExist(err) {
+		wd := workerDir(i)
+		queue := make(map[string][]byte)
+		for key, data := range t {
+			if strings.HasPrefix(key, wd+"/queue/") {
+				queue[strings.TrimPrefix(key, wd+"/")] = data
+			}
+		}
+		if len(queue) == 0 {
 			return workerSeeds{}, nil // worker had an empty queue; fall back to bundled seeds
 		}
-		seeds, err := core.LoadCorpus(queueDir)
+		seeds, err := core.DecodeCorpus(queue)
 		if err != nil {
 			return workerSeeds{}, err
 		}
-		meta, err := core.LoadSchedMeta(wd)
-		if err != nil {
-			return workerSeeds{}, err
+		var meta []core.EntryMeta
+		if raw, ok := t[wd+"/"+core.SchedMetaFile]; ok {
+			if meta, err = core.DecodeSchedMeta(raw); err != nil {
+				return workerSeeds{}, err
+			}
 		}
 		// Missing in version-1 checkpoints: the worker resumes with
 		// zeroed power state (nil PowerMeta).
-		power, err := core.LoadPowerMeta(wd)
-		if err != nil {
-			return workerSeeds{}, err
+		var power *core.PowerMeta
+		if raw, ok := t[wd+"/"+core.PowerMetaFile]; ok {
+			if power, err = core.DecodePowerMeta(raw); err != nil {
+				return workerSeeds{}, err
+			}
 		}
 		return workerSeeds{seeds: seeds, meta: meta, power: power}, nil
 	}
@@ -415,6 +466,42 @@ func Resume(dir string) (*Campaign, error) {
 	c.rounds = m.Rounds
 	c.baseElapsed = m.Elapsed
 	return c, nil
+}
+
+// Summary is the cheap checkpoint metadata a service can surface without
+// paying for a full resume (no VM launch, no corpus re-import).
+type Summary struct {
+	Target  string        `json:"target"`
+	Workers int           `json:"workers"`
+	Epoch   int           `json:"epoch"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Edges   int           `json:"edges"`
+	Crashes int           `json:"crashes"`
+	Corpus  int           `json:"corpus"`
+}
+
+// Summarize decodes a checkpoint tree's manifest into a Summary.
+func Summarize(t store.Tree) (Summary, error) {
+	enc, ok := t["manifest.json"]
+	if !ok {
+		return Summary{}, fmt.Errorf("campaign: summarize: checkpoint has no manifest.json")
+	}
+	var m manifest
+	if err := json.Unmarshal(enc, &m); err != nil {
+		return Summary{}, fmt.Errorf("campaign: summarize: bad manifest: %w", err)
+	}
+	s := Summary{
+		Target:  m.Target,
+		Workers: m.Workers,
+		Epoch:   m.Epoch,
+		Elapsed: m.Elapsed,
+		Crashes: len(m.Crashes),
+		Corpus:  len(m.Corpus),
+	}
+	if n := len(m.CovLog); n > 0 {
+		s.Edges = m.CovLog[n-1].Edges
+	}
+	return s, nil
 }
 
 func decodeInput(b64 string) (*spec.Input, error) {

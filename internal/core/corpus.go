@@ -10,31 +10,68 @@ import (
 	"repro/internal/spec"
 )
 
-// SaveCorpus writes every queue entry (and crashes, under crashes/) to dir
-// as serialized bytecode, so campaigns can be resumed or corpora shared —
-// the share-folder seed format of the §5.4 workflow.
+// EncodeCorpus returns every queue entry (under queue/) and crash (under
+// crashes/) as a relative-path file tree of serialized bytecode — the
+// storage-agnostic form of the §5.4 share-folder seed format, consumed by
+// SaveCorpus for local directories and by the campaign checkpoint layer
+// for pluggable store backends.
+func (f *Fuzzer) EncodeCorpus() map[string][]byte {
+	t := make(map[string][]byte, len(f.Queue)+len(f.Crashes))
+	for _, e := range f.Queue {
+		t[fmt.Sprintf("queue/id-%06d.nyx", e.ID)] = spec.Serialize(e.Input)
+	}
+	for i, c := range f.Crashes {
+		t[fmt.Sprintf("crashes/crash-%03d-%s.nyx", i, sanitize(string(c.Kind)))] = spec.Serialize(c.Input)
+	}
+	return t
+}
+
+// SaveCorpus writes EncodeCorpus to dir as plain files, so campaigns can
+// be resumed or corpora shared.
 func (f *Fuzzer) SaveCorpus(dir string) error {
 	if err := os.MkdirAll(filepath.Join(dir, "queue"), 0o755); err != nil {
 		return fmt.Errorf("core: save corpus: %w", err)
 	}
-	for _, e := range f.Queue {
-		path := filepath.Join(dir, "queue", fmt.Sprintf("id-%06d.nyx", e.ID))
-		if err := os.WriteFile(path, spec.Serialize(e.Input), 0o644); err != nil {
+	for rel, data := range f.EncodeCorpus() {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return fmt.Errorf("core: save corpus: %w", err)
 		}
-	}
-	if len(f.Crashes) > 0 {
-		if err := os.MkdirAll(filepath.Join(dir, "crashes"), 0o755); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return fmt.Errorf("core: save corpus: %w", err)
-		}
-		for i, c := range f.Crashes {
-			path := filepath.Join(dir, "crashes", fmt.Sprintf("crash-%03d-%s.nyx", i, sanitize(string(c.Kind))))
-			if err := os.WriteFile(path, spec.Serialize(c.Input), 0o644); err != nil {
-				return fmt.Errorf("core: save corpus: %w", err)
-			}
 		}
 	}
 	return nil
+}
+
+// DecodeCorpus deserializes a file tree of .nyx inputs (as produced by
+// EncodeCorpus, or read back from a store backend) in deterministic
+// (sorted-path) order. Non-.nyx entries are ignored; entries that fail to
+// decode are skipped, with an error only if nothing loads.
+func DecodeCorpus(files map[string][]byte) ([]*spec.Input, error) {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		if strings.HasSuffix(p, ".nyx") {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	var out []*spec.Input
+	var firstErr error
+	for _, p := range paths {
+		in, err := spec.Deserialize(files[p])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: %s: %w", p, err)
+			}
+			continue
+		}
+		out = append(out, in)
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // LoadCorpus reads all serialized inputs under dir (recursively) in
@@ -55,30 +92,23 @@ func LoadCorpus(dir string) ([]*spec.Input, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load corpus: %w", err)
 	}
-	sort.Strings(paths)
-	var out []*spec.Input
-	var firstErr error
+	files := make(map[string][]byte, len(paths))
+	var readErr error
 	for _, p := range paths {
 		raw, err := os.ReadFile(p)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			if readErr == nil {
+				readErr = err
 			}
 			continue
 		}
-		in, err := spec.Deserialize(raw)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: %s: %w", p, err)
-			}
-			continue
-		}
-		out = append(out, in)
+		files[p] = raw
 	}
-	if len(out) == 0 && firstErr != nil {
-		return nil, firstErr
+	out, err := DecodeCorpus(files)
+	if err == nil && len(out) == 0 && readErr != nil {
+		return nil, readErr
 	}
-	return out, nil
+	return out, err
 }
 
 func sanitize(s string) string {

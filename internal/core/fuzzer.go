@@ -51,6 +51,20 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy maps a CLI/API policy name to its Policy value.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "none":
+		return PolicyNone, nil
+	case "balanced":
+		return PolicyBalanced, nil
+	case "aggressive":
+		return PolicyAggressive, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (want none | balanced | aggressive)", name)
+	}
+}
+
 // MinPacketsForSnapshot: below this input length both placement policies
 // fall back to the root snapshot (§3.4: "for sequences smaller than four
 // packets, both policies select the root snapshot").

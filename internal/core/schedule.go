@@ -672,9 +672,9 @@ func (f *Fuzzer) SchedMeta() []EntryMeta {
 	return out
 }
 
-// schedMetaFile is where SaveCorpus persists scheduler metadata inside a
+// SchedMetaFile is where SaveSchedMeta persists scheduler metadata inside a
 // corpus directory.
-const schedMetaFile = "sched.json"
+const SchedMetaFile = "sched.json"
 
 // SaveSchedMeta writes the queue's scheduler metadata to dir (alongside a
 // SaveCorpus tree).
@@ -686,7 +686,7 @@ func (f *Fuzzer) SaveSchedMeta(dir string) error {
 	if err != nil {
 		return fmt.Errorf("core: save sched meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, schedMetaFile), enc, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, SchedMetaFile), enc, 0o644); err != nil {
 		return fmt.Errorf("core: save sched meta: %w", err)
 	}
 	return nil
@@ -695,16 +695,22 @@ func (f *Fuzzer) SaveSchedMeta(dir string) error {
 // LoadSchedMeta reads metadata written by SaveSchedMeta. A missing file is
 // not an error (pre-scheduler checkpoints resume with zeroed metadata).
 func LoadSchedMeta(dir string) ([]EntryMeta, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, schedMetaFile))
+	raw, err := os.ReadFile(filepath.Join(dir, SchedMetaFile))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: load sched meta: %w", err)
 	}
+	return DecodeSchedMeta(raw)
+}
+
+// DecodeSchedMeta deserializes scheduler metadata from its stored form
+// (the bytes SaveSchedMeta writes, however they were transported).
+func DecodeSchedMeta(raw []byte) ([]EntryMeta, error) {
 	var out []EntryMeta
 	if err := json.Unmarshal(raw, &out); err != nil {
-		return nil, fmt.Errorf("core: load sched meta: %w", err)
+		return nil, fmt.Errorf("core: decode sched meta: %w", err)
 	}
 	return out, nil
 }
@@ -763,9 +769,9 @@ func (f *Fuzzer) PowerState() *PowerMeta {
 	return m
 }
 
-// powerMetaFile is where SavePowerMeta persists power-schedule state
+// PowerMetaFile is where SavePowerMeta persists power-schedule state
 // inside a corpus directory, next to sched.json.
-const powerMetaFile = "power.json"
+const PowerMetaFile = "power.json"
 
 // SavePowerMeta writes the fuzzer's power-schedule state to dir.
 func (f *Fuzzer) SavePowerMeta(dir string) error {
@@ -776,7 +782,7 @@ func (f *Fuzzer) SavePowerMeta(dir string) error {
 	if err != nil {
 		return fmt.Errorf("core: save power meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, powerMetaFile), enc, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, PowerMetaFile), enc, 0o644); err != nil {
 		return fmt.Errorf("core: save power meta: %w", err)
 	}
 	return nil
@@ -786,16 +792,22 @@ func (f *Fuzzer) SavePowerMeta(dir string) error {
 // not an error: version-1 checkpoints (pre-power) resume with zeroed
 // power state.
 func LoadPowerMeta(dir string) (*PowerMeta, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, powerMetaFile))
+	raw, err := os.ReadFile(filepath.Join(dir, PowerMetaFile))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: load power meta: %w", err)
 	}
+	return DecodePowerMeta(raw)
+}
+
+// DecodePowerMeta deserializes power-schedule state from its stored form
+// (the bytes SavePowerMeta writes, however they were transported).
+func DecodePowerMeta(raw []byte) (*PowerMeta, error) {
 	var m PowerMeta
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("core: load power meta: %w", err)
+		return nil, fmt.Errorf("core: decode power meta: %w", err)
 	}
 	return &m, nil
 }

@@ -1,0 +1,335 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// testSpec is a short deterministic campaign: lockstep rounds of 500ms
+// virtual time, total budget d.
+func testSpec(id string, seed int64, d time.Duration) Spec {
+	return Spec{
+		ID:           id,
+		Target:       "lightftp",
+		Duration:     d,
+		Workers:      2,
+		Seed:         seed,
+		SyncInterval: 500 * time.Millisecond,
+	}
+}
+
+func dirStore(t *testing.T) store.Storer {
+	t.Helper()
+	st, err := store.Open("dir://" + t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func memStore(t *testing.T) store.Storer {
+	t.Helper()
+	st, err := store.Open(fmt.Sprintf("mem://svc-%s-%d", t.Name(), time.Now().UnixNano()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the campaign reaches want (fails on terminal
+// states that are not want).
+func waitState(t *testing.T, m *Manager, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := m.CampaignStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("campaign %s reached %s (error %q) waiting for %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitElapsed polls until the campaign's virtual clock reaches d.
+func waitElapsed(t *testing.T, m *Manager, id string, d time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := m.CampaignStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Elapsed >= d {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("campaign %s reached %s at %v, waiting for elapsed %v", id, st.State, st.Elapsed, d)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck at %v, waiting for %v", id, st.Elapsed, d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// coverageEvents filters a feed down to its coverage points.
+func coverageEvents(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Type == "coverage" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func allEvents(t *testing.T, m *Manager, id string) []Event {
+	t.Helper()
+	events, _, _, err := m.Events(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// Two campaigns run concurrently under one manager; pausing one
+// checkpoints it and leaves the other running; killing the manager and
+// restarting from the store recovers both with monotone virtual clocks
+// and edge counts.
+func TestManagerTwoCampaignsPauseKillRestart(t *testing.T) {
+	st := dirStore(t)
+	m := New(Config{Store: st, CheckpointEvery: time.Second})
+	if _, err := m.Submit(testSpec("a", 1, 3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(testSpec("b", 2, 30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.List()); n != 2 {
+		t.Fatalf("listed %d campaigns, want 2", n)
+	}
+
+	// Pause b mid-flight: the pause itself writes a checkpoint.
+	waitElapsed(t, m, "b", time.Second)
+	pausedB, err := m.Pause("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pausedB.State != StatePaused {
+		t.Fatalf("pause left b in %s", pausedB.State)
+	}
+	if pausedB.CheckpointedAt == 0 || pausedB.CheckpointedAt > pausedB.Elapsed {
+		t.Fatalf("pause checkpoint at %v with elapsed %v", pausedB.CheckpointedAt, pausedB.Elapsed)
+	}
+	if _, err := m.Pause("b"); err == nil {
+		t.Fatal("second pause of b succeeded")
+	}
+
+	// a keeps running to completion while b sits paused.
+	doneA := waitState(t, m, "a", StateDone)
+	if doneA.Elapsed < 3*time.Second {
+		t.Fatalf("a done at %v, want >= 3s", doneA.Elapsed)
+	}
+	if doneA.Edges == 0 || doneA.Execs == 0 {
+		t.Fatalf("a finished without progress: %+v", doneA)
+	}
+
+	// Kill the manager (graceful close also checkpoints b's final state).
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(testSpec("c", 3, time.Second)); err == nil {
+		t.Fatal("closed manager accepted a submit")
+	}
+
+	// Fresh manager on the same store: both campaigns recover.
+	m2 := New(Config{Store: st, CheckpointEvery: time.Second})
+	recovered, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d campaigns, want 2", len(recovered))
+	}
+	for _, r := range recovered {
+		if r.State != StateStored {
+			t.Fatalf("recovered %s in state %s", r.ID, r.State)
+		}
+	}
+	recB, err := m2.CampaignStatus("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recB.Elapsed < pausedB.CheckpointedAt {
+		t.Fatalf("b's clock went backwards across restart: %v < %v", recB.Elapsed, pausedB.CheckpointedAt)
+	}
+	if recB.Edges == 0 {
+		t.Fatal("b recovered with no coverage")
+	}
+
+	// Resume b with a fresh, larger budget: the clock and edges continue
+	// monotonically from the checkpoint.
+	if _, err := m2.Resume("b", recB.Elapsed+time.Second); err != nil {
+		t.Fatal(err)
+	}
+	finalB := waitState(t, m2, "b", StateDone)
+	if finalB.Elapsed < recB.Elapsed {
+		t.Fatalf("b's clock went backwards after resume: %v < %v", finalB.Elapsed, recB.Elapsed)
+	}
+	if finalB.Edges < recB.Edges {
+		t.Fatalf("b's edges went backwards after resume: %d < %d", finalB.Edges, recB.Edges)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The crash feed delivers each globally deduplicated crash exactly once
+// per subscriber, and every coverage point exactly once, in order.
+func TestCrashFeedExactlyOnce(t *testing.T) {
+	m := New(Config{Store: memStore(t)})
+	spec := testSpec("crashy", 5, 3*time.Second)
+	spec.Target = "dnsmasq" // shallow bugs: crashes arrive fast
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, "crashy", StateDone)
+	if st.Crashes == 0 {
+		t.Fatal("dnsmasq campaign found no crashes — feed not exercised")
+	}
+	events := allEvents(t, m, "crashy")
+	seen := map[string]int{}
+	var crashes, lastSeq int
+	lastSeq = -1
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event sequence not increasing: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Type != "crash" {
+			continue
+		}
+		crashes++
+		seen[e.Crash.Kind+"|"+e.Crash.Msg]++
+	}
+	if crashes != st.Crashes {
+		t.Fatalf("feed delivered %d crashes, status says %d", crashes, st.Crashes)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("crash %q delivered %d times", key, n)
+		}
+	}
+	// A second subscriber reading the same log gets the identical feed.
+	again := allEvents(t, m, "crashy")
+	if len(again) != len(events) {
+		t.Fatalf("second subscriber got %d events, first got %d", len(again), len(events))
+	}
+	for i := range events {
+		if events[i].Seq != again[i].Seq || events[i].Type != again[i].Type {
+			t.Fatalf("subscribers diverge at %d: %+v vs %+v", i, events[i], again[i])
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CheckpointNow persists mid-flight state on demand; Delete removes the
+// campaign from both the manager and the store.
+func TestCheckpointNowAndDelete(t *testing.T) {
+	st := dirStore(t)
+	m := New(Config{Store: st, CheckpointEvery: -1}) // no auto-checkpoints
+	if _, err := m.Submit(testSpec("x", 9, 30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	waitElapsed(t, m, "x", 500*time.Millisecond)
+	ck, err := m.CheckpointNow("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.CheckpointedAt == 0 {
+		t.Fatal("CheckpointNow recorded no checkpoint")
+	}
+	if _, err := st.GetTree(DefaultPrefix + "/x"); err != nil {
+		t.Fatalf("checkpoint tree missing: %v", err)
+	}
+	if err := m.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CampaignStatus("x"); err == nil {
+		t.Fatal("deleted campaign still listed")
+	}
+	if _, err := st.GetTree(DefaultPrefix + "/x"); err == nil {
+		t.Fatal("deleted campaign's tree still in store")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bad specs and unknown ids fail cleanly.
+func TestManagerErrors(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.Submit(Spec{Target: "lightftp"}); err == nil {
+		t.Fatal("submit with no duration succeeded")
+	}
+	if _, err := m.Submit(Spec{Target: "nope", Duration: time.Second}); err == nil {
+		t.Fatal("submit with unknown target succeeded")
+	}
+	if _, err := m.Submit(Spec{ID: "a/b", Target: "lightftp", Duration: time.Second}); err == nil {
+		t.Fatal("submit with slash id succeeded")
+	}
+	if _, err := m.Submit(Spec{Target: "lightftp", Duration: time.Second, Policy: "bogus"}); err == nil {
+		t.Fatal("submit with bogus policy succeeded")
+	}
+	if _, err := m.CampaignStatus("ghost"); err == nil {
+		t.Fatal("status of unknown campaign succeeded")
+	}
+	if _, err := m.Pause("ghost"); err == nil {
+		t.Fatal("pause of unknown campaign succeeded")
+	}
+	if _, err := m.Resume("ghost", 0); err == nil {
+		t.Fatal("resume of unknown campaign succeeded")
+	}
+	if _, err := m.Recover(); err == nil {
+		t.Fatal("recover with no store succeeded")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Duplicate explicit ids are rejected; generated ids never collide.
+func TestManagerIDs(t *testing.T) {
+	m := New(Config{})
+	a, err := m.Submit(testSpec("", 1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(testSpec("", 2, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == "" || a.ID == b.ID {
+		t.Fatalf("generated ids %q, %q", a.ID, b.ID)
+	}
+	if _, err := m.Submit(testSpec(a.ID, 3, time.Second)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

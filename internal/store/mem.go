@@ -1,0 +1,168 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// memRegistry shares buckets by name across Open calls, so "mem://jobs"
+// addresses the same objects from anywhere in the process — the in-process
+// stand-in for a remote object store (same URL-configured destination UX,
+// no network). State lives for the lifetime of the process only.
+var memRegistry = struct {
+	sync.Mutex
+	buckets map[string]*memBucket
+}{buckets: map[string]*memBucket{}}
+
+type memBucket struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// memStore is the remote-style backend: a handle on one named bucket.
+type memStore struct {
+	bucket *memBucket
+	rawurl string
+}
+
+func openMem(name, rawurl string) (Storer, error) {
+	if name == "" || strings.HasPrefix(name, "/") {
+		return nil, fmt.Errorf("store: %s: empty bucket name", rawurl)
+	}
+	memRegistry.Lock()
+	defer memRegistry.Unlock()
+	b, ok := memRegistry.buckets[name]
+	if !ok {
+		b = &memBucket{objects: map[string][]byte{}}
+		memRegistry.buckets[name] = b
+	}
+	return &memStore{bucket: b, rawurl: rawurl}, nil
+}
+
+func (m *memStore) URL() string { return m.rawurl }
+
+func (m *memStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	m.bucket.mu.Lock()
+	defer m.bucket.mu.Unlock()
+	m.bucket.objects[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	m.bucket.mu.RLock()
+	defer m.bucket.mu.RUnlock()
+	data, ok := m.bucket.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("store: get %q: %w", key, ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *memStore) List(prefix string) ([]string, error) {
+	m.bucket.mu.RLock()
+	defer m.bucket.mu.RUnlock()
+	var keys []string
+	for k := range m.bucket.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (m *memStore) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	m.bucket.mu.Lock()
+	defer m.bucket.mu.Unlock()
+	delete(m.bucket.objects, key)
+	return nil
+}
+
+func (m *memStore) Rename(oldKey, newKey string) error {
+	if err := validKey(oldKey); err != nil {
+		return err
+	}
+	if err := validKey(newKey); err != nil {
+		return err
+	}
+	m.bucket.mu.Lock()
+	defer m.bucket.mu.Unlock()
+	data, ok := m.bucket.objects[oldKey]
+	if !ok {
+		return fmt.Errorf("store: rename %q: %w", oldKey, ErrNotExist)
+	}
+	delete(m.bucket.objects, oldKey)
+	m.bucket.objects[newKey] = data
+	return nil
+}
+
+// PutTree swaps the whole key range under the bucket lock: validation and
+// the copy of t happen before any existing key is touched, so a failed
+// call leaves the previous tree untouched and readers never observe a
+// partial mix of generations.
+func (m *memStore) PutTree(name string, t Tree) error {
+	if err := validTree(name, t); err != nil {
+		return err
+	}
+	prefix := treePrefix(name)
+	fresh := make(map[string][]byte, len(t))
+	for k, v := range t {
+		fresh[prefix+k] = append([]byte(nil), v...)
+	}
+	m.bucket.mu.Lock()
+	defer m.bucket.mu.Unlock()
+	for k := range m.bucket.objects {
+		if strings.HasPrefix(k, prefix) {
+			delete(m.bucket.objects, k)
+		}
+	}
+	for k, v := range fresh {
+		m.bucket.objects[k] = v
+	}
+	return nil
+}
+
+func (m *memStore) GetTree(name string) (Tree, error) {
+	if err := validKey(name); err != nil {
+		return nil, err
+	}
+	prefix := treePrefix(name)
+	m.bucket.mu.RLock()
+	defer m.bucket.mu.RUnlock()
+	t := Tree{}
+	for k, v := range m.bucket.objects {
+		if strings.HasPrefix(k, prefix) {
+			t[strings.TrimPrefix(k, prefix)] = append([]byte(nil), v...)
+		}
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("store: get tree %q: %w", name, ErrNotExist)
+	}
+	return t, nil
+}
+
+func (m *memStore) DeleteTree(name string) error {
+	if err := validKey(name); err != nil {
+		return err
+	}
+	prefix := treePrefix(name)
+	m.bucket.mu.Lock()
+	defer m.bucket.mu.Unlock()
+	for k := range m.bucket.objects {
+		if strings.HasPrefix(k, prefix) {
+			delete(m.bucket.objects, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package store is the pluggable corpus/checkpoint storage layer behind
+// campaign checkpoints and the service mode: a small object-store contract
+// (Storer) over opaque slash-separated keys, plus atomic whole-tree
+// replacement for checkpoint directories.
+//
+// Backends are selected by a source/destination-style URL, mirroring the
+// configure-once-then-address-by-path UX of snapshot backup integrations:
+//
+//	dir:///var/nyx/store    files under a local directory
+//	dir://relative/path     same, relative to the working directory
+//	mem://bucket            an in-process object store (shared per bucket
+//	                        name for the lifetime of the process)
+//
+// The tree operations carry the durability contract checkpoints rely on:
+// after PutTree(name, t) returns, GetTree(name) observes exactly t; if
+// PutTree fails or the process dies mid-write, GetTree observes the
+// previous tree, complete and unmodified — never a mix. The dir backend
+// implements this with the same temp-then-swap rename dance
+// campaign.Checkpoint historically used (and recovers the parked ".old"
+// copy if a crash lands between the two renames); the mem backend swaps
+// the key range under one lock.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is an in-memory file tree: relative slash-separated path -> content.
+// It is the unit of atomic replacement (one checkpoint = one tree).
+type Tree map[string][]byte
+
+// ErrNotExist is wrapped by Get/GetTree/Rename when the key or tree is
+// absent.
+var ErrNotExist = errors.New("does not exist")
+
+// Storer is a flat object store over opaque keys. Keys are clean relative
+// slash-separated paths ("worker-000/queue/id-000001.nyx"); a "tree" named
+// n is simply the set of keys under "n/", which PutTree replaces
+// atomically.
+type Storer interface {
+	// Put writes one object.
+	Put(key string, data []byte) error
+	// Get reads one object (ErrNotExist if absent).
+	Get(key string) ([]byte, error)
+	// List returns all keys with the given prefix, sorted. An empty
+	// prefix lists everything.
+	List(prefix string) ([]string, error)
+	// Delete removes one object. Deleting an absent key is not an error.
+	Delete(key string) error
+	// Rename moves an object to a new key (ErrNotExist if absent).
+	Rename(oldKey, newKey string) error
+
+	// PutTree atomically replaces the tree rooted at name with t: after it
+	// returns, GetTree(name) sees exactly t; after a failure or crash,
+	// GetTree sees the previous tree intact.
+	PutTree(name string, t Tree) error
+	// GetTree reads the tree rooted at name, with contents keyed relative
+	// to it (ErrNotExist if absent).
+	GetTree(name string) (Tree, error)
+	// DeleteTree removes the tree at name (absent is not an error).
+	DeleteTree(name string) error
+
+	// URL returns the configuration string the store was opened from.
+	URL() string
+}
+
+// Open returns the backend named by a store URL (see the package comment
+// for the syntax).
+func Open(rawurl string) (Storer, error) {
+	switch {
+	case strings.HasPrefix(rawurl, "dir://"):
+		return openDir(strings.TrimPrefix(rawurl, "dir://"), rawurl)
+	case strings.HasPrefix(rawurl, "mem://"):
+		return openMem(strings.TrimPrefix(rawurl, "mem://"), rawurl)
+	default:
+		return nil, fmt.Errorf("store: unknown store URL %q (want dir://PATH or mem://BUCKET)", rawurl)
+	}
+}
+
+// CopyTree replicates the tree at name from src to dst — the
+// checkpoint-migration primitive that lets a campaign checkpointed on one
+// backend resume from another.
+func CopyTree(dst, src Storer, name string) error {
+	t, err := src.GetTree(name)
+	if err != nil {
+		return fmt.Errorf("store: copy tree %q: %w", name, err)
+	}
+	if err := dst.PutTree(name, t); err != nil {
+		return fmt.Errorf("store: copy tree %q: %w", name, err)
+	}
+	return nil
+}
+
+// validKey rejects keys that could escape the store root or collide with
+// the backends' bookkeeping names (temp dirs, parked ".old" copies).
+func validKey(key string) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	if strings.HasPrefix(key, "/") || strings.Contains(key, "\\") {
+		return fmt.Errorf("store: key %q must be a relative slash path", key)
+	}
+	for _, seg := range strings.Split(key, "/") {
+		switch {
+		case seg == "" || seg == ".":
+			return fmt.Errorf("store: key %q has an empty or dot segment", key)
+		case seg == "..":
+			return fmt.Errorf("store: key %q escapes the store root", key)
+		case strings.HasPrefix(seg, tmpPrefix):
+			return fmt.Errorf("store: key %q collides with the temp-dir namespace", key)
+		case strings.HasSuffix(seg, oldSuffix):
+			return fmt.Errorf("store: key %q collides with the parked-copy namespace", key)
+		}
+	}
+	return nil
+}
+
+// validTree checks every key of t before any backend mutates state, so a
+// syntactically bad tree can never produce a partial write.
+func validTree(name string, t Tree) error {
+	if err := validKey(name); err != nil {
+		return err
+	}
+	if len(t) == 0 {
+		return fmt.Errorf("store: refusing to write empty tree %q", name)
+	}
+	for key := range t {
+		if err := validKey(key); err != nil {
+			return err
+		}
+	}
+	// A key that is also a directory of another key ("a" and "a/b") cannot
+	// exist on a filesystem backend; reject it everywhere so backends stay
+	// interchangeable.
+	keys := sortedKeys(t)
+	for i := 1; i < len(keys); i++ {
+		if strings.HasPrefix(keys[i], keys[i-1]+"/") {
+			return fmt.Errorf("store: tree %q: key %q conflicts with %q", name, keys[i], keys[i-1])
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns t's keys in deterministic order (backends write files
+// in this order so partial failures are reproducible).
+func sortedKeys(t Tree) []string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backends returns one fresh store per backend, keyed by scheme. Each mem
+// bucket name is unique per test so the process-wide registry cannot leak
+// state across tests.
+func backends(t *testing.T) map[string]Storer {
+	t.Helper()
+	out := map[string]Storer{}
+	for scheme, url := range map[string]string{
+		"dir": "dir://" + filepath.Join(t.TempDir(), "root"),
+		"mem": fmt.Sprintf("mem://bucket-%s-%d", t.Name(), time.Now().UnixNano()),
+	} {
+		st, err := Open(url)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		out[scheme] = st
+	}
+	return out
+}
+
+func TestOpenRejectsBadURLs(t *testing.T) {
+	for _, url := range []string{"", "ftp://x", "dir://", "mem://", "/plain/path"} {
+		if _, err := Open(url); err == nil {
+			t.Fatalf("Open(%q) succeeded", url)
+		}
+	}
+}
+
+func TestKeyObjectRoundTrip(t *testing.T) {
+	for scheme, st := range backends(t) {
+		t.Run(scheme, func(t *testing.T) {
+			if _, err := st.Get("missing"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Get(missing) = %v, want ErrNotExist", err)
+			}
+			if err := st.Put("a/b/c.bin", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.Get("a/b/c.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, []byte("payload")) {
+				t.Fatalf("Get = %q", got)
+			}
+			// Returned data is a copy, not an aliased buffer.
+			got[0] = 'X'
+			again, _ := st.Get("a/b/c.bin")
+			if !bytes.Equal(again, []byte("payload")) {
+				t.Fatal("mutating a Get result corrupted the store")
+			}
+
+			if err := st.Rename("a/b/c.bin", "moved/c.bin"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Get("a/b/c.bin"); !errors.Is(err, ErrNotExist) {
+				t.Fatal("old key survived rename")
+			}
+			if _, err := st.Get("moved/c.bin"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Rename("absent", "x"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Rename(absent) = %v, want ErrNotExist", err)
+			}
+
+			if err := st.Put("moved/d.bin", []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := st.List("moved/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"moved/c.bin", "moved/d.bin"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("List = %v, want %v", keys, want)
+			}
+
+			if err := st.Delete("moved/c.bin"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete("moved/c.bin"); err != nil {
+				t.Fatalf("double delete errored: %v", err)
+			}
+			if _, err := st.Get("moved/c.bin"); !errors.Is(err, ErrNotExist) {
+				t.Fatal("deleted key still readable")
+			}
+		})
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	for scheme, st := range backends(t) {
+		t.Run(scheme, func(t *testing.T) {
+			for _, key := range []string{
+				"", "/abs", "a//b", "a/./b", "../escape", "a/../../b",
+				"back\\slash", ".checkpoint-123/x", "tree.old/x",
+			} {
+				if err := st.Put(key, []byte("x")); err == nil {
+					t.Fatalf("Put(%q) accepted", key)
+				}
+			}
+		})
+	}
+}
+
+func checkpointLikeTree(gen int) Tree {
+	return Tree{
+		"manifest.json":                  []byte(fmt.Sprintf(`{"version":3,"gen":%d}`, gen)),
+		"virgin.bin":                     {0x01, 0x02, byte(gen)},
+		"worker-000/queue/id-000001.nyx": []byte(fmt.Sprintf("input-%d", gen)),
+		"worker-000/sched.json":          []byte("[]"),
+	}
+}
+
+func TestTreeRoundTripAndReplace(t *testing.T) {
+	for scheme, st := range backends(t) {
+		t.Run(scheme, func(t *testing.T) {
+			if _, err := st.GetTree("ckpt"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("GetTree(missing) = %v, want ErrNotExist", err)
+			}
+			t1 := checkpointLikeTree(1)
+			if err := st.PutTree("ckpt", t1); err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.GetTree("ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, t1) {
+				t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, t1)
+			}
+
+			// Replacement removes keys of the previous generation that the
+			// new tree no longer carries.
+			t2 := checkpointLikeTree(2)
+			delete(t2, "worker-000/sched.json")
+			if err := st.PutTree("ckpt", t2); err != nil {
+				t.Fatal(err)
+			}
+			got, err = st.GetTree("ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, t2) {
+				t.Fatalf("replace mismatch:\n got %v\nwant %v", got, t2)
+			}
+
+			// Tree contents are addressable as plain keys too.
+			raw, err := st.Get("ckpt/manifest.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, t2["manifest.json"]) {
+				t.Fatal("tree file not visible through the key space")
+			}
+
+			if err := st.DeleteTree("ckpt"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.GetTree("ckpt"); !errors.Is(err, ErrNotExist) {
+				t.Fatal("deleted tree still readable")
+			}
+			if err := st.DeleteTree("ckpt"); err != nil {
+				t.Fatalf("double tree delete errored: %v", err)
+			}
+		})
+	}
+}
+
+// A PutTree that fails — for any reason, at any point — must leave the
+// previous tree fully intact: the torn-write contract checkpoints rely on.
+func TestTornPutTreeNeverClobbers(t *testing.T) {
+	for scheme, st := range backends(t) {
+		t.Run(scheme, func(t *testing.T) {
+			good := checkpointLikeTree(1)
+			if err := st.PutTree("ckpt", good); err != nil {
+				t.Fatal(err)
+			}
+			// Syntactically invalid key: rejected before any write.
+			if err := st.PutTree("ckpt", Tree{"../evil": []byte("x")}); err == nil {
+				t.Fatal("bad tree accepted")
+			}
+			// A key that is also another key's directory cannot exist on a
+			// filesystem; both backends reject it before mutating.
+			conflict := Tree{"a": []byte("file"), "a/b": []byte("child")}
+			if err := st.PutTree("ckpt", conflict); err == nil {
+				t.Fatal("conflicting tree accepted")
+			}
+			if scheme == "dir" {
+				// A filename past NAME_MAX fails only once staging is
+				// underway (it sorts after valid keys, so files were
+				// already written) — a genuinely torn write. The swap
+				// must never have started.
+				torn := checkpointLikeTree(9)
+				torn["zz-"+strings.Repeat("x", 300)+".nyx"] = []byte("unwritable")
+				if err := st.PutTree("ckpt", torn); err == nil {
+					t.Fatal("over-long key accepted")
+				}
+			}
+			if err := st.PutTree("ckpt", Tree{}); err == nil {
+				t.Fatal("empty tree accepted")
+			}
+			got, err := st.GetTree("ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, good) {
+				t.Fatalf("previous tree damaged by failed PutTree:\n got %v\nwant %v", got, good)
+			}
+		})
+	}
+}
+
+func TestCopyTreeAcrossBackends(t *testing.T) {
+	b := backends(t)
+	src, dst := b["dir"], b["mem"]
+	tree := checkpointLikeTree(7)
+	if err := src.PutTree("campaigns/c01", tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyTree(dst, src, "campaigns/c01"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.GetTree("campaigns/c01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tree) {
+		t.Fatal("copied tree differs from source")
+	}
+	if err := CopyTree(dst, src, "campaigns/absent"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("CopyTree(absent) = %v, want ErrNotExist", err)
+	}
+}
+
+// A crash between the dir backend's two renames leaves only the parked
+// name+".old" copy. GetTree must recover it — the previous checkpoint is
+// never lost — and the promoted tree must read back bit-for-bit.
+func TestDirCrashBetweenRenamesRecovers(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "root")
+	st, err := Open("dir://" + root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := checkpointLikeTree(3)
+	if err := st.PutTree("ckpt", tree); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: the old tree is parked, the staged new
+	// tree never landed.
+	if err := os.Rename(filepath.Join(root, "ckpt"), filepath.Join(root, "ckpt.old")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetTree("ckpt")
+	if err != nil {
+		t.Fatalf("parked checkpoint not recovered: %v", err)
+	}
+	if !reflect.DeepEqual(got, tree) {
+		t.Fatal("recovered tree differs from the parked copy")
+	}
+	if _, err := os.Stat(filepath.Join(root, "ckpt.old")); !os.IsNotExist(err) {
+		t.Fatal("parked copy still present after recovery")
+	}
+	// The recovered tree is a first-class checkpoint again.
+	if err := st.PutTree("ckpt", checkpointLikeTree(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Opening a dir store sweeps stale staging directories (crash debris) but
+// leaves fresh ones alone, since they may belong to a live writer.
+func TestDirOpenSweepsStaleTemps(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "root")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(root, ".checkpoint-stale123")
+	fresh := filepath.Join(root, ".checkpoint-fresh456")
+	for _, dir := range []string{stale, fresh} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open("dir://" + root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp dir survived the open sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp dir was swept")
+	}
+	// Bookkeeping dirs never leak into the key space.
+	keys, err := st.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("List leaked bookkeeping entries: %v", keys)
+	}
+}
+
+// Two mem stores opened on the same bucket URL share state — the property
+// that makes mem:// behave like one remote destination per bucket.
+func TestMemBucketsShared(t *testing.T) {
+	url := fmt.Sprintf("mem://shared-%d", time.Now().UnixNano())
+	a, err := Open(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("second handle sees %q, %v", got, err)
+	}
+	other, err := Open(url + "-other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Get("k"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("distinct buckets share state")
+	}
+}
