@@ -13,4 +13,13 @@
 // evaluation workloads (targets, mario) and the experiment harness
 // regenerating every table and figure (experiments). See README.md for a
 // tour and DESIGN.md for the paper-to-module map.
+//
+// The repository's determinism, aliasing, and locking invariants are
+// machine-checked by a repo-specific analyzer suite (analysis, driven by
+// cmd/nyx-vet, gating CI): virtual-time packages must not read wall clocks
+// or leak map iteration order into output, exported APIs must not return
+// or retain aliased slices (the PR-4 DirtyPages bug class), and nothing
+// may block while a broker/service/pool mutex is held. Deliberate
+// exceptions are annotated in source with reasoned //nyx: directives; see
+// the "Static analysis" section of README.md.
 package repro

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		pkgs []string
+		path string
+		want bool
+	}{
+		{nil, "repro/internal/anything", true},
+		{[]string{"core"}, "repro/internal/core", true},
+		{[]string{"core"}, "core", true},
+		{[]string{"core"}, "repro/internal/coverage", false},
+		{[]string{"core"}, "repro/internal/score", false},
+		{[]string{"core", "vm"}, "repro/internal/vm", true},
+	}
+	for _, c := range cases {
+		a := &Analyzer{Name: "x", PkgNames: c.pkgs}
+		if got := a.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%v, %q) = %v, want %v", c.pkgs, c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//nyx:wallclock telemetry site", "wallclock", true},
+		{"//nyx:maporder", "maporder", true},
+		{"// nyx:wallclock", "", false}, // directives allow no space after //
+		{"//nyx:", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestDirectiveIndex(t *testing.T) {
+	const src = `package p
+
+//nyx:wallclock doc directive covers the whole function
+func f() {
+	g()
+}
+
+func g() {
+	h() //nyx:rand same line
+	//nyx:maporder line above
+	h()
+	h()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := indexDirectives(fset, []*ast.File{f})
+	posAt := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !idx.allowed(fset, posAt(5), "wallclock") {
+		t.Error("function-doc directive should cover statements in the function")
+	}
+	if !idx.allowed(fset, posAt(9), "rand") {
+		t.Error("same-line directive should allow")
+	}
+	if !idx.allowed(fset, posAt(11), "maporder") {
+		t.Error("line-above directive should allow")
+	}
+	if idx.allowed(fset, posAt(12), "maporder") {
+		t.Error("directive two lines up must not allow")
+	}
+	if idx.allowed(fset, posAt(9), "wallclock") {
+		t.Error("g is not covered by f's doc directive")
+	}
+}

@@ -1,0 +1,151 @@
+// Package analysistest runs nyx-vet analyzers against golden fixture
+// packages under testdata/src, mirroring the x/tools package of the same
+// name: fixture files mark each expected diagnostic with a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment on the offending line. The test fails on any unmatched
+// expectation and on any unexpected diagnostic, so every fixture is both a
+// positive test (the analyzer fires where it must) and a negative one (it
+// stays silent everywhere else).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// One loader is shared by every fixture run in the process: stdlib
+// dependency metadata and type-checked packages are cached across fixtures,
+// keeping the whole suite at one `go list` round-trip per distinct import.
+var (
+	loaderMu sync.Mutex
+	loader   *analysis.Loader
+)
+
+// Run analyzes the fixture package testdata/src/<pkgPath> with a and
+// compares diagnostics against the fixture's want comments. The fixture's
+// import path is pkgPath itself, so analyzer package gating (e.g. nodeterm
+// only applying to virtual-time packages) is exercised by the path's last
+// element.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	if loader == nil {
+		loader = analysis.NewLoader(dir)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(loader.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		collectWants(t, path, wants)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	pkg, err := loader.CheckFiles(pkgPath, dir, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !claimWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func claimWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans a fixture file's source for `// want "re"...` comments.
+func collectWants(t *testing.T, path string, wants map[string][]*want) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(line[idx+len("// want "):])
+		key := fmt.Sprintf("%s:%d", path, i+1)
+		for rest != "" {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s: malformed want comment %q: %v", key, rest, err)
+			}
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s: unquoting %q: %v", key, q, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+			}
+			wants[key] = append(wants[key], &want{re: re})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+}

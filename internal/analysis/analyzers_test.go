@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each fixture is a golden test: every flagged line carries a want comment,
+// and the run fails both on a missing diagnostic (the analyzer regressed)
+// and on an extra one (a false positive crept in).
+
+func TestNoDetermFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoDeterm, "nodeterm/core")
+}
+
+func TestNoDetermIgnoresUngatedPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoDeterm, "nodeterm/other")
+}
+
+func TestAliasRetFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AliasRet, "aliasret")
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockHeld, "lockheld/campaign")
+}
+
+func TestLockHeldIgnoresUngatedPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockHeld, "lockheld/other")
+}
+
+func TestSliceArgFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SliceArg, "slicearg")
+}

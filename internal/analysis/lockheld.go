@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeld flags blocking operations reachable while a broker/service/pool
+// mutex is held.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: `forbid blocking operations while a mutex is held
+
+The campaign broker, the service manager, and the snapshot pool all sit on
+hot paths shared by every worker goroutine: a channel operation, WaitGroup
+wait, sleep, or network/store round-trip made while one of their mutexes is
+held stalls the whole fleet (and can deadlock against the actor loops that
+service those channels). The analysis is intra-procedural: it tracks
+sync.Mutex/RWMutex Lock..Unlock regions (including the Lock-then-defer-
+Unlock idiom, which holds the lock to the end of the function) and flags
+blocking statements inside them. Reviewed exceptions carry //nyx:blocking.`,
+	PkgNames: []string{"campaign", "service", "snappool"},
+	Run:      runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockRegions(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockRegions scans one function body (not descending into nested
+// function literals, which run on their own goroutine or later) for held-
+// mutex regions and flags blocking statements inside them.
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			if recv, ok := mutexCall(pass, stmt, "Lock", "RLock"); ok {
+				from, to := regionAfterLock(pass, stmts[i+1:], body, recv)
+				flagBlockingBetween(pass, body, from, to, recv)
+				continue
+			}
+			// Recurse into nested blocks so locks taken inside an if/for
+			// body are still tracked.
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				walkBlock(s.List)
+			case *ast.IfStmt:
+				walkBlock(s.Body.List)
+				if alt, ok := s.Else.(*ast.BlockStmt); ok {
+					walkBlock(alt.List)
+				}
+			case *ast.ForStmt:
+				walkBlock(s.Body.List)
+			case *ast.RangeStmt:
+				walkBlock(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			}
+		}
+	}
+	walkBlock(body.List)
+}
+
+// regionAfterLock determines the held region following a Lock on recv:
+// if the lock is released by a defer, the region runs to the end of the
+// function; otherwise it runs until the matching Unlock statement (or the
+// end of the surrounding statement list if none is found).
+func regionAfterLock(pass *Pass, rest []ast.Stmt, body *ast.BlockStmt, recv string) (from, to token.Pos) {
+	if len(rest) == 0 {
+		return body.End(), body.End()
+	}
+	from = rest[0].Pos()
+	for _, stmt := range rest {
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if r, ok := mutexCallExpr(pass, d.Call, "Unlock", "RUnlock"); ok && r == recv {
+				return from, body.End()
+			}
+		}
+		if r, ok := mutexCall(pass, stmt, "Unlock", "RUnlock"); ok && r == recv {
+			return from, stmt.Pos()
+		}
+	}
+	return from, rest[len(rest)-1].End()
+}
+
+// mutexCall matches an expression statement calling a sync mutex method in
+// names and returns the rendered receiver expression (e.g. "b.mu").
+func mutexCall(pass *Pass, stmt ast.Stmt, names ...string) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return mutexCallExpr(pass, call, names...)
+}
+
+func mutexCallExpr(pass *Pass, call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return renderExpr(pass.Fset, sel.X), true
+		}
+	}
+	return "", false
+}
+
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// flagBlockingBetween reports blocking operations positioned in [from, to)
+// inside the function body, skipping nested function literals. Channel
+// operations that are a select's comm clauses are not reported separately:
+// the select statement itself is the (single) blocking point.
+func flagBlockingBetween(pass *Pass, body *ast.BlockStmt, from, to token.Pos, recv string) {
+	var comms []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms = append(comms, cc.Comm)
+				}
+			}
+		}
+		return true
+	})
+	inComm := func(n ast.Node) bool {
+		for _, c := range comms {
+			if n.Pos() >= c.Pos() && n.End() <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n.Pos() < from || n.Pos() >= to {
+			// Children may still overlap the region.
+			return n.End() > from
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inComm(n) {
+				report(pass, n, recv, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inComm(n) {
+				report(pass, n, recv, "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				report(pass, n, recv, "blocking select")
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCall(pass, n); ok {
+				report(pass, n, recv, name)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *Pass, n ast.Node, recv, what string) {
+	if pass.Allowed(n, "blocking") {
+		return
+	}
+	pass.Reportf(n.Pos(), "%s while %s is held: release the lock first, or annotate a reviewed site with //nyx:blocking", what, recv)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall recognizes calls that can block on other goroutines or on
+// I/O: WaitGroup/Cond waits, sleeps, and network or checkpoint-store
+// round-trips.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "sync" && fn.Name() == "Wait":
+		return "sync." + recvTypeName(fn) + ".Wait", true
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" || pkg == "net/http":
+		return pkg + "." + fn.Name() + " I/O", true
+	case strings.HasSuffix(pkg, "internal/store"):
+		return "store I/O (" + fn.Name() + ")", true
+	}
+	return "", false
+}
+
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoIsClean is the self-check the CI gate depends on: the full
+// analyzer suite over the whole repository must report nothing. Every
+// deliberate exception is annotated at its site with a //nyx: directive, so
+// any new diagnostic is either a real invariant violation or a new
+// exception that needs review and an annotation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	loader := analysis.NewLoader("../..")
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,73 @@
+// Package aliasret is the aliasret fixture: exported functions must not
+// return slices or maps aliasing unexported state.
+package aliasret
+
+import "maps"
+
+type Buf struct {
+	data  []byte
+	stats map[string]int
+	inner struct{ rows [][]int }
+}
+
+func (b *Buf) Data() []byte { // exported getter aliasing an unexported field
+	return b.data // want `exported Data returns \[\]byte aliasing unexported field data`
+}
+
+func (b *Buf) Stats() map[string]int {
+	return b.stats // want `exported Stats returns map\[string\]int aliasing unexported field stats`
+}
+
+func (b *Buf) Window() []byte {
+	return b.data[1:3] // want `exported Window returns \[\]byte aliasing unexported field data`
+}
+
+func (b *Buf) Row(i int) []int {
+	return b.inner.rows[i] // want `exported Row returns \[\]int aliasing unexported field`
+}
+
+func (b *Buf) DataCopy() []byte {
+	return append([]byte(nil), b.data...)
+}
+
+func (b *Buf) StatsCopy() map[string]int {
+	return maps.Clone(b.stats)
+}
+
+func (b *Buf) Fresh() []byte {
+	local := make([]byte, 4)
+	return local
+}
+
+// Documented zero-copy contract, suppressed inline.
+func (b *Buf) RawData() []byte {
+	return b.data //nyx:aliased fixture: documented zero-copy accessor
+}
+
+// RawStats is wholly a zero-copy accessor.
+//
+//nyx:aliased fixture: documented zero-copy accessor
+func (b *Buf) RawStats() map[string]int {
+	return b.stats
+}
+
+// unexported functions are not the API boundary.
+func (b *Buf) data2() []byte {
+	return b.data
+}
+
+var registry []string
+
+func Registry() []string {
+	return registry // want `exported Registry returns \[\]string aliasing package-level state registry`
+}
+
+func Passthrough(p []byte) []byte {
+	return p // caller-owned in, caller-owned out: not internal state
+}
+
+// ByValue still aliases the original backing array even though the receiver
+// struct itself is a copy.
+func (b Buf) ByValue() []byte {
+	return b.data // want `exported ByValue returns \[\]byte aliasing unexported field data`
+}

@@ -1,0 +1,146 @@
+// Package core is a nodeterm fixture: its import path ends in /core, one of
+// the virtual-time packages, so every rule is live here.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()                                // want `time\.Now in virtual-time package`
+	return time.Since(time.Time{}) - time.Until(t0) // want `time\.Since in virtual-time package` `time\.Until in virtual-time package`
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //nyx:wallclock fixture telemetry site
+}
+
+func allowedLineAbove() time.Time {
+	//nyx:wallclock fixture telemetry site
+	return time.Now()
+}
+
+// allowedFuncDoc is wholly a telemetry helper.
+//
+//nyx:wallclock fixture telemetry function
+func allowedFuncDoc() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in virtual-time package`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)
+}
+
+func allowedRand() float64 {
+	return rand.Float64() //nyx:rand fixture-sanctioned jitter
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a later sort`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendLoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}
+
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+func writeInLoop(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `call to WriteString inside range over map`
+	}
+}
+
+func sprintfStoredByKey(m map[string]int, out map[string]string) {
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v) // pure formatting into a map is order-insensitive
+	}
+}
+
+func concatInLoop(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into "s" inside range over map`
+	}
+	return s
+}
+
+func breakInLoop(m map[string]int) {
+	for range m {
+		break // want `break inside range over map picks an arbitrary element`
+	}
+}
+
+func returnPick(m map[string]int) string {
+	for k := range m {
+		return k // want `return of iteration variable picks an arbitrary element`
+	}
+	return ""
+}
+
+func returnConstFromLoop(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true // order-independent predicate: any hit returns the same value
+		}
+	}
+	return false
+}
+
+func sumLoop(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // commutative aggregation stays legal
+	}
+	return n
+}
+
+func allowedMapOrder(m map[string]int) []string {
+	var keys []string
+	//nyx:maporder fixture: order provably washed out downstream
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package other is the nodeterm negative fixture: its import path does not
+// end in a virtual-time package name, so nothing here is flagged even though
+// every forbidden construct appears.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}
+
+func mapOrderIsFineHere(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

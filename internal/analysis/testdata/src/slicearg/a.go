@@ -1,0 +1,69 @@
+// Package slicearg is the slicearg fixture: exported functions must not
+// retain caller-owned slice arguments past the call.
+package slicearg
+
+type Sink struct {
+	buf   []byte
+	lists [][]byte
+	byKey map[string][]byte
+	ch    chan []byte
+}
+
+func (s *Sink) Set(p []byte) {
+	s.buf = p // want `exported Set retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) SetCopy(p []byte) {
+	s.buf = append([]byte(nil), p...) // append(dst, p...) copies: fine
+}
+
+func (s *Sink) SetWindow(p []byte) {
+	s.buf = p[2:8] // want `exported SetWindow retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) Keep(k string, p []byte) {
+	s.byKey[k] = p // want `exported Keep retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) KeepElem(p []byte) {
+	s.lists = append(s.lists, p) // want `exported KeepElem retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) AppendInPlace(p []byte, b byte) {
+	s.buf = append(p, b) // want `exported AppendInPlace retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) Send(p []byte) {
+	s.ch <- p // want `exported Send retains caller-owned slice "p" past the call`
+}
+
+var global []byte
+
+func SetGlobal(p []byte) {
+	global = p // want `exported SetGlobal retains caller-owned slice "p" past the call`
+}
+
+func (s *Sink) LocalUseOnly(p []byte) int {
+	local := p // a local alias does not outlive the call by itself
+	n := 0
+	for _, b := range local {
+		n += int(b)
+	}
+	return n
+}
+
+// keep is unexported: ownership conventions are the package's own business.
+func (s *Sink) keep(p []byte) {
+	s.buf = p
+}
+
+// TakeOwnership documents the transfer.
+//
+//nyx:retains fixture: callee owns p from here on
+func (s *Sink) TakeOwnership(p []byte) {
+	s.buf = p
+}
+
+func (s *Sink) ReviewedInline(p []byte) {
+	s.buf = p //nyx:retains fixture: reviewed ownership transfer
+}

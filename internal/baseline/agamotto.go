@@ -91,8 +91,9 @@ func (a *AgamottoManager) WritePage(pn uint32, data []byte) {
 	a.dirty[pn] = 1
 }
 
-// ReadPage returns the content of page pn (nil = zero).
-func (a *AgamottoManager) ReadPage(pn uint32) []byte { return a.pages[pn] }
+// ReadPage returns a copy of the content of page pn (nil = zero); the live
+// page buffer keeps changing as the manager restores checkpoints.
+func (a *AgamottoManager) ReadPage(pn uint32) []byte { return append([]byte(nil), a.pages[pn]...) }
 
 // Checkpoint creates a snapshot of the current state as a child of the
 // active snapshot, storing the pages dirtied since then.

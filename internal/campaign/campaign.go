@@ -29,6 +29,7 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -388,11 +389,12 @@ func (c *Campaign) ExecsPerSecond() float64 {
 	return float64(c.Execs()) / el
 }
 
-// Crashes returns the globally deduplicated crash findings.
-func (c *Campaign) Crashes() []core.Crash { return c.broker.crashes }
+// Crashes returns a copy of the globally deduplicated crash findings (the
+// broker keeps appending to its own list while workers run).
+func (c *Campaign) Crashes() []core.Crash { return slices.Clone(c.broker.crashes) }
 
-// CoverageLog returns the aggregated coverage-over-time series.
-func (c *Campaign) CoverageLog() []core.CoveragePoint { return c.broker.covLog }
+// CoverageLog returns a copy of the aggregated coverage-over-time series.
+func (c *Campaign) CoverageLog() []core.CoveragePoint { return slices.Clone(c.broker.covLog) }
 
 // CorpusSize returns the number of globally fresh entries the broker has
 // accepted.

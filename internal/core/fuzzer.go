@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/coverage"
@@ -366,8 +367,9 @@ func (f *Fuzzer) PoolEnabled() bool { return f.pool != nil }
 // Coverage returns the number of distinct edges found so far.
 func (f *Fuzzer) Coverage() int { return f.Virgin.Edges() }
 
-// CoverageLog returns the coverage-over-time series.
-func (f *Fuzzer) CoverageLog() []CoveragePoint { return f.covLog }
+// CoverageLog returns a copy of the coverage-over-time series (the fuzzer
+// keeps appending to its own log as it runs).
+func (f *Fuzzer) CoverageLog() []CoveragePoint { return slices.Clone(f.covLog) }
 
 // Elapsed returns virtual campaign time.
 func (f *Fuzzer) Elapsed() time.Duration { return f.Agent.Now() - f.started }

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -545,8 +546,9 @@ func NewSet(devs ...Device) *Set { return &Set{devices: devs} }
 // Add appends a device to the set.
 func (s *Set) Add(d Device) { s.devices = append(s.devices, d) }
 
-// Devices returns the devices in registration order.
-func (s *Set) Devices() []Device { return s.devices }
+// Devices returns a copy of the device list in registration order (the
+// set's own slice grows on Add).
+func (s *Set) Devices() []Device { return slices.Clone(s.devices) }
 
 // Lookup finds a device by name, or nil.
 func (s *Set) Lookup(name string) Device {

@@ -15,8 +15,9 @@ type StateWriter struct {
 	buf []byte
 }
 
-// Bytes returns the serialized stream.
-func (w *StateWriter) Bytes() []byte { return w.buf }
+// Bytes returns the serialized stream. Like bytes.Buffer.Bytes, the slice
+// aliases the writer's buffer and is only valid until the next append.
+func (w *StateWriter) Bytes() []byte { return w.buf } //nyx:aliased bytes.Buffer-style contract; callers copy into guest memory immediately
 
 // U8 appends a byte.
 func (w *StateWriter) U8(v uint8) { w.buf = append(w.buf, v) }

@@ -515,17 +515,29 @@ func (m *Manager) CampaignStatus(id string) (Status, error) {
 // List returns every campaign's status, sorted by id.
 func (m *Manager) List() []Status {
 	m.mu.Lock()
-	gs := make([]*managed, 0, len(m.campaigns))
-	for _, g := range m.campaigns {
-		gs = append(gs, g)
-	}
+	gs := m.campaignsLocked()
 	m.mu.Unlock()
 	out := make([]Status, 0, len(gs))
 	for _, g := range gs {
 		out = append(out, g.snapshot())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// campaignsLocked returns the managed campaigns in ascending id order; the
+// caller holds m.mu. Ranging over the map directly would leak its iteration
+// order into status listings and shutdown sequencing.
+func (m *Manager) campaignsLocked() []*managed {
+	ids := make([]string, 0, len(m.campaigns))
+	for id := range m.campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	gs := make([]*managed, 0, len(ids))
+	for _, id := range ids {
+		gs = append(gs, m.campaigns[id])
+	}
+	return gs
 }
 
 // Pause stops a running campaign at the next slice boundary and writes a
@@ -755,10 +767,7 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
-	gs := make([]*managed, 0, len(m.campaigns))
-	for _, g := range m.campaigns {
-		gs = append(gs, g)
-	}
+	gs := m.campaignsLocked()
 	m.mu.Unlock()
 	var firstErr error
 	for _, g := range gs {

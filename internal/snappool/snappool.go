@@ -147,7 +147,7 @@ func (p *Pool) Touch(e *Entry) {
 // caller falls back to Resolve (which needs the streaming scan anyway to
 // find the longest chainable prefix), and that call does the counting.
 func (p *Pool) LookupDigest(d Digest) *Entry {
-	t0 := time.Now()
+	t0 := time.Now() //nyx:wallclock LookupWall telemetry measures real lookup cost, never virtual time
 	e := p.entries[d]
 	if e != nil {
 		p.stats.Hits++
@@ -155,7 +155,7 @@ func (p *Pool) LookupDigest(d Digest) *Entry {
 		p.Touch(e)
 	}
 	p.stats.Lookups++
-	p.stats.LookupWall += time.Since(t0)
+	p.stats.LookupWall += time.Since(t0) //nyx:wallclock LookupWall telemetry
 	return e
 }
 
@@ -173,10 +173,10 @@ func (p *Pool) Contains(d Digest) bool {
 // strict prefix to chain a creation from, plus the exact prefix's digest
 // for the subsequent Insert.
 func (p *Pool) Resolve(in *spec.Input, ops int) (hit, longest *Entry, digest Digest) {
-	t0 := time.Now()
+	t0 := time.Now() //nyx:wallclock LookupWall telemetry measures real lookup cost, never virtual time
 	hit, longest, digest = p.scan(in, ops)
 	p.stats.Lookups++
-	p.stats.LookupWall += time.Since(t0)
+	p.stats.LookupWall += time.Since(t0) //nyx:wallclock LookupWall telemetry
 	if hit != nil {
 		p.stats.Hits++
 		p.Touch(hit)

@@ -205,7 +205,7 @@ func (m *Machine) RestoreRoot() error {
 	if !m.rootTaken {
 		return ErrNotReady
 	}
-	t0 := time.Now()
+	t0 := time.Now() //nyx:wallclock RestoreWall telemetry measures real restore cost, never virtual time
 	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	before := m.Mem.Stats().PagesReset
 	if err := m.Mem.RestoreRoot(); err != nil {
@@ -249,7 +249,7 @@ func (m *Machine) RestoreIncremental() error {
 	if !m.Mem.HasIncremental() {
 		return mem.ErrNoIncrementalSnapshot
 	}
-	t0 := time.Now()
+	t0 := time.Now() //nyx:wallclock RestoreWall telemetry measures real restore cost, never virtual time
 	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	m.chargeReset(m.Cost.IncRestoreBase, m.Mem.DirtyCount())
 	if err := m.Mem.RestoreIncremental(); err != nil {
@@ -321,7 +321,7 @@ func (m *Machine) RestoreIncrementalSlot(id int) error {
 	if !ok {
 		return mem.ErrNoIncrementalSnapshot
 	}
-	t0 := time.Now()
+	t0 := time.Now() //nyx:wallclock RestoreWall telemetry measures real restore cost, never virtual time
 	defer func() { m.stats.RestoreWall += time.Since(t0) }()
 	reset, err := m.Mem.RestoreIncrementalSlot(id)
 	if err != nil {
