@@ -37,6 +37,8 @@ func main() {
 		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad | adaptive (the sched ablation sweeps all of them)")
 		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget for -ablation snappool / hotpath")
 		benchOut = flag.String("bench-out", experiments.HotpathJSON, "output path for the -ablation hotpath JSON report")
+		benchCmp = flag.String("bench-compare", "", "baseline hotpath JSON to gate the fresh -ablation hotpath run against (exit 1 on regression)")
+		benchTol = flag.Float64("bench-tolerance", 0.15, "allowed one-sided wall-clock regression for -bench-compare (0.15 = 15%)")
 	)
 	flag.Parse()
 
@@ -201,11 +203,37 @@ func main() {
 			if err != nil {
 				fatalf("ablation hotpath: %v", err)
 			}
+			// Wall-clock columns are noisy under scheduler jitter; -reps runs
+			// the identical campaign again and keeps the per-cell minimum (the
+			// deterministic columns must agree, and jitter only adds time).
+			for i := 1; i < *reps; i++ {
+				again, err := experiments.AblationHotpath(cfg.Targets, *dur, *seed, *snapbud)
+				if err != nil {
+					fatalf("ablation hotpath: %v", err)
+				}
+				if rep, err = experiments.MinHotpath(rep, again); err != nil {
+					fatalf("ablation hotpath: %v", err)
+				}
+			}
 			fmt.Println(experiments.RenderHotpath(rep))
 			if err := experiments.WriteHotpathJSON(*benchOut, rep); err != nil {
 				fatalf("ablation hotpath: %v", err)
 			}
 			fmt.Printf("   wall-clock report written to %s\n\n", *benchOut)
+			if *benchCmp != "" {
+				baseline, err := experiments.ReadHotpathJSON(*benchCmp)
+				if err != nil {
+					fatalf("bench-compare: %v", err)
+				}
+				if problems := experiments.CompareHotpath(baseline, rep, *benchTol); len(problems) > 0 {
+					fmt.Fprintf(os.Stderr, "nyx-bench: hotpath regression gate failed against %s:\n", *benchCmp)
+					for _, p := range problems {
+						fmt.Fprintf(os.Stderr, "  %s\n", p)
+					}
+					os.Exit(1)
+				}
+				fmt.Printf("   regression gate passed against %s (tolerance %.0f%%)\n\n", *benchCmp, *benchTol*100)
+			}
 		}
 	}
 

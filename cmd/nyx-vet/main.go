@@ -1,7 +1,10 @@
 // Command nyx-vet runs the repository's analyzer suite (internal/analysis):
-// nodeterm, aliasret, lockheld, and slicearg — the machine-checked versions
-// of the determinism, aliasing, and locking invariants the virtual-time
-// design depends on.
+// nodeterm, aliasret, lockheld, slicearg, lockorder, and hotalloc — the
+// machine-checked versions of the determinism, aliasing, locking, and
+// hot-path allocation invariants the virtual-time design depends on. The
+// nodeterm, lockheld, lockorder, and hotalloc checks are interprocedural:
+// facts propagate through a whole-program call graph, and diagnostics carry
+// the full call chain to the offending source site.
 //
 // Standalone (the mode CI uses):
 //
@@ -68,8 +71,7 @@ func standalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "nyx-vet:", err)
 		return 1
 	}
-	loader := analysis.NewLoader(wd)
-	pkgs, err := loader.Load(patterns...)
+	pkgs, loader, loadTime, cached, err := analysis.LoadShared(wd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nyx-vet:", err)
 		return 1
@@ -85,9 +87,14 @@ func standalone(args []string) int {
 			Analyzer string `json:"analyzer"`
 			Message  string `json:"message"`
 		}
-		out := make([]jsonDiag, 0, len(diags))
+		type jsonReport struct {
+			LoadNs     int64      `json:"load_ns"`
+			LoadCached bool       `json:"load_cached"`
+			Diags      []jsonDiag `json:"diagnostics"`
+		}
+		out := jsonReport{LoadNs: loadTime.Nanoseconds(), LoadCached: cached, Diags: make([]jsonDiag, 0, len(diags))}
 		for _, d := range diags {
-			out = append(out, jsonDiag{loader.Fset.Position(d.Pos).String(), d.Analyzer, d.Message})
+			out.Diags = append(out.Diags, jsonDiag{loader.Fset.Position(d.Pos).String(), d.Analyzer, d.Message})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")

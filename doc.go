@@ -14,12 +14,19 @@
 // regenerating every table and figure (experiments). See README.md for a
 // tour and DESIGN.md for the paper-to-module map.
 //
-// The repository's determinism, aliasing, and locking invariants are
-// machine-checked by a repo-specific analyzer suite (analysis, driven by
-// cmd/nyx-vet, gating CI): virtual-time packages must not read wall clocks
-// or leak map iteration order into output, exported APIs must not return
-// or retain aliased slices (the PR-4 DirtyPages bug class), and nothing
-// may block while a broker/service/pool mutex is held. Deliberate
-// exceptions are annotated in source with reasoned //nyx: directives; see
-// the "Static analysis" section of README.md.
+// The repository's determinism, aliasing, locking, and hot-path allocation
+// invariants are machine-checked by a repo-specific analyzer suite
+// (analysis, driven by cmd/nyx-vet, gating CI). The suite is
+// interprocedural — a whole-program call graph with class-hierarchy
+// interface resolution carries fixed-point per-function facts, and
+// diagnostics report the full call chain to the offending line: virtual-
+// time packages must not reach wall clocks or the global rand generator
+// through any callee, nor leak map iteration order into output; exported
+// APIs must not return or retain aliased slices (the PR-4 DirtyPages bug
+// class); nothing may block while a broker/service/pool mutex is held;
+// mutex acquisition order must be cycle-free (lockorder); and functions on
+// the //nyx:hotpath-marked restore/lookup paths must not heap-allocate
+// (hotalloc). Deliberate exceptions are annotated in source with reasoned
+// //nyx: directives, which suppress the fact at its source and thereby
+// untaint every caller; see the "Static analysis" section of README.md.
 package repro

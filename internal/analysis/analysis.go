@@ -29,6 +29,28 @@
 //   - slicearg: exported functions must not retain caller-owned slice
 //     arguments past the call (the retained-trace bug class the broker's
 //     orderImportsInto scratch rework avoided by hand in PR 5).
+//   - lockorder: the mutex-acquisition partial order across the broker,
+//     service manager, snapshot pool, and checkpoint store must stay
+//     acyclic — the deadlock-freedom guardrail for the broker-sharding
+//     refactor.
+//   - hotalloc: functions marked //nyx:hotpath (slot restore, snapshot
+//     lookup, coverage bucketing, the netemu resumed-run path) must not
+//     heap-allocate, directly or through any call chain.
+//
+// # Interprocedural layer
+//
+// nodeterm, lockheld, lockorder, and hotalloc are backed by a whole-program
+// fact engine (callgraph.go, facts.go): a call graph over every loaded
+// package — static calls plus CHA resolution of interface method calls —
+// carries per-function summaries (reads-wallclock, uses-global-rand,
+// may-block, locks-acquired, allocates) to a fixed point. Diagnostics for
+// transitive findings include the full witness chain, e.g.
+//
+//	call that may block: campaign.(*Broker).flush (channel send at broker.go:88) while b.mu is held
+//
+// so a suppression is reviewable without re-deriving the path by hand. A
+// directive placed at the *source* site (the time.Now call, the allocation)
+// suppresses the fact itself: a reviewed source does not taint its callers.
 //
 // # Directives
 //
@@ -42,6 +64,9 @@
 //	//nyx:aliased <why>    - documented zero-copy return (aliasret)
 //	//nyx:blocking <why>   - reviewed blocking call under lock (lockheld)
 //	//nyx:retains <why>    - documented ownership transfer (slicearg)
+//	//nyx:lockorder <why>  - reviewed acquisition-order edge (lockorder)
+//	//nyx:hotpath          - marks a function as allocation-free hot path (hotalloc)
+//	//nyx:alloc <why>      - reviewed cold-path allocation (hotalloc)
 package analysis
 
 import (
@@ -59,25 +84,24 @@ type Analyzer struct {
 	Name string
 	Doc  string
 
-	// PkgNames restricts the analyzer to packages whose import path ends in
-	// one of these elements (e.g. "core" matches repro/internal/core). An
-	// empty list applies the analyzer to every package.
-	PkgNames []string
+	// PkgPaths restricts the analyzer to packages with exactly these import
+	// paths (e.g. "repro/internal/core"). An empty list applies the
+	// analyzer to every package. Matching is on the full path: gating by
+	// the path's base name would also capture unrelated dependencies that
+	// happen to end in the same element (any future dep ending in /core
+	// would silently inherit the virtual-time contract).
+	PkgPaths []string
 
 	Run func(*Pass) error
 }
 
 // AppliesTo reports whether the analyzer runs on the given import path.
 func (a *Analyzer) AppliesTo(pkgPath string) bool {
-	if len(a.PkgNames) == 0 {
+	if len(a.PkgPaths) == 0 {
 		return true
 	}
-	base := pkgPath
-	if i := strings.LastIndexByte(base, '/'); i >= 0 {
-		base = base[i+1:]
-	}
-	for _, n := range a.PkgNames {
-		if base == n {
+	for _, p := range a.PkgPaths {
+		if pkgPath == p {
 			return true
 		}
 	}
@@ -99,6 +123,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	PkgPath   string
+
+	// Prog is the interprocedural view over every package in the Run: the
+	// call graph and the transitive fact summaries (see callgraph.go and
+	// facts.go). Analyzers consult it for reachability checks; purely
+	// intraprocedural analyzers can ignore it.
+	Prog *Program
 
 	Report func(Diagnostic)
 
@@ -208,8 +238,13 @@ func (idx *directiveIndex) allowed(fset *token.FileSet, pos token.Pos, name stri
 }
 
 // Run applies every applicable analyzer to every package and returns the
-// diagnostics sorted by position then analyzer name.
+// diagnostics sorted by position then analyzer name. The interprocedural
+// Program (call graph + fact summaries) is built once over all packages and
+// shared by every pass, so transitive reasoning spans exactly the packages
+// handed to Run: `nyx-vet ./...` sees the whole module, a single-package
+// unit-mode run degrades gracefully to that package's own bodies.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := buildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -223,6 +258,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				PkgPath:   pkg.PkgPath,
+				Prog:      prog,
 			}
 			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
 			if err := a.Run(pass); err != nil {
@@ -258,5 +294,5 @@ func sortDiagnostics(pkgs []*Package, diags []Diagnostic) {
 
 // All returns the full nyx-vet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, AliasRet, LockHeld, SliceArg}
+	return []*Analyzer{NoDeterm, AliasRet, LockHeld, SliceArg, LockOrder, HotAlloc}
 }

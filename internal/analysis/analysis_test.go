@@ -14,14 +14,16 @@ func TestAppliesTo(t *testing.T) {
 		want bool
 	}{
 		{nil, "repro/internal/anything", true},
-		{[]string{"core"}, "repro/internal/core", true},
-		{[]string{"core"}, "core", true},
-		{[]string{"core"}, "repro/internal/coverage", false},
-		{[]string{"core"}, "repro/internal/score", false},
-		{[]string{"core", "vm"}, "repro/internal/vm", true},
+		{[]string{"repro/internal/core"}, "repro/internal/core", true},
+		// Full import paths match exactly: a package that merely shares the
+		// base name (the old matching rule) must not be gated.
+		{[]string{"repro/internal/core"}, "othermod/internal/core", false},
+		{[]string{"repro/internal/core"}, "core", false},
+		{[]string{"repro/internal/core"}, "repro/internal/coverage", false},
+		{[]string{"repro/internal/core", "repro/internal/vm"}, "repro/internal/vm", true},
 	}
 	for _, c := range cases {
-		a := &Analyzer{Name: "x", PkgNames: c.pkgs}
+		a := &Analyzer{Name: "x", PkgPaths: c.pkgs}
 		if got := a.AppliesTo(c.path); got != c.want {
 			t.Errorf("AppliesTo(%v, %q) = %v, want %v", c.pkgs, c.path, got, c.want)
 		}

@@ -12,11 +12,18 @@ import (
 // and on an extra one (a false positive crept in).
 
 func TestNoDetermFixture(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.NoDeterm, "nodeterm/core")
+	analysistest.Run(t, "testdata", analysis.NoDeterm, "repro/internal/core", "ndep")
 }
 
 func TestNoDetermIgnoresUngatedPackages(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.NoDeterm, "nodeterm/other")
+}
+
+// TestNoDetermIgnoresCollidingPackagePaths pins the full-path gating fix:
+// othermod/internal/core shares its base name with the gated
+// repro/internal/core but must not be analyzed.
+func TestNoDetermIgnoresCollidingPackagePaths(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoDeterm, "othermod/internal/core")
 }
 
 func TestAliasRetFixture(t *testing.T) {
@@ -24,7 +31,7 @@ func TestAliasRetFixture(t *testing.T) {
 }
 
 func TestLockHeldFixture(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.LockHeld, "lockheld/campaign")
+	analysistest.Run(t, "testdata", analysis.LockHeld, "repro/internal/campaign")
 }
 
 func TestLockHeldIgnoresUngatedPackages(t *testing.T) {
@@ -33,4 +40,12 @@ func TestLockHeldIgnoresUngatedPackages(t *testing.T) {
 
 func TestSliceArgFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.SliceArg, "slicearg")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "repro/internal/service", "lodep")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotalloc", "hdep")
 }

@@ -1,0 +1,450 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A fact is one boolean summary about a function, computed directly from
+// its body and then propagated transitively through the call graph to a
+// fixed point.
+type factKind int
+
+const (
+	factWallclock factKind = iota // calls time.Now/Since/Until
+	factRand                      // consults the global math/rand generator
+	factMayBlock                  // may block: channel op, select, Wait, sleep, net/store I/O
+	factAllocates                 // performs a heap allocation
+	numFactKinds
+)
+
+func (k factKind) String() string {
+	switch k {
+	case factWallclock:
+		return "reads-wallclock"
+	case factRand:
+		return "uses-global-rand"
+	case factMayBlock:
+		return "may-block"
+	case factAllocates:
+		return "allocates"
+	}
+	return "unknown-fact"
+}
+
+// witness records why a fact holds for a function: either a direct source
+// site in its own body (Callee == nil) or a call to a function that already
+// had the fact (Callee != nil). Chains reconstructed by following witnesses
+// are minimal in call-graph hops because propagation is round-staged.
+type witness struct {
+	Pos    token.Pos
+	Desc   string      // direct witnesses: what the site is, e.g. "time.Now"
+	Callee *types.Func // transitive witnesses: the callee the fact came from
+}
+
+// funcFacts is the per-function summary.
+type funcFacts struct {
+	has [numFactKinds]bool
+	wit [numFactKinds]witness
+	// locks is the set of lock classes the function may acquire, directly
+	// or transitively; each class maps to the witness that introduced it.
+	locks map[string]witness
+}
+
+// maxPropagationRounds bounds fixed-point iteration; negative means
+// "until convergence". Tests lower it to prove that breaking propagation
+// breaks the transitive fixtures (a mutation check on the engine itself).
+var maxPropagationRounds = -1
+
+// SetMaxPropagationRoundsForTest overrides the fixed-point round bound and
+// returns a restore func. Round bound 0 disables transitive propagation
+// entirely, degrading every analyzer to its intraprocedural version.
+func SetMaxPropagationRoundsForTest(n int) (restore func()) {
+	old := maxPropagationRounds
+	maxPropagationRounds = n
+	return func() { maxPropagationRounds = old }
+}
+
+// facts returns the summary for fn, or nil when fn has no node (stdlib or
+// API-only dependency: no body, no facts).
+func (prog *Program) factsOf(fn *types.Func) *funcFacts {
+	if fn == nil {
+		return nil
+	}
+	return prog.facts[fn]
+}
+
+// computeFacts seeds direct facts from every node's body, then propagates
+// them through call sites round by round (Jacobi style: each round only
+// reads the previous round's state) until nothing changes. Round staging
+// plus deterministic node/call ordering makes both the fixed point and the
+// recorded witnesses independent of map iteration order, and yields
+// shortest witness chains.
+func (prog *Program) computeFacts() {
+	prog.facts = make(map[*types.Func]*funcFacts, len(prog.nodes))
+	for _, node := range prog.nodes {
+		prog.facts[node.Fn] = prog.directFacts(node)
+	}
+	round := 0
+	for {
+		if maxPropagationRounds >= 0 && round >= maxPropagationRounds {
+			return
+		}
+		round++
+		type update struct {
+			ff    *funcFacts
+			kind  factKind
+			class string // lock class updates only
+			wit   witness
+		}
+		var updates []update
+		// seen dedupes updates within the round without mutating the state
+		// the scan reads: the scan must only observe the previous round's
+		// fixed state, or chains lose their shortest-path property and
+		// half-committed witnesses could be read back.
+		type updKey struct {
+			ff    *funcFacts
+			kind  factKind
+			class string
+		}
+		seen := make(map[updKey]bool)
+		for _, node := range prog.nodes {
+			ff := prog.facts[node.Fn]
+			for _, site := range node.Calls {
+				for _, callee := range site.Callees {
+					cf := prog.factsOf(callee)
+					if cf == nil || cf == ff {
+						continue
+					}
+					for k := factKind(0); k < numFactKinds; k++ {
+						if !cf.has[k] || ff.has[k] || seen[updKey{ff, k, ""}] {
+							continue
+						}
+						// Detached execution: the spawner still inherits
+						// nondeterminism (the output diverges regardless of
+						// which goroutine reads the clock), but not blocking,
+						// allocation, or lock acquisition.
+						if site.ViaGo && (k == factMayBlock || k == factAllocates) {
+							continue
+						}
+						seen[updKey{ff, k, ""}] = true
+						updates = append(updates, update{ff: ff, kind: k,
+							wit: witness{Pos: site.Pos, Callee: callee}})
+					}
+					if !site.ViaGo {
+						for _, class := range sortedLockClasses(cf.locks) {
+							if _, ok := ff.locks[class]; ok || seen[updKey{ff, 0, class}] {
+								continue
+							}
+							seen[updKey{ff, 0, class}] = true
+							updates = append(updates, update{ff: ff, class: class,
+								wit: witness{Pos: site.Pos, Callee: callee}})
+						}
+					}
+				}
+			}
+		}
+		if len(updates) == 0 {
+			return
+		}
+		for _, u := range updates {
+			if u.class != "" {
+				u.ff.locks[u.class] = u.wit
+			} else {
+				u.ff.has[u.kind] = true
+				u.ff.wit[u.kind] = u.wit
+			}
+		}
+	}
+}
+
+func sortedLockClasses(m map[string]witness) []string {
+	classes := make([]string, 0, len(m))
+	for c := range m {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+// directFacts scans one function body for fact sources. A //nyx: directive
+// at the source site (wallclock, rand, blocking, alloc) suppresses the fact
+// itself: the site was reviewed where it happens, so callers are not
+// tainted by it.
+func (prog *Program) directFacts(node *FuncNode) *funcFacts {
+	ff := &funcFacts{locks: make(map[string]witness)}
+	pkg := node.Pkg
+	idx := prog.pkgDirectives(pkg.PkgPath)
+	allowed := func(pos token.Pos, name string) bool {
+		return idx != nil && idx.allowed(pkg.Fset, pos, name)
+	}
+	set := func(k factKind, pos token.Pos, desc string) {
+		if !ff.has[k] {
+			ff.has[k] = true
+			ff.wit[k] = witness{Pos: pos, Desc: desc}
+		}
+	}
+
+	var walk func(n ast.Node, viaGo bool)
+	walk = func(n ast.Node, viaGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				walkDetachedCall(m.Call, viaGo, walk)
+				prog.scanCallFacts(node, ff, m.Call, true, allowed, set)
+				return false
+			case *ast.DeferStmt:
+				walkDetachedCall(m.Call, viaGo, walk)
+				prog.scanCallFacts(node, ff, m.Call, true, allowed, set)
+				return false
+			case *ast.CallExpr:
+				prog.scanCallFacts(node, ff, m, viaGo, allowed, set)
+			case *ast.SendStmt:
+				if !viaGo && !allowed(m.Pos(), "blocking") {
+					set(factMayBlock, m.Pos(), "channel send")
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !viaGo && !allowed(m.Pos(), "blocking") {
+					set(factMayBlock, m.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				if !viaGo && !selectHasDefault(m) && !allowed(m.Pos(), "blocking") {
+					set(factMayBlock, m.Pos(), "blocking select")
+				}
+			}
+			if !viaGo {
+				prog.scanAllocFacts(node, ff, m, allowed, set)
+			}
+			return true
+		})
+	}
+	walk(node.Decl.Body, false)
+	return ff
+}
+
+// scanCallFacts records facts arising directly from one call expression:
+// wall-clock reads, global rand, known-blocking stdlib/store calls, and
+// direct lock acquisitions.
+func (prog *Program) scanCallFacts(node *FuncNode, ff *funcFacts, call *ast.CallExpr,
+	viaGo bool, allowed func(token.Pos, string) bool, set func(factKind, token.Pos, string)) {
+
+	pkg := node.Pkg
+	fn := calleeFuncInfo(pkg.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		if !allowed(call.Pos(), "wallclock") {
+			set(factWallclock, call.Pos(), "time."+fn.Name())
+		}
+	case (path == "math/rand" || path == "math/rand/v2") &&
+		fn.Signature().Recv() == nil && globalRandFns[fn.Name()]:
+		if !allowed(call.Pos(), "rand") {
+			set(factRand, call.Pos(), "rand."+fn.Name())
+		}
+	}
+	if !viaGo {
+		if name, ok := blockingCallInfo(pkg.TypesInfo, call); ok && !allowed(call.Pos(), "blocking") {
+			set(factMayBlock, call.Pos(), name)
+		}
+		if class, ok := prog.lockClassOfCall(pkg, call, "Lock", "RLock"); ok {
+			if _, dup := ff.locks[class]; !dup {
+				ff.locks[class] = witness{Pos: call.Pos(), Desc: class + ".Lock"}
+			}
+		}
+	}
+}
+
+// lockClassOfCall resolves a sync.(RW)Mutex method call to its lock class:
+// "pkg.Type.field" for a mutex field, "pkg.var" for a package-level mutex,
+// or "pkg.func.var" for a local. The class names the mutex *variable*, so
+// every acquisition of the same mutex maps to the same partial-order node.
+func (prog *Program) lockClassOfCall(pkg *Package, call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	match := false
+	for _, name := range names {
+		if fn.Name() == name {
+			match = true
+		}
+	}
+	if !match {
+		return "", false
+	}
+	return lockClassOfExpr(pkg, sel.X)
+}
+
+// lockClassOfExpr names the mutex denoted by e.
+func lockClassOfExpr(pkg *Package, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// recv.mu (possibly through more selectors): class is the owning
+		// named type plus the field chain.
+		if obj, ok := pkg.TypesInfo.Uses[x.Sel].(*types.Var); ok && obj.IsField() {
+			if owner := fieldOwner(pkg, x); owner != "" {
+				return owner + "." + x.Sel.Name, true
+			}
+			return pkgName(obj.Pkg()) + ".?." + x.Sel.Name, true
+		}
+		if obj, ok := pkg.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			// pkg-qualified package-level var: other.mu
+			return pkgName(obj.Pkg()) + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		obj, ok := pkg.TypesInfo.Uses[x].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return pkgName(obj.Pkg()) + "." + obj.Name(), true
+		}
+		// Function-local mutex: class it by identifier name; local locks
+		// cannot deadlock across functions but still order against fields
+		// acquired while held.
+		return pkgName(pkg.Types) + ".local." + obj.Name(), true
+	}
+	return "", false
+}
+
+// fieldOwner names the struct type owning the selected field, e.g.
+// "service.Manager" for g.mu where g is a *Manager.
+func fieldOwner(pkg *Package, sel *ast.SelectorExpr) string {
+	t := pkg.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return ""
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return pkgName(n.Obj().Pkg()) + "." + n.Obj().Name()
+	}
+	return ""
+}
+
+func pkgName(p *types.Package) string {
+	if p == nil {
+		return "?"
+	}
+	return p.Name()
+}
+
+// calleeFuncInfo is calleeFunc without a Pass: resolves a call's callee to
+// a *types.Func when it is a direct function or method reference.
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// blockingCallInfo is blockingCall without a Pass.
+func blockingCallInfo(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFuncInfo(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "sync" && fn.Name() == "Wait":
+		return "sync." + recvTypeName(fn) + ".Wait", true
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" || pkg == "net/http":
+		return pkg + "." + fn.Name() + " I/O", true
+	case strings.HasSuffix(pkg, "internal/store"):
+		return "store I/O (" + fn.Name() + ")", true
+	}
+	return "", false
+}
+
+// chain renders the witness chain explaining why fact k holds for fn,
+// starting from a call site in the reporting function:
+//
+//	mem.(*Manager).RestoreRoot → device.Set.LoadSnapshots → time.Now (device/device.go:42)
+//
+// The final element is the direct source with its position.
+func (prog *Program) chain(fn *types.Func, k factKind) string {
+	var parts []string
+	for hops := 0; fn != nil && hops < 64; hops++ {
+		ff := prog.factsOf(fn)
+		if ff == nil || !ff.has[k] {
+			break
+		}
+		w := ff.wit[k]
+		if w.Callee == nil {
+			parts = append(parts, fmt.Sprintf("%s (%s at %s)", shortFuncName(fn), w.Desc, prog.Fset.Position(w.Pos)))
+			return strings.Join(parts, " → ")
+		}
+		parts = append(parts, shortFuncName(fn))
+		fn = w.Callee
+	}
+	return strings.Join(parts, " → ")
+}
+
+// lockChain renders the witness chain for acquisition of class by fn.
+func (prog *Program) lockChain(fn *types.Func, class string) string {
+	var parts []string
+	for hops := 0; fn != nil && hops < 64; hops++ {
+		ff := prog.factsOf(fn)
+		if ff == nil {
+			break
+		}
+		w, ok := ff.locks[class]
+		if !ok {
+			break
+		}
+		if w.Callee == nil {
+			parts = append(parts, fmt.Sprintf("%s (%s at %s)", shortFuncName(fn), w.Desc, prog.Fset.Position(w.Pos)))
+			return strings.Join(parts, " → ")
+		}
+		parts = append(parts, shortFuncName(fn))
+		fn = w.Callee
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortFuncName renders fn as pkgname.Func or pkgname.(*Type).Method —
+// readable in a one-line diagnostic, unlike FullName's full import path.
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		if n, ok := t.(*types.Named); ok {
+			if star != "" {
+				return fmt.Sprintf("%s.(*%s).%s", pkgName(fn.Pkg()), n.Obj().Name(), name)
+			}
+			return fmt.Sprintf("%s.%s.%s", pkgName(fn.Pkg()), n.Obj().Name(), name)
+		}
+	}
+	return pkgName(fn.Pkg()) + "." + name
+}

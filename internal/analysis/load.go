@@ -11,6 +11,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
+	"time"
 )
 
 // Package is one type-checked target package ready for analysis.
@@ -35,6 +38,10 @@ type Loader struct {
 	Dir  string
 	Fset *token.FileSet
 
+	// LoadTime accumulates the wall time spent in Load (go list plus
+	// type-checking); nyx-vet reports it in -json output.
+	LoadTime time.Duration
+
 	meta    map[string]*listPkg
 	resolve map[string]string // source import path -> vendored/actual path
 	checked map[string]*types.Package
@@ -53,6 +60,11 @@ type listPkg struct {
 	Imports    []string
 	ImportMap  map[string]string
 	Standard   bool
+	// DepOnly is set by `go list -deps` on packages that are only in the
+	// output as dependencies of the named patterns — it is what lets one
+	// -deps invocation serve as both the target list and the dependency
+	// universe.
+	DepOnly bool
 }
 
 // NewLoader returns a Loader running the go command in dir.
@@ -69,14 +81,21 @@ func NewLoader(dir string) *Loader {
 }
 
 // Load type-checks the packages matched by the go list patterns and returns
-// them ready for analysis, in go list order.
+// them ready for analysis, in dependency order. One `go list -deps` call
+// provides both the target set (entries without DepOnly) and the dependency
+// metadata; LoadTime accumulates the wall time spent here.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	targets, err := l.list(false, patterns...)
+	start := time.Now()
+	defer func() { l.LoadTime += time.Since(start) }()
+	listed, err := l.list(true, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := l.list(true, patterns...); err != nil {
-		return nil, err
+	var targets []*listPkg
+	for _, p := range listed {
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
 	}
 	for _, t := range targets {
 		if len(t.GoFiles) > 0 {
@@ -117,7 +136,7 @@ func (l *Loader) list(deps bool, patterns ...string) ([]*listPkg, error) {
 	if deps {
 		args = append(args, "-deps")
 	}
-	args = append(args, "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard")
+	args = append(args, "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
@@ -254,4 +273,74 @@ func (l *Loader) parse(m *listPkg, mode parser.Mode) ([]*ast.File, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// ---- process-wide load cache ----
+
+type fileStamp struct {
+	modTime time.Time
+	size    int64
+}
+
+type loadCacheEntry struct {
+	pkgs     []*Package
+	loader   *Loader
+	loadTime time.Duration
+	stamps   map[string]fileStamp
+}
+
+var loadCache = struct {
+	sync.Mutex
+	entries map[string]*loadCacheEntry
+}{entries: make(map[string]*loadCacheEntry)}
+
+// LoadShared is Load behind a process-wide cache keyed by (dir, patterns)
+// and validated against the mtime+size of every target source file: repeat
+// analyzer runs in one process (nyx-vet over several pattern sets, the
+// analysistest suite plus TestRepoIsClean) pay the go list + type-check
+// cost once. A stale or missing file invalidates the entry and reloads.
+func LoadShared(dir string, patterns ...string) ([]*Package, *Loader, time.Duration, bool, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+
+	loadCache.Lock()
+	defer loadCache.Unlock()
+	if e, ok := loadCache.entries[key]; ok && stampsFresh(e.stamps) {
+		return e.pkgs, e.loader, e.loadTime, true, nil
+	}
+
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	e := &loadCacheEntry{pkgs: pkgs, loader: loader, loadTime: loader.LoadTime, stamps: stampPackages(pkgs)}
+	loadCache.entries[key] = e
+	return pkgs, loader, e.loadTime, false, nil
+}
+
+func stampPackages(pkgs []*Package) map[string]fileStamp {
+	stamps := make(map[string]fileStamp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if info, err := os.Stat(name); err == nil {
+				stamps[name] = fileStamp{modTime: info.ModTime(), size: info.Size()}
+			}
+		}
+	}
+	return stamps
+}
+
+func stampsFresh(stamps map[string]fileStamp) bool {
+	for name, s := range stamps {
+		info, err := os.Stat(name)
+		if err != nil || !info.ModTime().Equal(s.modTime) || info.Size() != s.size {
+			return false
+		}
+	}
+	return true
 }

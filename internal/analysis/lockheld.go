@@ -19,15 +19,23 @@ The campaign broker, the service manager, and the snapshot pool all sit on
 hot paths shared by every worker goroutine: a channel operation, WaitGroup
 wait, sleep, or network/store round-trip made while one of their mutexes is
 held stalls the whole fleet (and can deadlock against the actor loops that
-service those channels). The analysis is intra-procedural: it tracks
-sync.Mutex/RWMutex Lock..Unlock regions (including the Lock-then-defer-
-Unlock idiom, which holds the lock to the end of the function) and flags
-blocking statements inside them. Reviewed exceptions carry //nyx:blocking.`,
-	PkgNames: []string{"campaign", "service", "snappool"},
-	Run:      runLockHeld,
+service those channels). The analysis tracks sync.Mutex/RWMutex
+Lock..Unlock regions (including the Lock-then-defer-Unlock idiom, which
+holds the lock to the end of the function) and flags blocking statements
+inside them — both direct ones and calls whose callees may transitively
+block, reported with the full call chain. Calls launched with go or defer
+inside the region run outside it and are not flagged. Reviewed exceptions
+carry //nyx:blocking.`,
+	PkgPaths: []string{
+		"repro/internal/campaign",
+		"repro/internal/service",
+		"repro/internal/snappool",
+	},
+	Run: runLockHeld,
 }
 
 func runLockHeld(pass *Pass) error {
+	sites := passCallSites(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -40,7 +48,7 @@ func runLockHeld(pass *Pass) error {
 				return true
 			}
 			if body != nil {
-				checkLockRegions(pass, body)
+				checkLockRegions(pass, body, sites)
 			}
 			return true
 		})
@@ -48,16 +56,35 @@ func runLockHeld(pass *Pass) error {
 	return nil
 }
 
+// passCallSites indexes the package's resolved call sites by position so
+// the region walk can consult transitive may-block facts (and skip calls
+// detached by go/defer).
+func passCallSites(pass *Pass) map[token.Pos]*CallSite {
+	sites := make(map[token.Pos]*CallSite)
+	if pass.Prog == nil {
+		return sites
+	}
+	for _, node := range pass.Prog.nodes {
+		if node.Pkg.PkgPath != pass.PkgPath {
+			continue
+		}
+		for _, site := range node.Calls {
+			sites[site.Pos] = site
+		}
+	}
+	return sites
+}
+
 // checkLockRegions scans one function body (not descending into nested
 // function literals, which run on their own goroutine or later) for held-
 // mutex regions and flags blocking statements inside them.
-func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+func checkLockRegions(pass *Pass, body *ast.BlockStmt, sites map[token.Pos]*CallSite) {
 	var walkBlock func(stmts []ast.Stmt)
 	walkBlock = func(stmts []ast.Stmt) {
 		for i, stmt := range stmts {
 			if recv, ok := mutexCall(pass, stmt, "Lock", "RLock"); ok {
 				from, to := regionAfterLock(pass, stmts[i+1:], body, recv)
-				flagBlockingBetween(pass, body, from, to, recv)
+				flagBlockingBetween(pass, body, from, to, recv, sites)
 				continue
 			}
 			// Recurse into nested blocks so locks taken inside an if/for
@@ -155,7 +182,7 @@ func renderExpr(fset *token.FileSet, e ast.Expr) string {
 // inside the function body, skipping nested function literals. Channel
 // operations that are a select's comm clauses are not reported separately:
 // the select statement itself is the (single) blocking point.
-func flagBlockingBetween(pass *Pass, body *ast.BlockStmt, from, to token.Pos, recv string) {
+func flagBlockingBetween(pass *Pass, body *ast.BlockStmt, from, to token.Pos, recv string, sites map[token.Pos]*CallSite) {
 	var comms []ast.Stmt
 	ast.Inspect(body, func(n ast.Node) bool {
 		if sel, ok := n.(*ast.SelectStmt); ok {
@@ -202,6 +229,21 @@ func flagBlockingBetween(pass *Pass, body *ast.BlockStmt, from, to token.Pos, re
 		case *ast.CallExpr:
 			if name, ok := blockingCall(pass, n); ok {
 				report(pass, n, recv, name)
+				return true
+			}
+			// Transitive: the callee (or something it reaches) may block.
+			// Calls detached by go/defer run outside the held region.
+			site := sites[n.Pos()]
+			if site == nil || site.ViaGo || site.Call != n {
+				return true
+			}
+			for _, callee := range site.Callees {
+				ff := pass.Prog.factsOf(callee)
+				if ff == nil || !ff.has[factMayBlock] {
+					continue
+				}
+				report(pass, n, recv, "call that may block: "+pass.Prog.chain(callee, factMayBlock))
+				break // one report per site, even with several CHA targets
 			}
 		}
 		return true

@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder flags cycles in the mutex-acquisition partial order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: `forbid cycles in the mutex-acquisition order
+
+The campaign broker, service manager, snapshot pool, and checkpoint store
+each own mutexes that worker goroutines take on overlapping paths; two
+paths acquiring the same pair of locks in opposite order deadlock the
+fleet. The analyzer classes every sync.Mutex/RWMutex by the variable that
+owns it (pkg.Type.field or pkg.var), records an edge A -> B whenever B is
+acquired — directly or via a call chain — while A is held, and reports any
+cycle in the resulting order graph. Same-class self edges are skipped (two
+instances of one type may nest safely). A reviewed edge carries
+//nyx:lockorder <why> on the inner acquisition or call site.`,
+	PkgPaths: []string{
+		"repro/internal/campaign",
+		"repro/internal/service",
+		"repro/internal/snappool",
+		"repro/internal/store",
+	},
+	Run: runLockOrder,
+}
+
+// lockEdge records one observed acquisition ordering: to was acquired
+// while from was held, at pos (in pkgPath), possibly via a call chain
+// starting at viaFn.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	pkgPath  string
+	viaChain string // empty for a direct inner Lock
+}
+
+// collectLockEdges derives the program-wide acquisition-order graph from
+// intraprocedural held regions plus the transitive locks-acquired facts.
+func (prog *Program) collectLockEdges() {
+	for _, node := range prog.nodes {
+		prog.collectNodeLockEdges(node)
+	}
+	sort.Slice(prog.lockEdges, func(i, j int) bool {
+		a, b := prog.lockEdges[i], prog.lockEdges[j]
+		if a.pkgPath != b.pkgPath {
+			return a.pkgPath < b.pkgPath
+		}
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.from+a.to < b.from+b.to
+	})
+}
+
+// heldInterval is one position range during which a lock class is held.
+type heldInterval struct {
+	class    string
+	from, to token.Pos
+}
+
+func (prog *Program) collectNodeLockEdges(node *FuncNode) {
+	pkg := node.Pkg
+	body := node.Decl.Body
+
+	// Phase 1: intraprocedural held intervals and direct Lock sites, using
+	// the same region shape as lockheld (defer-Unlock holds to the end of
+	// the function body).
+	var intervals []heldInterval
+	type lockSite struct {
+		class string
+		pos   token.Pos
+	}
+	var locks []lockSite
+
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if class, ok := prog.lockClassOfCall(pkg, call, "Lock", "RLock"); ok {
+						locks = append(locks, lockSite{class, call.Pos()})
+						from, to := classRegionAfterLock(prog, pkg, stmts[i+1:], body, class)
+						intervals = append(intervals, heldInterval{class, from, to})
+						continue
+					}
+				}
+			}
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				walkBlock(s.List)
+			case *ast.IfStmt:
+				walkBlock(s.Body.List)
+				if alt, ok := s.Else.(*ast.BlockStmt); ok {
+					walkBlock(alt.List)
+				}
+			case *ast.ForStmt:
+				walkBlock(s.Body.List)
+			case *ast.RangeStmt:
+				walkBlock(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			}
+		}
+	}
+	walkBlock(body.List)
+
+	add := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return
+		}
+		if prog.allowedAt(pkg, pos, "lockorder") {
+			return
+		}
+		prog.lockEdges = append(prog.lockEdges, &lockEdge{
+			from: from, to: to, pos: pos, pkgPath: pkg.PkgPath, viaChain: via,
+		})
+	}
+
+	for _, iv := range intervals {
+		// Direct nested acquisitions. The interval starts at the statement
+		// after the outer Lock, so an inner Lock sitting right there is in
+		// the region (the outer lock's own site lies before it).
+		for _, ls := range locks {
+			if ls.pos >= iv.from && ls.pos < iv.to {
+				add(iv.class, ls.class, ls.pos, "")
+			}
+		}
+		// Calls whose callees (transitively) acquire locks. Detached go and
+		// defer calls run outside the held region.
+		for _, site := range node.Calls {
+			if site.ViaGo || site.Pos < iv.from || site.Pos >= iv.to {
+				continue
+			}
+			for _, callee := range site.Callees {
+				cf := prog.factsOf(callee)
+				if cf == nil {
+					continue
+				}
+				for _, class := range sortedLockClasses(cf.locks) {
+					add(iv.class, class, site.Pos, prog.lockChain(callee, class))
+				}
+			}
+		}
+	}
+}
+
+// classRegionAfterLock mirrors lockheld's regionAfterLock but matches the
+// releasing Unlock by lock class instead of rendered receiver text.
+func classRegionAfterLock(prog *Program, pkg *Package, rest []ast.Stmt, body *ast.BlockStmt, class string) (from, to token.Pos) {
+	if len(rest) == 0 {
+		return body.End(), body.End()
+	}
+	from = rest[0].Pos()
+	for _, stmt := range rest {
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if c, ok := prog.lockClassOfCall(pkg, d.Call, "Unlock", "RUnlock"); ok && c == class {
+				return from, body.End()
+			}
+		}
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if c, ok := prog.lockClassOfCall(pkg, call, "Unlock", "RUnlock"); ok && c == class {
+					return from, stmt.Pos()
+				}
+			}
+		}
+	}
+	return from, rest[len(rest)-1].End()
+}
+
+// lockCycle is one reported cycle: the class sequence plus the edges that
+// close it, with a deterministic owner (package, position) choosing which
+// pass reports it.
+type lockCycle struct {
+	classes  []string
+	edges    []*lockEdge
+	ownerPkg string
+	ownerPos token.Pos
+	rendered string
+}
+
+// lockCycles finds every elementary ordering cycle, computed once per
+// program and cached.
+func (prog *Program) lockCyclesFor(a *Analyzer) []*lockCycle {
+	adj := make(map[string]map[string]*lockEdge) // from -> to -> first edge
+	var classes []string
+	seen := make(map[string]bool)
+	note := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for _, e := range prog.lockEdges {
+		note(e.from)
+		note(e.to)
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]*lockEdge)
+		}
+		if adj[e.from][e.to] == nil {
+			adj[e.from][e.to] = e
+		}
+	}
+	sort.Strings(classes)
+
+	// Strongly connected components (iterative Tarjan); any SCC with more
+	// than one class contains at least one ordering cycle.
+	sccs := stronglyConnected(classes, adj)
+
+	var cycles []*lockCycle
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		cyc := cycleWithin(scc, adj)
+		if cyc == nil {
+			continue
+		}
+		cycles = append(cycles, prog.finishCycle(a, cyc, adj))
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].rendered < cycles[j].rendered })
+	return cycles
+}
+
+// cycleWithin returns an elementary cycle inside the SCC as its class
+// sequence, deterministically: a DFS from the smallest class following
+// sorted edges restricted to the SCC.
+func cycleWithin(scc []string, adj map[string]map[string]*lockEdge) []string {
+	inSCC := make(map[string]bool, len(scc))
+	for _, c := range scc {
+		inSCC[c] = true
+	}
+	sorted := append([]string(nil), scc...)
+	sort.Strings(sorted)
+	start := sorted[0]
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(c string) []string
+	dfs = func(c string) []string {
+		path = append(path, c)
+		onPath[c] = true
+		var nexts []string
+		for to := range adj[c] {
+			if inSCC[to] {
+				nexts = append(nexts, to)
+			}
+		}
+		sort.Strings(nexts)
+		for _, to := range nexts {
+			if to == start && len(path) > 1 {
+				return append([]string(nil), path...)
+			}
+			if !onPath[to] {
+				if cyc := dfs(to); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[c] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+func (prog *Program) finishCycle(a *Analyzer, classSeq []string, adj map[string]map[string]*lockEdge) *lockCycle {
+	cyc := &lockCycle{classes: classSeq}
+	var parts []string
+	for i, c := range classSeq {
+		next := classSeq[(i+1)%len(classSeq)]
+		e := adj[c][next]
+		cyc.edges = append(cyc.edges, e)
+		where := prog.Fset.Position(e.pos).String()
+		if e.viaChain != "" {
+			parts = append(parts, fmt.Sprintf("%s → %s (at %s via %s)", c, next, where, e.viaChain))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s → %s (at %s)", c, next, where))
+		}
+	}
+	cyc.rendered = strings.Join(parts, "; ")
+	// Owner: the first edge (in the deterministic global edge order) whose
+	// package has a lockorder pass; the cycle is reported exactly once,
+	// there. Fallback: the first edge's package.
+	for _, e := range prog.lockEdges {
+		if !edgeInCycle(e, cyc) {
+			continue
+		}
+		if a.AppliesTo(e.pkgPath) {
+			cyc.ownerPkg, cyc.ownerPos = e.pkgPath, e.pos
+			return cyc
+		}
+		if cyc.ownerPkg == "" {
+			cyc.ownerPkg, cyc.ownerPos = e.pkgPath, e.pos
+		}
+	}
+	return cyc
+}
+
+func edgeInCycle(e *lockEdge, cyc *lockCycle) bool {
+	for _, ce := range cyc.edges {
+		if e.from == ce.from && e.to == ce.to {
+			return true
+		}
+	}
+	return false
+}
+
+func runLockOrder(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	for _, cyc := range prog.lockCyclesFor(pass.Analyzer) {
+		if cyc.ownerPkg != pass.PkgPath {
+			continue
+		}
+		pass.Reportf(cyc.ownerPos, "lock acquisition order cycle: %s — two paths can take these locks in opposite order and deadlock; fix the order, or annotate a reviewed edge with //nyx:lockorder", cyc.rendered)
+	}
+	return nil
+}
+
+// stronglyConnected returns the SCCs of the class graph (iterative Tarjan,
+// deterministic over the sorted class and edge order).
+func stronglyConnected(classes []string, adj map[string]map[string]*lockEdge) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	sortedAdj := func(c string) []string {
+		var out []string
+		for to := range adj[c] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	for _, root := range classes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var frames []frame
+		push := func(c string) {
+			index[c] = next
+			low[c] = next
+			next++
+			stack = append(stack, c)
+			onStack[c] = true
+			frames = append(frames, frame{node: c, succs: sortedAdj(c)})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				succ := f.succs[f.i]
+				f.i++
+				if _, ok := index[succ]; !ok {
+					push(succ)
+				} else if onStack[succ] {
+					if index[succ] < low[f.node] {
+						low[f.node] = index[succ]
+					}
+				}
+				continue
+			}
+			// Pop.
+			c := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[c] < low[parent.node] {
+					low[parent.node] = low[c]
+				}
+			}
+			if low[c] == index[c] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == c {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

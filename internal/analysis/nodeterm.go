@@ -12,7 +12,16 @@ import (
 // campaign layer whose checkpoints must replay bit-for-bit, and the service
 // layer whose event feeds must be resume-equivalent across backends.
 var virtualTimePkgs = []string{
-	"core", "campaign", "coverage", "snappool", "mem", "device", "vm", "netemu", "spec", "service",
+	"repro/internal/core",
+	"repro/internal/campaign",
+	"repro/internal/coverage",
+	"repro/internal/snappool",
+	"repro/internal/mem",
+	"repro/internal/device",
+	"repro/internal/vm",
+	"repro/internal/netemu",
+	"repro/internal/spec",
+	"repro/internal/service",
 }
 
 // NoDeterm forbids wall-clock reads, global math/rand use, and map-iteration
@@ -26,10 +35,12 @@ Virtual-time packages must produce byte-identical outputs for identical
 cross-PR coverage-column comparisons depend on it. This analyzer flags
 time.Now/Since/Until, the global math/rand generator, and range-over-map
 loops whose iteration order can escape (append to an outer slice that is
-never sorted, writes to an encoder/printer, or an early exit). Annotate
-deliberate telemetry sites with //nyx:wallclock, seeded-elsewhere rand with
+never sorted, writes to an encoder/printer, or an early exit). Calls into
+non-gated module code that transitively reaches the wall clock or global
+rand are flagged at the call site with the full chain. Annotate deliberate
+telemetry sites with //nyx:wallclock, seeded-elsewhere rand with
 //nyx:rand, and provably order-insensitive loops with //nyx:maporder.`,
-	PkgNames: virtualTimePkgs,
+	PkgPaths: virtualTimePkgs,
 	Run:      runNoDeterm,
 }
 
@@ -60,7 +71,59 @@ func runNoDeterm(pass *Pass) error {
 			return true
 		})
 	}
+	checkTransitiveNoDeterm(pass)
 	return nil
+}
+
+// checkTransitiveNoDeterm flags calls from this virtual-time package into
+// non-gated module code that transitively reads the wall clock or the
+// global rand generator — the one-call-deep escape the intraprocedural
+// checks cannot see. Callees in gated packages are skipped: their own pass
+// reports the violation (direct or transitive) at the frame closest to the
+// source, so each chain is reported exactly once.
+func checkTransitiveNoDeterm(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	kinds := []struct {
+		kind      factKind
+		directive string
+		what      string
+	}{
+		{factWallclock, "wallclock", "reads the wall clock"},
+		{factRand, "rand", "uses the global rand generator"},
+	}
+	for _, node := range prog.nodes {
+		if node.Pkg.PkgPath != pass.PkgPath {
+			continue
+		}
+		for _, site := range node.Calls {
+			for _, k := range kinds {
+				for _, callee := range site.Callees {
+					if pass.Analyzer.AppliesTo(calleePkgPath(callee)) {
+						continue
+					}
+					ff := prog.factsOf(callee)
+					if ff == nil || !ff.has[k.kind] {
+						continue
+					}
+					if !pass.Allowed(site.Call, k.directive) {
+						pass.Reportf(site.Pos, "call from virtual-time package %s transitively %s: %s (annotate a reviewed site with //nyx:%s)",
+							pass.PkgPath, k.what, prog.chain(callee, k.kind), k.directive)
+					}
+					break // one report per site per fact kind
+				}
+			}
+		}
+	}
+}
+
+func calleePkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
 }
 
 // calleeFunc resolves a call's callee to a *types.Func when it is a direct

@@ -15,8 +15,7 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole repository")
 	}
-	loader := analysis.NewLoader("../..")
-	pkgs, err := loader.Load("./...")
+	pkgs, loader, _, _, err := analysis.LoadShared("../..", "./...")
 	if err != nil {
 		t.Fatalf("loading repository: %v", err)
 	}

@@ -1,0 +1,15 @@
+// Package hdep is a dependency fixture for the hotalloc transitive tests:
+// Build allocates one helper deep, so a //nyx:hotpath caller only sees the
+// allocation through the propagated allocates fact.
+package hdep
+
+// Build returns a fresh buffer via an internal helper.
+func Build() []byte { return grow() }
+
+func grow() []byte { return make([]byte, 64) }
+
+// Reviewed allocates too, but the site carries //nyx:alloc, so the fact is
+// suppressed at the source and callers are not tainted.
+func Reviewed() []byte {
+	return make([]byte, 64) //nyx:alloc fixture: reviewed cold path
+}

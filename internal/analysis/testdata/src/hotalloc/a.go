@@ -1,0 +1,100 @@
+// Package hotalloc is the hotalloc fixture: only functions whose doc
+// comment carries //nyx:hotpath are gated, and everything else allocates
+// freely. The cases cover every direct allocation rule, the
+// caller-presized and scratch-reuse patterns that stay legal, reviewed
+// //nyx:alloc sites, and transitive allocations through the hdep
+// dependency.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hdep"
+)
+
+type ring struct {
+	buf []byte
+	out []int
+}
+
+//nyx:hotpath
+func makesSlice(n int) []byte {
+	return make([]byte, n) // want `make in //nyx:hotpath function makesSlice`
+}
+
+//nyx:hotpath
+func escapingComposite() *ring {
+	return &ring{} // want `escaping composite literal .* in //nyx:hotpath function escapingComposite`
+}
+
+//nyx:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf \(allocates\) in //nyx:hotpath function formats`
+}
+
+//nyx:hotpath
+func stringConv(b []byte) string {
+	return string(b) // want `string\(\[\]byte\) conversion \(copies\) in //nyx:hotpath function stringConv`
+}
+
+//nyx:hotpath
+func growsLocal(xs []int) int {
+	var tmp []int
+	for _, x := range xs {
+		tmp = append(tmp, x) // want `append grows un-presized local slice "tmp" in //nyx:hotpath function growsLocal`
+	}
+	return len(tmp)
+}
+
+//nyx:hotpath
+func zeroCapReslice(r *ring) {
+	r.buf = append(r.buf[:0:0], 1) // want `append to a zero-capacity reslice`
+}
+
+// reusesScratch is the pattern the hot path is built on: truncate a field
+// slice in place and refill it, reusing the backing array.
+//
+//nyx:hotpath
+func reusesScratch(r *ring, xs []int) {
+	r.out = r.out[:0]
+	for _, x := range xs {
+		r.out = append(r.out, x)
+	}
+}
+
+//nyx:hotpath
+func paramAppend(dst []int, x int) []int {
+	return append(dst, x) // caller presizes dst: exempt
+}
+
+func unmarkedAllocatesFreely(n int) []byte {
+	return make([]byte, n) // not //nyx:hotpath: no gate
+}
+
+//nyx:hotpath
+func reviewedColdPath(ok bool) []byte {
+	if !ok {
+		return make([]byte, 8) //nyx:alloc fixture: failure path, taken at most once per campaign
+	}
+	return nil
+}
+
+//nyx:hotpath
+func callsDep() []byte {
+	return hdep.Build() // want `call from //nyx:hotpath function callsDep allocates: hdep\.Build → hdep\.grow \(make at `
+}
+
+//nyx:hotpath
+func callsReviewedDep() []byte {
+	return hdep.Reviewed() // fact suppressed at its source: clean
+}
+
+//nyx:hotpath
+func reviewedTransitiveCall() []byte {
+	return hdep.Build() //nyx:alloc fixture: reviewed resize-on-overflow path
+}
+
+//nyx:hotpath
+func callsMarkedHelper(n int) []byte {
+	return makesSlice(n) // callee is itself //nyx:hotpath: flagged at its own site, not here
+}

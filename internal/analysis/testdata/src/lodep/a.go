@@ -1,0 +1,18 @@
+// Package lodep is a dependency fixture for the lockorder tests: it owns a
+// package-level mutex that a gated package acquires both directly and
+// through Acquire, whose own acquisition sits one more call down so only
+// fact propagation can see it.
+package lodep
+
+import "sync"
+
+// Mu is the cross-package lock class lodep.Mu.
+var Mu sync.Mutex
+
+// Acquire takes and releases Mu via an internal helper.
+func Acquire() { enter() }
+
+func enter() {
+	Mu.Lock()
+	Mu.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package ndep is a dependency fixture for the nodeterm transitive tests:
+// it is not a virtual-time package itself, and it hides its wall-clock and
+// rand reads one helper deep, so a gated caller can only see them through
+// fact propagation (a direct-call check provably misses them).
+package ndep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock two calls away from any gated caller.
+func Stamp() time.Time { return clock() }
+
+func clock() time.Time { return time.Now() }
+
+// Roll consults the global rand generator two calls away from any gated
+// caller.
+func Roll() int { return dice() }
+
+func dice() int { return rand.Intn(6) }

@@ -1,0 +1,22 @@
+// Package core shares its base name with the gated virtual-time package
+// repro/internal/core but lives at a different import path. Analyzer gating
+// matches full import paths, so nothing here is flagged; under the old
+// base-name matching this whole file would light up.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}
+
+func mapOrderIsFineHere(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,5 +1,5 @@
-// Package campaign is the lockheld fixture: its import path ends in
-// /campaign, one of the gated broker/service/pool packages.
+// Package campaign is the lockheld fixture: its import path is exactly
+// repro/internal/campaign, one of the gated broker/service/pool packages.
 package campaign
 
 import (
@@ -92,4 +92,30 @@ func (b *Broker) noLockAtAll() {
 	b.ch <- 1
 	<-b.ch
 	b.wg.Wait()
+}
+
+// emit blocks two calls deep: only the transitive may-block fact makes the
+// send visible to a caller holding the lock.
+func (b *Broker) emit() { b.relay() }
+
+func (b *Broker) relay() { b.out <- 1 }
+
+func (b *Broker) transitiveSendUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.emit() // want `call that may block: campaign\.\(\*Broker\)\.emit → campaign\.\(\*Broker\)\.relay \(channel send at .*\) while b\.mu is held`
+}
+
+func (b *Broker) transitiveSendAfterUnlock() {
+	b.mu.Lock()
+	n := 1
+	b.mu.Unlock()
+	_ = n
+	b.emit() // lock released: fine
+}
+
+func (b *Broker) reviewedTransitiveSend() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.emit() //nyx:blocking fixture-reviewed: out is buffered and drained by the owner
 }

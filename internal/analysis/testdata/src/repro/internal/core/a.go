@@ -1,5 +1,6 @@
-// Package core is a nodeterm fixture: its import path ends in /core, one of
-// the virtual-time packages, so every rule is live here.
+// Package core is a nodeterm fixture: its import path is exactly
+// repro/internal/core, one of the virtual-time packages, so every rule is
+// live here — including the transitive checks through the ndep dependency.
 package core
 
 import (
@@ -8,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ndep"
 )
 
 func wallClock() time.Duration {
@@ -143,4 +146,26 @@ func sliceRangeIsFine(xs []string) []string {
 		out = append(out, x)
 	}
 	return out
+}
+
+func transitiveWallClock() time.Time {
+	return ndep.Stamp() // want `transitively reads the wall clock: ndep\.Stamp → ndep\.clock \(time\.Now at `
+}
+
+func transitiveRand() int {
+	return ndep.Roll() // want `transitively uses the global rand generator: ndep\.Roll → ndep\.dice \(rand\.Intn at `
+}
+
+func allowedTransitive() time.Time {
+	return ndep.Stamp() //nyx:wallclock fixture: reviewed transitive telemetry read
+}
+
+func directCallee() time.Time {
+	return time.Now() // want `time\.Now in virtual-time package`
+}
+
+func callerOfDirectCallee() time.Time {
+	// The callee's package is itself gated: the violation is reported once,
+	// at the direct site inside directCallee, not again here.
+	return directCallee()
 }

@@ -1,0 +1,96 @@
+// Package service is the lockorder fixture: its import path is exactly
+// repro/internal/service, one of the gated lock-owning packages. The pairs
+// below exercise a direct two-lock cycle, a consistent (legal) order, a
+// reviewed reversed edge, and a cross-package cycle that is only visible
+// through the transitive locks-acquired facts of lodep.Acquire.
+package service
+
+import (
+	"sync"
+
+	"lodep"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+	muG sync.Mutex
+)
+
+// holdsThenAcquireDep holds muG across a call whose callee transitively
+// takes lodep.Mu; depThenLocal takes the same pair in the opposite order.
+func holdsThenAcquireDep() {
+	muG.Lock()
+	lodep.Acquire() // want `lock acquisition order cycle: lodep\.Mu → service\.muG \(at .*\); service\.muG → lodep\.Mu \(at .* via lodep\.Acquire → lodep\.enter \(lodep\.Mu\.Lock at .*\)\)`
+	muG.Unlock()
+}
+
+func depThenLocal() {
+	lodep.Mu.Lock()
+	muG.Lock()
+	muG.Unlock()
+	lodep.Mu.Unlock()
+}
+
+// forward and reversed take muA and muB in opposite orders: the classic
+// two-path deadlock. The cycle is reported once, at its first edge.
+func forward() {
+	muA.Lock()
+	muB.Lock() // want `lock acquisition order cycle: service\.muA → service\.muB \(at .*\); service\.muB → service\.muA \(at .*\)`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func reversed() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// consistentOne and consistentTwo agree on the order: no cycle.
+func consistentOne() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func consistentTwo() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+// reviewedForward and reviewedReversed would form a cycle, but the reversed
+// edge was reviewed: the directive removes it from the order graph.
+func reviewedForward() {
+	muE.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func reviewedReversed() {
+	muF.Lock()
+	//nyx:lockorder fixture-reviewed: reviewedReversed never runs concurrently with reviewedForward
+	muE.Lock()
+	muE.Unlock()
+	muF.Unlock()
+}
+
+// relockSameClass nests two acquisitions of one class: self edges are
+// skipped (distinct instances of one type may nest safely).
+type node struct{ mu sync.Mutex }
+
+func relockSameClass(a, b *node) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -138,6 +138,8 @@ func (t *Trace) Bucketed() []BucketHit {
 // loop that snapshots many traces — the campaign sync path's shape — reuses
 // one allocation instead of paying a fresh []BucketHit per call. The result
 // aliases dst and is only valid until the next reuse.
+//
+//nyx:hotpath
 func (t *Trace) BucketedInto(dst []BucketHit) []BucketHit {
 	dst = dst[:0]
 	for _, i := range t.touched {

@@ -302,6 +302,8 @@ func (d *BlockDevice) SaveSnapshot() Snapshot {
 // cleared, so a repeat restore costs O(sectors written since the previous
 // restore) instead of O(delta). Reads fall through shared to the untouched
 // base image; writes shadow the frozen delta in l1.
+//
+//nyx:hotpath
 func (d *BlockDevice) LoadSnapshot(s Snapshot) {
 	sn := s.(*blockSnap)
 	d.shared = sn.delta
@@ -416,9 +418,16 @@ func (n *NIC) capture() nicState {
 	return st
 }
 
+// apply restores queue state into the NIC's own backing arrays. Reslicing
+// to [:0] (not [:0:0]) reuses the live arrays across restores: snapshots
+// never alias them — capture copies the queue headers into fresh arrays and
+// frame buffers are immutable once enqueued — so the only effect is that
+// the per-restore reallocation disappears.
+//
+//nyx:hotpath
 func (n *NIC) apply(st nicState) {
-	n.RxQueue = append(n.RxQueue[:0:0], st.RxQueue...)
-	n.TxQueue = append(n.TxQueue[:0:0], st.TxQueue...)
+	n.RxQueue = append(n.RxQueue[:0], st.RxQueue...)
+	n.TxQueue = append(n.TxQueue[:0], st.TxQueue...)
 	n.RxBytes = st.RxBytes
 	n.TxBytes = st.TxBytes
 	n.Up = st.Up
@@ -447,6 +456,8 @@ func (n *NIC) DropIncremental() { n.incActive = false }
 func (n *NIC) SaveSnapshot() Snapshot { st := n.capture(); return &st }
 
 // LoadSnapshot implements Device.
+//
+//nyx:hotpath
 func (n *NIC) LoadSnapshot(s Snapshot) {
 	n.apply(*s.(*nicState))
 	n.incActive = false
@@ -516,9 +527,13 @@ func (s *Serial) SaveSnapshot() Snapshot {
 	return append([]byte(nil), s.Log...)
 }
 
-// LoadSnapshot implements Device.
+// LoadSnapshot implements Device. The log's own backing array is reused
+// ([:0], not [:0:0]): SaveSnapshot hands out fresh copies, so no snapshot
+// aliases s.Log and the copy-in cannot corrupt captured state.
+//
+//nyx:hotpath
 func (s *Serial) LoadSnapshot(sn Snapshot) {
-	s.Log = append(s.Log[:0:0], sn.([]byte)...)
+	s.Log = append(s.Log[:0], sn.([]byte)...)
 	s.incActive = false
 }
 

@@ -245,3 +245,143 @@ func RenderHotpath(rep *HotpathReport) string {
 	}
 	return b.String()
 }
+
+// ReadHotpathJSON loads a previously written hotpath report (the committed
+// BENCH_hotpath.json baseline, for the CI regression gate).
+func ReadHotpathJSON(path string) (*HotpathReport, error) {
+	if path == "" {
+		path = HotpathJSON
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hotpath baseline: %w", err)
+	}
+	rep := new(HotpathReport)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("experiments: hotpath baseline %s: %w", path, err)
+	}
+	if rep.Schema != hotpathSchema {
+		return nil, fmt.Errorf("experiments: hotpath baseline %s: schema %q, want %q", path, rep.Schema, hotpathSchema)
+	}
+	return rep, nil
+}
+
+// CompareHotpath checks a fresh hotpath report against a baseline and
+// returns one problem string per violated bound (empty means the gate
+// passes). Two kinds of columns are gated:
+//
+//   - Deterministic campaign outcomes (edges, execs, full-prefix re-execs)
+//     must match the baseline exactly: the campaigns run at equal virtual
+//     time and equal seed, so any drift is a determinism regression.
+//   - Wall-clock hot-path costs (ns per restore, ns per lookup) and the
+//     CoW-break-to-reset page ratio may not exceed the baseline by more
+//     than tol (one-sided: getting faster never fails the gate).
+//
+// The reports must describe the same experiment (virtual duration, seed,
+// pool budget); anything else is reported as a single incomparability
+// problem.
+func CompareHotpath(baseline, fresh *HotpathReport, tol float64) []string {
+	if baseline.VirtSeconds != fresh.VirtSeconds || baseline.Seed != fresh.Seed ||
+		baseline.BudgetBytes != fresh.BudgetBytes {
+		return []string{fmt.Sprintf(
+			"reports are not comparable: baseline ran %v virt-s seed %d budget %d, fresh ran %v virt-s seed %d budget %d",
+			baseline.VirtSeconds, baseline.Seed, baseline.BudgetBytes,
+			fresh.VirtSeconds, fresh.Seed, fresh.BudgetBytes)}
+	}
+	freshRows := make(map[string]HotpathRow, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshRows[r.Target+"/"+r.Config] = r
+	}
+	var problems []string
+	for _, b := range baseline.Rows {
+		cell := b.Target + "/" + b.Config
+		f, ok := freshRows[cell]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: cell missing from fresh report", cell))
+			continue
+		}
+		exact := []struct {
+			name      string
+			base, got uint64
+		}{
+			{"edges", uint64(b.Edges), uint64(f.Edges)},
+			{"execs", b.Execs, f.Execs},
+			{"full_prefix_reexecs", b.FullPrefixReexecs, f.FullPrefixReexecs},
+		}
+		for _, c := range exact {
+			if c.base != c.got {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s = %d, baseline %d (equal-virtual-time campaigns must reproduce exactly)",
+					cell, c.name, c.got, c.base))
+			}
+		}
+		problems = appendRatioProblem(problems, cell, "ns_per_restore", b.NSPerRestore, f.NSPerRestore, tol)
+		if b.Lookups > 0 {
+			problems = appendRatioProblem(problems, cell, "ns_per_lookup", b.NSPerLookup, f.NSPerLookup, tol)
+		}
+		if b.PagesReset > 0 && f.PagesReset > 0 {
+			baseRatio := float64(b.PagesCoWBroken) / float64(b.PagesReset)
+			freshRatio := float64(f.PagesCoWBroken) / float64(f.PagesReset)
+			problems = appendRatioProblem(problems, cell, "pages_cow_broken/pages_reset", baseRatio, freshRatio, tol)
+		}
+	}
+	return problems
+}
+
+// appendRatioProblem records a one-sided bound violation: got may not
+// exceed base*(1+tol). A zero baseline gates nothing (the metric was not
+// measured in the baseline run).
+func appendRatioProblem(problems []string, cell, name string, base, got, tol float64) []string {
+	if base <= 0 {
+		return problems
+	}
+	limit := base * (1 + tol)
+	if got > limit {
+		problems = append(problems, fmt.Sprintf(
+			"%s: %s = %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+			cell, name, got, base, tol*100, limit))
+	}
+	return problems
+}
+
+// MinHotpath merges two reps of the same hotpath experiment by taking the
+// per-cell minimum of every wall-clock column — the standard noise-robust
+// timing estimator, since scheduler jitter only ever adds time. The
+// deterministic campaign columns must agree between reps (equal virtual
+// time, equal seed: a mismatch means the run itself is nondeterministic and
+// no wall-clock comparison is meaningful).
+func MinHotpath(a, b *HotpathReport) (*HotpathReport, error) {
+	if a.VirtSeconds != b.VirtSeconds || a.Seed != b.Seed || a.BudgetBytes != b.BudgetBytes {
+		return nil, fmt.Errorf("experiments: MinHotpath: reps ran different experiments")
+	}
+	bRows := make(map[string]HotpathRow, len(b.Rows))
+	for _, r := range b.Rows {
+		bRows[r.Target+"/"+r.Config] = r
+	}
+	out := *a
+	out.Rows = append([]HotpathRow(nil), a.Rows...)
+	for i, ra := range out.Rows {
+		cell := ra.Target + "/" + ra.Config
+		rb, ok := bRows[cell]
+		if !ok {
+			return nil, fmt.Errorf("experiments: MinHotpath: cell %s missing from second rep", cell)
+		}
+		if ra.Edges != rb.Edges || ra.Execs != rb.Execs || ra.Restores != rb.Restores ||
+			ra.FullPrefixReexecs != rb.FullPrefixReexecs ||
+			ra.PagesReset != rb.PagesReset || ra.PagesCoWBroken != rb.PagesCoWBroken {
+			return nil, fmt.Errorf("experiments: MinHotpath: cell %s diverged between reps (campaigns must be deterministic)", cell)
+		}
+		if rb.RestoreWallNS < ra.RestoreWallNS {
+			out.Rows[i].RestoreWallNS = rb.RestoreWallNS
+			out.Rows[i].NSPerRestore = rb.NSPerRestore
+		}
+		if rb.Lookups > 0 && (ra.LookupWallNS == 0 || rb.LookupWallNS < ra.LookupWallNS) {
+			out.Rows[i].LookupWallNS = rb.LookupWallNS
+			out.Rows[i].NSPerLookup = rb.NSPerLookup
+		}
+		if rb.BucketWallNS > 0 && (ra.BucketWallNS == 0 || rb.BucketWallNS < ra.BucketWallNS) {
+			out.Rows[i].BucketWallNS = rb.BucketWallNS
+		}
+	}
+	return &out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -84,5 +85,161 @@ func TestAblationHotpathDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("edges diverge between identical runs: %v vs %v", a, b)
 		}
+	}
+}
+
+// compareFixture builds a baseline/fresh report pair that passes the gate.
+func compareFixture() (*HotpathReport, *HotpathReport) {
+	row := HotpathRow{
+		Target: "tinydtls", Config: "pool",
+		Edges: 100, Execs: 5000, FullPrefixReexecs: 40,
+		Restores: 5100, NSPerRestore: 3000,
+		Lookups: 400, NSPerLookup: 4000,
+		PagesReset: 50000, PagesCoWBroken: 49000,
+	}
+	base := &HotpathReport{Schema: hotpathSchema, VirtSeconds: 10, Seed: 1, BudgetBytes: 1 << 23, Rows: []HotpathRow{row}}
+	fresh := &HotpathReport{Schema: hotpathSchema, VirtSeconds: 10, Seed: 1, BudgetBytes: 1 << 23, Rows: []HotpathRow{row}}
+	return base, fresh
+}
+
+func TestCompareHotpathPasses(t *testing.T) {
+	base, fresh := compareFixture()
+	// Identical reports pass, and so does a fresh run that got faster:
+	// the wall-clock bounds are one-sided.
+	fresh.Rows[0].NSPerRestore = base.Rows[0].NSPerRestore * 0.5
+	fresh.Rows[0].NSPerLookup = base.Rows[0].NSPerLookup * 0.5
+	if problems := CompareHotpath(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("gate should pass: %q", problems)
+	}
+	// Within tolerance passes too.
+	fresh.Rows[0].NSPerRestore = base.Rows[0].NSPerRestore * 1.10
+	if problems := CompareHotpath(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("10%% slower within a 15%% gate should pass: %q", problems)
+	}
+}
+
+func TestCompareHotpathFlagsWallClockRegressions(t *testing.T) {
+	base, fresh := compareFixture()
+	fresh.Rows[0].NSPerRestore = base.Rows[0].NSPerRestore * 1.30
+	problems := CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns_per_restore") {
+		t.Fatalf("want one ns_per_restore problem, got %q", problems)
+	}
+
+	base, fresh = compareFixture()
+	fresh.Rows[0].NSPerLookup = base.Rows[0].NSPerLookup * 2
+	problems = CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns_per_lookup") {
+		t.Fatalf("want one ns_per_lookup problem, got %q", problems)
+	}
+
+	// The CoW ratio bound catches a zero-copy path that started breaking
+	// more pages per reset even if raw counts moved together.
+	base, fresh = compareFixture()
+	fresh.Rows[0].PagesReset = 50000
+	fresh.Rows[0].PagesCoWBroken = 70000
+	problems = CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "pages_cow_broken/pages_reset") {
+		t.Fatalf("want one CoW-ratio problem, got %q", problems)
+	}
+}
+
+func TestCompareHotpathFlagsDeterminismDrift(t *testing.T) {
+	base, fresh := compareFixture()
+	fresh.Rows[0].Edges++
+	fresh.Rows[0].Execs--
+	fresh.Rows[0].FullPrefixReexecs += 2
+	problems := CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 3 {
+		t.Fatalf("want 3 exact-match problems, got %q", problems)
+	}
+	for _, name := range []string{"edges", "execs", "full_prefix_reexecs"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %s problem in %q", name, problems)
+		}
+	}
+}
+
+func TestCompareHotpathIncomparableAndMissingCells(t *testing.T) {
+	base, fresh := compareFixture()
+	fresh.Seed = 2
+	problems := CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "not comparable") {
+		t.Fatalf("want incomparability problem, got %q", problems)
+	}
+
+	base, fresh = compareFixture()
+	fresh.Rows = nil
+	problems = CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "cell missing") {
+		t.Fatalf("want missing-cell problem, got %q", problems)
+	}
+}
+
+func TestReadHotpathJSONRoundTrip(t *testing.T) {
+	base, _ := compareFixture()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteHotpathJSON(path, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHotpathJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0] != base.Rows[0] || got.Seed != base.Seed {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// A report with a foreign schema tag is rejected, not silently gated.
+	bad := *base
+	bad.Schema = "something/else"
+	if err := WriteHotpathJSON(path, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHotpathJSON(path); err == nil {
+		t.Fatal("want schema error")
+	}
+}
+
+func TestMinHotpathKeepsFastestWallClock(t *testing.T) {
+	a, b := compareFixture()
+	a.Rows[0].RestoreWallNS = 15_300_000
+	a.Rows[0].LookupWallNS = 1_600_000
+	b.Rows[0].RestoreWallNS = 20_000_000
+	b.Rows[0].NSPerRestore = 3900
+	b.Rows[0].LookupWallNS = 1_200_000
+	b.Rows[0].NSPerLookup = 3000
+
+	min, err := MinHotpath(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Rows[0].NSPerRestore != 3000 || min.Rows[0].RestoreWallNS != 15_300_000 {
+		t.Fatalf("restore column should come from the faster rep a: %+v", min.Rows[0])
+	}
+	if min.Rows[0].NSPerLookup != 3000 || min.Rows[0].LookupWallNS != 1_200_000 {
+		t.Fatalf("lookup column should come from the faster rep b: %+v", min.Rows[0])
+	}
+	// The deterministic columns are untouched.
+	if min.Rows[0].Edges != a.Rows[0].Edges || min.Rows[0].Execs != a.Rows[0].Execs {
+		t.Fatalf("deterministic columns changed: %+v", min.Rows[0])
+	}
+}
+
+func TestMinHotpathRejectsDivergentReps(t *testing.T) {
+	a, b := compareFixture()
+	b.Rows[0].Execs++
+	if _, err := MinHotpath(a, b); err == nil {
+		t.Fatal("want error for diverging deterministic columns")
+	}
+	a, b = compareFixture()
+	b.Seed = 2
+	if _, err := MinHotpath(a, b); err == nil {
+		t.Fatal("want error for mismatched experiment headers")
 	}
 }

@@ -222,6 +222,8 @@ func (m *Memory) allocPage() []byte {
 }
 
 // retirePage offers a displaced private buffer to the free list.
+//
+//nyx:hotpath
 func (m *Memory) retirePage(p []byte) {
 	if len(m.freePages) < maxFreePages {
 		m.freePages = append(m.freePages, p)
@@ -241,6 +243,8 @@ func (m *Memory) readPage(pn uint32) []byte {
 }
 
 // markDirty records a write to page pn.
+//
+//nyx:hotpath
 func (m *Memory) markDirty(pn uint32) {
 	if m.dirtyBitmap[pn] == 0 {
 		m.dirtyBitmap[pn] = 1
@@ -346,6 +350,8 @@ func (m *Memory) rootPage(pn uint32) []byte { return m.root[pn] }
 // installing an alias to the frozen snapshot storage instead of copying it:
 // O(1) per page regardless of page size. The cow bit makes the next write
 // to the page copy it out first, so the snapshot content stays immutable.
+//
+//nyx:hotpath
 func (m *Memory) resetPage(pn uint32, src []byte) {
 	if old := m.pages[pn]; old != nil && !m.cow[pn] {
 		// A private buffer is being displaced by the alias; recycle it
@@ -369,6 +375,8 @@ func (m *Memory) resetPage(pn uint32, src []byte) {
 
 // snapshotPageFor returns the content page pn must be restored to under the
 // currently selected snapshot (active slot overlay first, then root).
+//
+//nyx:hotpath
 func (m *Memory) snapshotPageFor(pn uint32) []byte {
 	if m.active >= 0 {
 		if p, ok := m.slots[m.active].pages[pn]; ok {
@@ -380,6 +388,8 @@ func (m *Memory) snapshotPageFor(pn uint32) []byte {
 
 // restoreDirty resets every dirty page to the active snapshot content using
 // the configured strategy, then clears dirty tracking.
+//
+//nyx:hotpath
 func (m *Memory) restoreDirty() {
 	switch m.Strategy {
 	case RestoreStack:
@@ -408,6 +418,8 @@ func (m *Memory) restoreDirty() {
 // from an incremental slot — the pages that slot had overlaid. The slots
 // themselves stay restorable (the pool keeps snapshots across root runs);
 // only the derivation returns to the root.
+//
+//nyx:hotpath
 func (m *Memory) RestoreRoot() error {
 	if !m.hasRoot {
 		return ErrNoRootSnapshot
@@ -623,6 +635,8 @@ func (m *Memory) ActiveSlot() int { return m.active }
 // RestoreIncremental resets the VM memory to the active incremental
 // snapshot: dirty pages are restored from the overlay where present and
 // from the root snapshot otherwise (the CoW-mirror lookup of §4.2).
+//
+//nyx:hotpath
 func (m *Memory) RestoreIncremental() error {
 	if m.active != LegacySlot {
 		return ErrNoIncrementalSnapshot
@@ -639,6 +653,8 @@ func (m *Memory) RestoreIncremental() error {
 // overlay covers — still proportional to the deltas involved, never to the
 // VM size. Returns the number of pages reset, which is the restore cost the
 // VM layer charges.
+//
+//nyx:hotpath
 func (m *Memory) RestoreIncrementalSlot(id int) (int, error) {
 	s := m.slots[id]
 	if s == nil || !s.live {

@@ -146,6 +146,8 @@ func (p *Pool) Touch(e *Entry) {
 // the repeat-round fast path. A nil return is NOT counted as a miss: the
 // caller falls back to Resolve (which needs the streaming scan anyway to
 // find the longest chainable prefix), and that call does the counting.
+//
+//nyx:hotpath
 func (p *Pool) LookupDigest(d Digest) *Entry {
 	t0 := time.Now() //nyx:wallclock LookupWall telemetry measures real lookup cost, never virtual time
 	e := p.entries[d]

@@ -64,6 +64,7 @@ func (d *dirStore) sweepStaleTemps() {
 			continue
 		}
 		info, err := e.Info()
+		//nyx:wallclock host-side temp-dir hygiene: picks crashed-run leftovers to delete, never influences checkpoint bytes
 		if err != nil || time.Since(info.ModTime()) < staleAfter {
 			continue
 		}
