@@ -18,6 +18,21 @@ import (
 // SectorSize is the block device sector size in bytes.
 const SectorSize = 512
 
+// Sector write-set profile tuning, mirroring the page-level predictor in
+// package mem: a frozen-delta sector becomes predicted-hot once its
+// saturating hit counter reaches sectorEagerThresh; counters cap at
+// sectorHitCap and halve every sectorDecayEvery loads of the owning
+// snapshot so stale predictions expire.
+const (
+	sectorHitCap      = 15
+	sectorEagerThresh = 2
+	sectorDecayEvery  = 64
+)
+
+// maxFreeSectors bounds the recycled sector-buffer stack shared by shadow
+// writes and eager materializations (32 KiB of 512 B sectors).
+const maxFreeSectors = 64
+
 // Device is the interface all emulated devices implement. The snapshot
 // lifecycle mirrors the VM's: a root snapshot plus at most one incremental
 // snapshot layered on top.
@@ -111,18 +126,47 @@ type BlockDevice struct {
 	// lived in one map.
 	l1Shadowed int
 
+	// curSnap is the pool snapshot the current state derives from (nil
+	// outside a LoadSnapshot cycle). Writes that shadow its frozen delta
+	// feed its write-set profile.
+	curSnap *blockSnap
+
+	// eagerPending holds sectors materialized eagerly at the last
+	// LoadSnapshot and not yet written: written ones score as prediction
+	// hits (removed as the write lands), the rest as misses at the next
+	// cycle boundary.
+	eagerPending map[uint64]struct{}
+
+	// freeSectors recycles sector buffers harvested from the dirty layers
+	// at LoadSnapshot, so steady-state shadow writes and eager
+	// materializations allocate nothing. Bounded; see maxFreeSectors.
+	freeSectors [][]byte
+
+	// DisableEagerCopy forces the pure-alias load path (profiles still
+	// record; only materialization is suppressed). Mirrors mem.
+	DisableEagerCopy bool
+
 	// WritesSinceRoot counts sector writes for cost accounting.
 	WritesSinceRoot uint64
+
+	// SectorsEagerCopied counts frozen-delta sectors materialized into l1
+	// at LoadSnapshot; SectorEagerHits / SectorEagerMisses grade those
+	// predictions (a miss is a materialized sector never written before
+	// the next cycle boundary).
+	SectorsEagerCopied uint64
+	SectorEagerHits    uint64
+	SectorEagerMisses  uint64
 }
 
 // NewBlockDevice creates a disk with nsectors sectors, all zero.
 func NewBlockDevice(name string, nsectors uint64) *BlockDevice {
 	return &BlockDevice{
-		name:     name,
-		nsectors: nsectors,
-		base:     make(map[uint64][]byte),
-		l1:       make(map[uint64][]byte),
-		l2:       make(map[uint64][]byte),
+		name:         name,
+		nsectors:     nsectors,
+		base:         make(map[uint64][]byte),
+		l1:           make(map[uint64][]byte),
+		l2:           make(map[uint64][]byte),
+		eagerPending: make(map[uint64]struct{}),
 	}
 }
 
@@ -170,17 +214,41 @@ func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
 	if len(buf) != SectorSize {
 		return fmt.Errorf("device %s: bad buffer size %d", d.name, len(buf))
 	}
+	if len(d.eagerPending) > 0 {
+		if _, ok := d.eagerPending[sn]; ok {
+			// The predicted write landed: the sector is already private in
+			// l1, so this write shadows nothing and allocates nothing.
+			delete(d.eagerPending, sn)
+			d.SectorEagerHits++
+			if d.curSnap != nil {
+				// Reinforce: materialized sectors never reach the shadow
+				// branch below, so hits must feed the profile themselves.
+				d.curSnap.record(sn)
+			}
+		}
+	}
 	layer := d.l1
 	if d.incActive {
 		layer = d.l2
 	}
 	s, ok := layer[sn]
 	if !ok {
-		s = make([]byte, SectorSize)
+		if n := len(d.freeSectors); n > 0 {
+			s = d.freeSectors[n-1]
+			d.freeSectors = d.freeSectors[:n-1]
+		} else {
+			s = make([]byte, SectorSize)
+		}
 		layer[sn] = s
 		if !d.incActive {
 			if _, shadowed := d.shared[sn]; shadowed {
 				d.l1Shadowed++
+				if d.curSnap != nil {
+					// The shadow write is the prediction signal: a frozen
+					// sector the guest rewrote anyway — the device analogue
+					// of a CoW page break.
+					d.curSnap.record(sn)
+				}
 			}
 		}
 	}
@@ -204,6 +272,8 @@ func (d *BlockDevice) TakeRoot() {
 	d.l1 = make(map[uint64][]byte)
 	d.l2 = make(map[uint64][]byte)
 	d.l1Shadowed = 0
+	d.scoreEagerSectors()
+	d.curSnap = nil
 	d.incActive = false
 	d.WritesSinceRoot = 0
 }
@@ -219,6 +289,8 @@ func (d *BlockDevice) RestoreRoot() {
 	}
 	d.shared = nil
 	d.l1Shadowed = 0
+	d.scoreEagerSectors()
+	d.curSnap = nil
 	d.incActive = false
 	d.WritesSinceRoot = 0
 }
@@ -274,9 +346,93 @@ func (d *BlockDevice) DirtySectors() int {
 // against the base image. The delta map and its sector buffers are frozen
 // at capture time — LoadSnapshot aliases them directly, so they must never
 // be mutated.
+//
+// The snapshot also carries its write-set profile: which frozen-delta
+// sectors executions resumed from it tend to rewrite. hot holds saturating
+// per-sector hit counters; hotList mirrors its keys in first-recorded
+// order so the eager materialization pass (and free-list exhaustion within
+// it) is deterministic — map iteration order never influences which
+// sectors materialize. Invariant: a key is in hot iff it is in hotList;
+// miss-halving floors counters at zero in place, and decay prunes the
+// zeros from both.
 type blockSnap struct {
 	delta  map[uint64][]byte
 	writes uint64
+
+	hot     map[uint64]uint8
+	hotList []uint64
+	loads   int
+}
+
+// record notes a shadow write (or a confirmed eager materialization) of
+// frozen sector sec.
+func (sn *blockSnap) record(sec uint64) {
+	if sn.hot == nil {
+		sn.hot = make(map[uint64]uint8)
+	}
+	c, ok := sn.hot[sec]
+	if !ok {
+		sn.hotList = append(sn.hotList, sec)
+	}
+	if c < sectorHitCap {
+		sn.hot[sec] = c + 1
+	}
+}
+
+// decay halves every counter and prunes the ones that reach zero,
+// traversing hotList so the surviving order stays deterministic.
+func (sn *blockSnap) decay() {
+	sn.loads = 0
+	keep := sn.hotList[:0]
+	for _, sec := range sn.hotList {
+		if c := sn.hot[sec] >> 1; c == 0 {
+			delete(sn.hot, sec)
+		} else {
+			sn.hot[sec] = c
+			keep = append(keep, sec)
+		}
+	}
+	sn.hotList = keep
+}
+
+// harvest reclaims a dirty layer's sector buffers into the bounded free
+// stack before the layer is cleared, so the next cycle's materializations
+// and shadow writes reuse them instead of allocating.
+//
+//nyx:hotpath
+func (d *BlockDevice) harvest(layer map[uint64][]byte) {
+	// Which buffers survive the cap, and in what order, is unobservable:
+	// they are fungible scratch whose content is fully overwritten on reuse.
+	//nyx:maporder recycled buffers are fungible; order cannot escape
+	for _, b := range layer {
+		if len(d.freeSectors) >= maxFreeSectors {
+			break
+		}
+		d.freeSectors = append(d.freeSectors, b)
+	}
+}
+
+// scoreEagerSectors charges every still-pending eager materialization as a
+// prediction miss (written ones already scored as hits in WriteSector) and
+// halves its counter, so mispredicted sectors fall back to the alias path.
+// Runs at every cycle boundary before a new delta is installed.
+//
+//nyx:hotpath
+func (d *BlockDevice) scoreEagerSectors() {
+	if len(d.eagerPending) == 0 {
+		return
+	}
+	// Per-key halving only: the map iteration order cannot influence the
+	// outcome (pruning happens later, in hotList order, at decay time).
+	for sec := range d.eagerPending {
+		d.SectorEagerMisses++
+		if d.curSnap != nil {
+			if c, ok := d.curSnap.hot[sec]; ok {
+				d.curSnap.hot[sec] = c >> 1
+			}
+		}
+	}
+	clear(d.eagerPending)
 }
 
 // SaveSnapshot implements Device: flatten the caching layers into one
@@ -303,19 +459,56 @@ func (d *BlockDevice) SaveSnapshot() Snapshot {
 // restore) instead of O(delta). Reads fall through shared to the untouched
 // base image; writes shadow the frozen delta in l1.
 //
+// Predicted-hot delta sectors (per the snapshot's write-set profile) are
+// materialized into l1 up front, in recycled buffers harvested from the
+// layers being cleared, so the shadow write that would otherwise follow
+// costs neither an allocation nor a shadow-count update. Each
+// materialization bumps l1Shadowed, so DirtySectors — and with it the
+// VM layer's per-restore device charge — is identical on both paths.
+//
 //nyx:hotpath
 func (d *BlockDevice) LoadSnapshot(s Snapshot) {
 	sn := s.(*blockSnap)
+	d.scoreEagerSectors()
 	d.shared = sn.delta
 	if len(d.l1) > 0 {
+		d.harvest(d.l1)
 		clear(d.l1)
 	}
 	if len(d.l2) > 0 {
+		d.harvest(d.l2)
 		clear(d.l2)
 	}
 	d.l1Shadowed = 0
 	d.incActive = false
 	d.WritesSinceRoot = sn.writes
+	d.curSnap = sn
+	if sn.loads++; sn.loads >= sectorDecayEvery {
+		sn.decay()
+	}
+	if d.DisableEagerCopy || len(sn.hotList) == 0 {
+		return
+	}
+	for _, sec := range sn.hotList {
+		if sn.hot[sec] < sectorEagerThresh {
+			continue
+		}
+		src, ok := sn.delta[sec]
+		if !ok {
+			continue // prediction outlived the delta
+		}
+		n := len(d.freeSectors)
+		if n == 0 {
+			break // alias path covers the rest; deterministic (hotList order)
+		}
+		buf := d.freeSectors[n-1]
+		d.freeSectors = d.freeSectors[:n-1]
+		copy(buf, src)
+		d.l1[sec] = buf
+		d.l1Shadowed++
+		d.eagerPending[sec] = struct{}{}
+		d.SectorsEagerCopied++
+	}
 }
 
 type blockState struct {
@@ -357,6 +550,11 @@ func (d *BlockDevice) LoadState(b []byte) error {
 	d.l1 = make(map[uint64][]byte)
 	d.l2 = make(map[uint64][]byte)
 	d.l1Shadowed = 0
+	d.scoreEagerSectors()
+	d.curSnap = nil
+	if d.eagerPending == nil {
+		d.eagerPending = make(map[uint64]struct{})
+	}
 	d.incActive = false
 	return nil
 }
@@ -492,6 +690,14 @@ type Serial struct {
 	rootLen   int
 	incLen    int
 	incActive bool
+
+	// loaded remembers the pool snapshot the log was last restored to,
+	// while Log[:len(loaded)] still mirrors it. The log is append-only
+	// between restores, so reloading the same frozen snapshot can truncate
+	// in place instead of copying the whole captured log — the hot case
+	// when one pooled slot is restored back-to-back. Any other operation
+	// that truncates or replaces the log clears it.
+	loaded []byte
 }
 
 // NewSerial creates an empty serial console.
@@ -507,7 +713,7 @@ func (s *Serial) WriteString(msg string) { s.Log = append(s.Log, msg...) }
 func (s *Serial) TakeRoot() { s.rootLen = len(s.Log); s.incActive = false }
 
 // RestoreRoot implements Device.
-func (s *Serial) RestoreRoot() { s.Log = s.Log[:s.rootLen]; s.incActive = false }
+func (s *Serial) RestoreRoot() { s.Log = s.Log[:s.rootLen]; s.incActive = false; s.loaded = nil }
 
 // TakeIncremental implements Device.
 func (s *Serial) TakeIncremental() { s.incLen = len(s.Log); s.incActive = true }
@@ -516,6 +722,7 @@ func (s *Serial) TakeIncremental() { s.incLen = len(s.Log); s.incActive = true }
 func (s *Serial) RestoreIncremental() {
 	if s.incActive && len(s.Log) > s.incLen {
 		s.Log = s.Log[:s.incLen]
+		s.loaded = nil
 	}
 }
 
@@ -529,11 +736,19 @@ func (s *Serial) SaveSnapshot() Snapshot {
 
 // LoadSnapshot implements Device. The log's own backing array is reused
 // ([:0], not [:0:0]): SaveSnapshot hands out fresh copies, so no snapshot
-// aliases s.Log and the copy-in cannot corrupt captured state.
+// aliases s.Log and the copy-in cannot corrupt captured state. Reloading
+// the snapshot the log already derives from (same frozen slice, nothing
+// but appends since) truncates in place instead of re-copying.
 //
 //nyx:hotpath
 func (s *Serial) LoadSnapshot(sn Snapshot) {
-	s.Log = append(s.Log[:0], sn.([]byte)...)
+	b := sn.([]byte)
+	if len(b) > 0 && len(s.loaded) == len(b) && &s.loaded[0] == &b[0] && len(s.Log) >= len(b) {
+		s.Log = s.Log[:len(b)]
+	} else {
+		s.Log = append(s.Log[:0], b...)
+		s.loaded = b
+	}
 	s.incActive = false
 }
 
@@ -547,6 +762,7 @@ func (s *Serial) SaveState() ([]byte, error) {
 // LoadState implements Device.
 func (s *Serial) LoadState(b []byte) error {
 	s.Log = append(s.Log[:0:0], b...)
+	s.loaded = nil
 	return nil
 }
 

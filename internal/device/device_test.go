@@ -451,3 +451,125 @@ func TestSetSaveLoadAll(t *testing.T) {
 		t.Fatal("expected missing-device error")
 	}
 }
+
+// TestBlockEagerMaterializationIdentity: a device with eager sector
+// materialization must end every load→write cycle in a state
+// indistinguishable (content and DirtySectors accounting) from a twin
+// forced onto the pure shadow-on-write path.
+func TestBlockEagerMaterializationIdentity(t *testing.T) {
+	run := func(disable bool) *BlockDevice {
+		d := NewBlockDevice("disk0", 32)
+		d.DisableEagerCopy = disable
+		d.TakeRoot()
+		d.WriteSector(3, sector(0x11))
+		d.WriteSector(4, sector(0x22))
+		snap := d.SaveSnapshot()
+		for cycle := 0; cycle < 6; cycle++ {
+			d.LoadSnapshot(snap)
+			d.WriteSector(3, sector(byte(0x30+cycle)))
+		}
+		d.LoadSnapshot(snap)
+		return d
+	}
+	eager, alias := run(false), run(true)
+	for sec := uint64(0); sec < 32; sec++ {
+		if !bytes.Equal(readSector(t, eager, sec), readSector(t, alias, sec)) {
+			t.Fatalf("sector %d diverged between eager and alias paths", sec)
+		}
+	}
+	if e, a := eager.DirtySectors(), alias.DirtySectors(); e != a {
+		t.Fatalf("DirtySectors diverged: eager %d, alias %d", e, a)
+	}
+	if eager.SectorsEagerCopied == 0 {
+		t.Fatal("profiled device should have materialized hot sectors")
+	}
+	if alias.SectorsEagerCopied != 0 {
+		t.Fatal("disabled device must never materialize")
+	}
+}
+
+// TestBlockEagerSectorScoring: materialized sectors that get written grade
+// as hits; ones left untouched before the next load grade as misses and
+// decay the counter until materialization stops.
+func TestBlockEagerSectorScoring(t *testing.T) {
+	d := NewBlockDevice("disk0", 16)
+	d.TakeRoot()
+	d.WriteSector(1, sector(0x11))
+	snap := d.SaveSnapshot()
+	for i := 0; i < 4; i++ {
+		d.LoadSnapshot(snap)
+		d.WriteSector(1, sector(byte(0x20+i)))
+	}
+	if d.SectorsEagerCopied == 0 || d.SectorEagerHits == 0 {
+		t.Fatalf("training should materialize and score hits (copied=%d hits=%d)",
+			d.SectorsEagerCopied, d.SectorEagerHits)
+	}
+	hits := d.SectorEagerHits
+	copied := d.SectorsEagerCopied
+	for i := 0; i < 4; i++ {
+		d.LoadSnapshot(snap)
+	}
+	if d.SectorEagerMisses == 0 {
+		t.Fatal("unwritten materializations should have scored misses")
+	}
+	if d.SectorEagerHits != hits {
+		t.Fatal("no writes happened; hit count must not move")
+	}
+	// Miss-halving drops the counter below the threshold: the last loads
+	// must not keep materializing.
+	if d.SectorsEagerCopied >= copied+4 {
+		t.Fatalf("mispredicted sector kept materializing (%d -> %d)", copied, d.SectorsEagerCopied)
+	}
+}
+
+// Reloading the same pooled serial snapshot back-to-back takes the in-place
+// truncate fast path; it must be byte-identical to the copying path, and
+// any truncating operation in between must disable it.
+func TestSerialSnapshotTruncateFastPath(t *testing.T) {
+	s := NewSerial("ttyS0")
+	s.WriteString("boot")
+	s.TakeRoot()
+	s.WriteString("+prefix")
+	snapA := s.SaveSnapshot()
+	s.WriteString("+case1")
+	snapB := s.SaveSnapshot()
+
+	s.LoadSnapshot(snapA) // cold load: copy
+	if string(s.Log) != "boot+prefix" {
+		t.Fatalf("cold load: log = %q", s.Log)
+	}
+	s.WriteString("+case2")
+	s.LoadSnapshot(snapA) // warm reload: truncate
+	if string(s.Log) != "boot+prefix" {
+		t.Fatalf("warm reload: log = %q", s.Log)
+	}
+	s.LoadSnapshot(snapB) // different snapshot: copy
+	if string(s.Log) != "boot+prefix+case1" {
+		t.Fatalf("switch: log = %q", s.Log)
+	}
+	s.LoadSnapshot(snapA)
+	if string(s.Log) != "boot+prefix" {
+		t.Fatalf("switch back: log = %q", s.Log)
+	}
+
+	// A root restore truncates below the snapshot; the next reload must
+	// not take the truncate path against a shorter log.
+	s.RestoreRoot()
+	if string(s.Log) != "boot" {
+		t.Fatalf("root restore: log = %q", s.Log)
+	}
+	s.LoadSnapshot(snapA)
+	if string(s.Log) != "boot+prefix" {
+		t.Fatalf("reload after root: log = %q", s.Log)
+	}
+
+	// The single-slot truncate path in between also invalidates.
+	s.TakeIncremental()
+	s.WriteString("+x")
+	s.RestoreIncremental()
+	s.WriteString("+y+longer-than-x")
+	s.LoadSnapshot(snapA)
+	if string(s.Log) != "boot+prefix" {
+		t.Fatalf("reload after inc restore: log = %q", s.Log)
+	}
+}

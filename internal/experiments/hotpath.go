@@ -26,8 +26,14 @@ import (
 // HotpathJSON is the file `nyx-bench -ablation hotpath` writes by default.
 const HotpathJSON = "BENCH_hotpath.json"
 
-// hotpathSchema versions the BENCH_hotpath.json layout.
-const hotpathSchema = "nyx-net/bench-hotpath/v1"
+// hotpathSchema versions the BENCH_hotpath.json layout. v2 added the
+// write-set-profiled restore columns (pages_eager_copied, eager hit/miss
+// grading, cow_break_ratio); v1 files are still readable — their missing
+// eager columns decode as zero, which gates nothing in CompareHotpath.
+const (
+	hotpathSchema   = "nyx-net/bench-hotpath/v2"
+	hotpathSchemaV1 = "nyx-net/bench-hotpath/v1"
+)
 
 // HotpathRow is one (target, configuration) cell of the hotpath ablation.
 type HotpathRow struct {
@@ -68,8 +74,27 @@ type HotpathRow struct {
 
 	// Memory-layer counters: pages the restores reset (aliased in O(1)
 	// each on the zero-copy path) and CoW breaks writes paid afterwards.
+	// Reported for every config from the same MachineStats counter path,
+	// so pool and single-slot rows read side by side.
 	PagesReset     uint64 `json:"pages_reset"`
 	PagesCoWBroken uint64 `json:"pages_cow_broken"`
+	// CoWBreakRatio is PagesCoWBroken / PagesReset — the fraction of
+	// restored pages whose alias the next execution broke anyway (the
+	// CoW-break tax the write-set predictor exists to kill).
+	CoWBreakRatio float64 `json:"cow_break_ratio"`
+
+	// Write-set-profiled restore columns (schema v2): pages the restores
+	// copied eagerly instead of aliasing, how the predictions graded out,
+	// and the disk-side materializations. All deterministic outcomes.
+	PagesEagerCopied   uint64 `json:"pages_eager_copied"`
+	EagerHits          uint64 `json:"eager_hits"`
+	EagerMisses        uint64 `json:"eager_misses"`
+	SectorsEagerCopied uint64 `json:"sectors_eager_copied"`
+	// EagerHitRate is EagerHits / (EagerHits + EagerMisses): the fraction
+	// of eager copies the next execution actually wrote. Gated with a
+	// lower bound so the predictor cannot silently regress toward
+	// copy-everything.
+	EagerHitRate float64 `json:"eager_hit_rate"`
 
 	FullPrefixReexecs uint64 `json:"full_prefix_reexecs"`
 }
@@ -141,19 +166,29 @@ func runHotpathCell(target, name string, dur time.Duration, seed, snapBudget int
 	ms := inst.M.Stats()
 	mem := inst.M.Mem.Stats()
 	row := HotpathRow{
-		Target:            target,
-		Config:            name,
-		VirtSeconds:       f.Elapsed().Seconds(),
-		Edges:             f.Coverage(),
-		Execs:             f.Execs(),
-		Restores:          ms.RootRestores + ms.IncRestores,
-		RestoreWallNS:     ms.RestoreWall.Nanoseconds(),
-		PagesReset:        mem.PagesReset,
-		PagesCoWBroken:    mem.PagesCoWBroken,
-		FullPrefixReexecs: f.FullPrefixReexecs(),
+		Target:             target,
+		Config:             name,
+		VirtSeconds:        f.Elapsed().Seconds(),
+		Edges:              f.Coverage(),
+		Execs:              f.Execs(),
+		Restores:           ms.RootRestores + ms.IncRestores,
+		RestoreWallNS:      ms.RestoreWall.Nanoseconds(),
+		PagesReset:         mem.PagesReset,
+		PagesCoWBroken:     ms.PagesCoWBroken,
+		PagesEagerCopied:   ms.PagesEagerCopied,
+		EagerHits:          ms.EagerHits,
+		EagerMisses:        ms.EagerMisses,
+		SectorsEagerCopied: ms.SectorsEagerCopied,
+		FullPrefixReexecs:  f.FullPrefixReexecs(),
 	}
 	if row.Restores > 0 {
 		row.NSPerRestore = float64(row.RestoreWallNS) / float64(row.Restores)
+	}
+	if row.PagesReset > 0 {
+		row.CoWBreakRatio = float64(row.PagesCoWBroken) / float64(row.PagesReset)
+	}
+	if graded := row.EagerHits + row.EagerMisses; graded > 0 {
+		row.EagerHitRate = float64(row.EagerHits) / float64(graded)
 	}
 	if f.PoolEnabled() {
 		ps := f.PoolStats()
@@ -236,8 +271,11 @@ func RenderHotpath(rep *HotpathReport) string {
 	fmt.Fprintf(&b, "   %.0f virt-s per cell, seed %d, pool budget %.1f MiB\n",
 		rep.VirtSeconds, rep.Seed, float64(rep.BudgetBytes)/(1<<20))
 	for _, r := range rep.Rows {
-		fmt.Fprintf(&b, "  %-10s %-12s %6d edges %8d execs | %8d restores @ %7.0f ns | reset %8d pages, %6d CoW breaks",
-			r.Target, r.Config, r.Edges, r.Execs, r.Restores, r.NSPerRestore, r.PagesReset, r.PagesCoWBroken)
+		fmt.Fprintf(&b, "  %-10s %-12s %6d edges %8d execs | %8d restores @ %7.0f ns | reset %8d pages, %6d CoW breaks (ratio %.2f)",
+			r.Target, r.Config, r.Edges, r.Execs, r.Restores, r.NSPerRestore, r.PagesReset, r.PagesCoWBroken, r.CoWBreakRatio)
+		if r.PagesEagerCopied > 0 {
+			fmt.Fprintf(&b, " | eager %8d pages, hit rate %.2f", r.PagesEagerCopied, r.EagerHitRate)
+		}
 		if r.Lookups > 0 {
 			fmt.Fprintf(&b, " | %6d lookups @ %6.0f ns (%d digest hits)", r.Lookups, r.NSPerLookup, r.DigestHits)
 		}
@@ -260,8 +298,9 @@ func ReadHotpathJSON(path string) (*HotpathReport, error) {
 	if err := json.Unmarshal(data, rep); err != nil {
 		return nil, fmt.Errorf("experiments: hotpath baseline %s: %w", path, err)
 	}
-	if rep.Schema != hotpathSchema {
-		return nil, fmt.Errorf("experiments: hotpath baseline %s: schema %q, want %q", path, rep.Schema, hotpathSchema)
+	if rep.Schema != hotpathSchema && rep.Schema != hotpathSchemaV1 {
+		return nil, fmt.Errorf("experiments: hotpath baseline %s: schema %q, want %q (or legacy %q)",
+			path, rep.Schema, hotpathSchema, hotpathSchemaV1)
 	}
 	return rep, nil
 }
@@ -324,6 +363,17 @@ func CompareHotpath(baseline, fresh *HotpathReport, tol float64) []string {
 			freshRatio := float64(f.PagesCoWBroken) / float64(f.PagesReset)
 			problems = appendRatioProblem(problems, cell, "pages_cow_broken/pages_reset", baseRatio, freshRatio, tol)
 		}
+		// Predictor bounds (v2 columns; zero baselines — v1 files, or cells
+		// where the predictor never engaged — gate nothing). The eager-copy
+		// share of reset pages may not grow past the baseline, so the
+		// predictor cannot silently regress toward copy-everything, and the
+		// hit rate may not fall, so the copies it does spend stay justified.
+		if b.PagesReset > 0 && f.PagesReset > 0 {
+			baseEager := float64(b.PagesEagerCopied) / float64(b.PagesReset)
+			freshEager := float64(f.PagesEagerCopied) / float64(f.PagesReset)
+			problems = appendRatioProblem(problems, cell, "pages_eager_copied/pages_reset", baseEager, freshEager, tol)
+		}
+		problems = appendFloorProblem(problems, cell, "eager_hit_rate", b.EagerHitRate, f.EagerHitRate, tol)
 	}
 	return problems
 }
@@ -339,6 +389,22 @@ func appendRatioProblem(problems []string, cell, name string, base, got, tol flo
 	if got > limit {
 		problems = append(problems, fmt.Sprintf(
 			"%s: %s = %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+			cell, name, got, base, tol*100, limit))
+	}
+	return problems
+}
+
+// appendFloorProblem records the opposite one-sided bound: got may not fall
+// below base*(1-tol). A zero baseline gates nothing (the metric was absent
+// or never engaged in the baseline run).
+func appendFloorProblem(problems []string, cell, name string, base, got, tol float64) []string {
+	if base <= 0 {
+		return problems
+	}
+	limit := base * (1 - tol)
+	if got < limit {
+		problems = append(problems, fmt.Sprintf(
+			"%s: %s = %.3f falls below baseline %.3f by more than %.0f%% (limit %.3f)",
 			cell, name, got, base, tol*100, limit))
 	}
 	return problems
@@ -368,7 +434,10 @@ func MinHotpath(a, b *HotpathReport) (*HotpathReport, error) {
 		}
 		if ra.Edges != rb.Edges || ra.Execs != rb.Execs || ra.Restores != rb.Restores ||
 			ra.FullPrefixReexecs != rb.FullPrefixReexecs ||
-			ra.PagesReset != rb.PagesReset || ra.PagesCoWBroken != rb.PagesCoWBroken {
+			ra.PagesReset != rb.PagesReset || ra.PagesCoWBroken != rb.PagesCoWBroken ||
+			ra.PagesEagerCopied != rb.PagesEagerCopied ||
+			ra.EagerHits != rb.EagerHits || ra.EagerMisses != rb.EagerMisses ||
+			ra.SectorsEagerCopied != rb.SectorsEagerCopied {
 			return nil, fmt.Errorf("experiments: MinHotpath: cell %s diverged between reps (campaigns must be deterministic)", cell)
 		}
 		if rb.RestoreWallNS < ra.RestoreWallNS {

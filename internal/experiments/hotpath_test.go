@@ -243,3 +243,88 @@ func TestMinHotpathRejectsDivergentReps(t *testing.T) {
 		t.Fatal("want error for mismatched experiment headers")
 	}
 }
+
+// A v1-schema baseline (pre-predictor) must still load: its eager columns
+// decode as zero, which gates nothing.
+func TestReadHotpathJSONAcceptsV1(t *testing.T) {
+	base, _ := compareFixture()
+	base.Schema = hotpathSchemaV1
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench_v1.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHotpathJSON(path)
+	if err != nil {
+		t.Fatalf("v1 baseline should stay readable: %v", err)
+	}
+	if got.Rows[0].PagesEagerCopied != 0 || got.Rows[0].EagerHitRate != 0 {
+		t.Fatalf("v1 rows must decode with zero eager columns: %+v", got.Rows[0])
+	}
+	// And a v1 baseline against a v2 fresh report passes the gate: zero
+	// baselines for the predictor columns gate nothing.
+	fresh := &HotpathReport{Schema: hotpathSchema, VirtSeconds: 10, Seed: 1, BudgetBytes: 1 << 23,
+		Rows: []HotpathRow{got.Rows[0]}}
+	fresh.Rows[0].PagesEagerCopied = 40000
+	fresh.Rows[0].EagerHits = 39000
+	fresh.Rows[0].EagerHitRate = 0.97
+	if problems := CompareHotpath(got, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("v1 baseline must not gate predictor columns: %q", problems)
+	}
+}
+
+func TestCompareHotpathPredictorBounds(t *testing.T) {
+	fixture := func() (*HotpathReport, *HotpathReport) {
+		base, fresh := compareFixture()
+		for _, r := range []*HotpathRow{&base.Rows[0], &fresh.Rows[0]} {
+			r.PagesEagerCopied = 40000
+			r.EagerHits = 38000
+			r.EagerMisses = 2000
+			r.EagerHitRate = 0.95
+		}
+		return base, fresh
+	}
+	base, fresh := fixture()
+	if problems := CompareHotpath(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("identical predictor columns should pass: %q", problems)
+	}
+	// The eager-copy share of reset pages may not balloon past the
+	// baseline: that would be the predictor regressing toward
+	// copy-everything while the CoW ratio still looks fine.
+	base, fresh = fixture()
+	fresh.Rows[0].PagesEagerCopied = 50000
+	problems := CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "pages_eager_copied/pages_reset") {
+		t.Fatalf("want one eager-share problem, got %q", problems)
+	}
+	// The hit rate has a floor: spending copies on pages nobody writes is a
+	// prediction-quality regression even if the copy volume held steady.
+	base, fresh = fixture()
+	fresh.Rows[0].EagerHitRate = 0.5
+	problems = CompareHotpath(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "eager_hit_rate") {
+		t.Fatalf("want one hit-rate problem, got %q", problems)
+	}
+	// A fresh run whose hit rate improved passes: the bound is one-sided.
+	base, fresh = fixture()
+	fresh.Rows[0].EagerHitRate = 1.0
+	if problems := CompareHotpath(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("improved hit rate should pass: %q", problems)
+	}
+}
+
+func TestMinHotpathRejectsEagerCounterDrift(t *testing.T) {
+	a, b := compareFixture()
+	b.Rows[0].PagesEagerCopied++
+	if _, err := MinHotpath(a, b); err == nil {
+		t.Fatal("want error: eager page counts are deterministic campaign outcomes")
+	}
+	a, b = compareFixture()
+	b.Rows[0].SectorsEagerCopied++
+	if _, err := MinHotpath(a, b); err == nil {
+		t.Fatal("want error: eager sector counts are deterministic campaign outcomes")
+	}
+}

@@ -22,6 +22,20 @@ type FS struct {
 
 	files      map[string]*fileMeta
 	nextSector uint64
+
+	// hydrate, when set, re-syncs the owning kernel's state from guest
+	// memory before any metadata access (see Kernel.hydrate); snapshot
+	// restores defer that decode until someone actually looks. Nil for a
+	// standalone FS.
+	hydrate func()
+}
+
+// sync runs the owning kernel's lazy restore decode, if any, so metadata
+// reads always observe post-restore state.
+func (fs *FS) sync() {
+	if fs.hydrate != nil {
+		fs.hydrate()
+	}
 }
 
 type fileMeta struct {
@@ -36,6 +50,7 @@ func NewFS(disk *device.BlockDevice) *FS {
 
 // WriteFile creates or replaces path with data.
 func (fs *FS) WriteFile(path string, data []byte) error {
+	fs.sync()
 	nsec := (len(data) + device.SectorSize - 1) / device.SectorSize
 	if fs.nextSector+uint64(nsec) > fs.disk.NumSectors() {
 		return fmt.Errorf("fs: disk full writing %q (%d sectors)", path, nsec)
@@ -69,6 +84,7 @@ func (fs *FS) AppendFile(path string, data []byte) error {
 
 // ReadFile returns the contents of path.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.sync()
 	meta, ok := fs.files[path]
 	if !ok {
 		return nil, fmt.Errorf("fs: %q: no such file", path)
@@ -92,12 +108,14 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 
 // Exists reports whether path exists.
 func (fs *FS) Exists(path string) bool {
+	fs.sync()
 	_, ok := fs.files[path]
 	return ok
 }
 
 // Size returns the size of path, or an error if absent.
 func (fs *FS) Size(path string) (int64, error) {
+	fs.sync()
 	meta, ok := fs.files[path]
 	if !ok {
 		return 0, fmt.Errorf("fs: %q: no such file", path)
@@ -108,6 +126,7 @@ func (fs *FS) Size(path string) (int64, error) {
 // Unlink removes path. Sector space is reclaimed only by snapshot restore
 // (bump allocation), like a log-structured scratch disk.
 func (fs *FS) Unlink(path string) error {
+	fs.sync()
 	if _, ok := fs.files[path]; !ok {
 		return fmt.Errorf("fs: %q: no such file", path)
 	}
@@ -117,6 +136,7 @@ func (fs *FS) Unlink(path string) error {
 
 // List returns all paths in sorted order.
 func (fs *FS) List() []string {
+	fs.sync()
 	out := make([]string, 0, len(fs.files))
 	for p := range fs.files {
 		out = append(out, p)

@@ -15,6 +15,7 @@ import (
 type echoTarget struct {
 	Counts   map[int]int
 	Greeting string
+	Loads    int // LoadState invocations, for hydration-laziness asserts
 }
 
 func newEchoTarget() *echoTarget {
@@ -55,6 +56,7 @@ func (t *echoTarget) SaveState(w *StateWriter) {
 }
 
 func (t *echoTarget) LoadState(r *StateReader) {
+	t.Loads++
 	t.Greeting = r.String()
 	n := int(r.U32())
 	t.Counts = make(map[int]int, n)
@@ -250,6 +252,10 @@ func TestSnapshotRestoresAllGuestState(t *testing.T) {
 	if err := m.RestoreIncremental(); err != nil {
 		t.Fatal(err)
 	}
+	// Restores hydrate lazily: the struct form of the state is decoded on
+	// first kernel access. This test asserts on target structs directly,
+	// so force the decode the way any accessor would.
+	k.hydrate()
 	if tgt.Counts[connID] != 2 {
 		t.Fatalf("target state not restored: count = %d want 2", tgt.Counts[connID])
 	}
@@ -271,6 +277,7 @@ func TestSnapshotRestoresAllGuestState(t *testing.T) {
 	if err := m.RestoreRoot(); err != nil {
 		t.Fatal(err)
 	}
+	k.hydrate()
 	if len(tgt.Counts) != 0 {
 		t.Fatalf("counts should be empty at root: %v", tgt.Counts)
 	}
@@ -468,5 +475,63 @@ func TestDeliverOnClosedConn(t *testing.T) {
 	k.CloseConn(c)
 	if err := k.Deliver(c, []byte("x")); err == nil {
 		t.Fatal("expected error delivering to closed conn")
+	}
+}
+
+// The restore hot path must not scale with the guest-state blob: a restore
+// only marks the struct state stale, and the decode runs exactly once on
+// the first subsequent access — back-to-back restores decode nothing.
+func TestRestoreHydratesLazily(t *testing.T) {
+	m, k, tgt := bootEcho(t)
+	if err := m.TakeRoot(); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := k.NewConnection(Port{TCP, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deliver(c, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TakeIncremental(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := tgt.Loads
+	for i := 0; i < 5; i++ {
+		if err := m.RestoreIncremental(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tgt.Loads != base {
+		t.Fatalf("restores decoded eagerly: %d decodes for 5 untouched restores", tgt.Loads-base)
+	}
+
+	// The first access pays exactly one decode...
+	if got := k.Processes(); got != 1 {
+		t.Fatalf("processes = %d want 1", got)
+	}
+	if tgt.Loads != base+1 {
+		t.Fatalf("loads = %d want %d after first access", tgt.Loads, base+1)
+	}
+	// ...and further accesses are free until the next restore.
+	if k.Conn(c.ID) == nil {
+		t.Fatal("restored connection missing")
+	}
+	if !k.FS.Exists("/var/log/echo.log") {
+		t.Fatal("restored log missing")
+	}
+	if tgt.Loads != base+1 {
+		t.Fatalf("loads = %d want %d after repeat access", tgt.Loads, base+1)
+	}
+
+	if err := m.RestoreIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Corruption(); got != 0 {
+		t.Fatalf("corruption = %d want 0", got)
+	}
+	if tgt.Loads != base+2 {
+		t.Fatalf("loads = %d want %d after re-restore", tgt.Loads, base+2)
 	}
 }

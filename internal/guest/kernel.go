@@ -5,10 +5,14 @@
 // whole-VM snapshots taken by package vm capture and restore it with full
 // fidelity — the property §3.2 of the Nyx-Net paper relies on ("the
 // snapshot ensures that all state ... is correctly reset between test
-// cases").
+// cases"). Restores run the other direction lazily: a restore only marks
+// the struct form of the state stale, and the first access afterwards
+// decodes it back out of memory, so restore cost never scales with the
+// size of the serialized state.
 package guest
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/vm"
@@ -102,6 +106,19 @@ type Kernel struct {
 	heapBase int64 // guest-physical address where state is serialized
 	booted   bool
 
+	// stale marks the struct form of the state as behind guest memory
+	// after a snapshot restore. The restore hooks only flip this flag;
+	// the first state access afterwards pays the decode (see hydrate).
+	// That keeps the restore hot path O(dirty pages), independent of the
+	// guest-state blob size.
+	stale bool
+
+	// enc, dec, and decBuf are scratch buffers recycled across the
+	// serialize-after-every-event and decode-after-restore paths.
+	enc    StateWriter
+	dec    StateReader
+	decBuf []byte
+
 	env *Env
 }
 
@@ -122,11 +139,15 @@ func NewKernel(m *vm.Machine, target Target) (*Kernel, error) {
 		heapBase: 4096, // page 0 reserved
 	}
 	k.env = &Env{k: k}
+	k.FS.hydrate = k.hydrate
 	// Wire the kernel into the machine's snapshot lifecycle: memory is
-	// authoritative, so restores re-read kernel state from memory.
+	// authoritative, so a restore invalidates the struct form of the
+	// kernel state. The hooks only mark it stale — the decode is deferred
+	// to the first state access (hydrate), so back-to-back restores never
+	// pay for re-reading a blob nothing looked at.
 	m.GuestHooks = vm.SnapshotHooks{
-		RestoreRoot:        func() { k.syncFromMemory() },
-		RestoreIncremental: func() { k.syncFromMemory() },
+		RestoreRoot:        func() { k.stale = true },
+		RestoreIncremental: func() { k.stale = true },
 	}
 	// Boot: create the init process and run target startup.
 	init := k.newProcess(0)
@@ -142,6 +163,20 @@ func NewKernel(m *vm.Machine, target Target) (*Kernel, error) {
 // Env returns the target execution environment.
 func (k *Kernel) Env() *Env { return k.env }
 
+// hydrate re-reads kernel + target state from guest memory if a snapshot
+// restore invalidated the struct form. Every public state accessor calls
+// this first, so the blob decode is paid at most once per test case — on
+// the execution wall, not the restore wall. Clearing stale before the
+// decode makes nested hydrations (e.g. FS access from Target.LoadState)
+// no-ops.
+func (k *Kernel) hydrate() {
+	if !k.stale {
+		return
+	}
+	k.stale = false
+	k.syncFromMemory()
+}
+
 func (k *Kernel) newProcess(parent int) *Process {
 	p := &Process{PID: k.nextPID, Parent: parent, FDs: make(map[int]int), nextFD: 3}
 	k.nextPID++
@@ -150,16 +185,16 @@ func (k *Kernel) newProcess(parent int) *Process {
 }
 
 // InitProcess returns the first process (pid 1).
-func (k *Kernel) InitProcess() *Process { return k.procs[1] }
+func (k *Kernel) InitProcess() *Process { k.hydrate(); return k.procs[1] }
 
 // Processes returns the number of live processes.
-func (k *Kernel) Processes() int { return len(k.procs) }
+func (k *Kernel) Processes() int { k.hydrate(); return len(k.procs) }
 
 // Conn returns the connection with the given ID, or nil.
-func (k *Kernel) Conn(id int) *Conn { return k.conns[id] }
+func (k *Kernel) Conn(id int) *Conn { k.hydrate(); return k.conns[id] }
 
 // Corruption returns the accumulated undetected memory corruption count.
-func (k *Kernel) Corruption() int { return k.corruption }
+func (k *Kernel) Corruption() int { k.hydrate(); return k.corruption }
 
 // installFD adds desc to p's fd table and returns the fd number.
 func (k *Kernel) installFD(p *Process, desc *OpenDesc) int {
@@ -188,6 +223,7 @@ func (k *Kernel) desc(p *Process, fd int) (*OpenDesc, error) {
 // inherit descriptions via Fork. Charges emulated-connect cost (cheap: the
 // whole point of the emulation layer).
 func (k *Kernel) NewConnection(port Port) (*Conn, int, error) {
+	k.hydrate()
 	if !k.portServed(port) {
 		return nil, 0, fmt.Errorf("guest: no listener on %s", port)
 	}
@@ -221,6 +257,7 @@ func (k *Kernel) portServed(port Port) bool {
 // error is non-nil only for kernel-level faults; target crashes surface as
 // *CrashError panics that the netemu driver recovers.
 func (k *Kernel) Deliver(c *Conn, data []byte) error {
+	k.hydrate()
 	if c.Closed {
 		return fmt.Errorf("guest: delivery on closed conn %d", c.ID)
 	}
@@ -233,6 +270,7 @@ func (k *Kernel) Deliver(c *Conn, data []byte) error {
 
 // CloseConn closes the fuzzer side of a connection and notifies the target.
 func (k *Kernel) CloseConn(c *Conn) {
+	k.hydrate()
 	if c.Closed {
 		return
 	}
@@ -244,6 +282,7 @@ func (k *Kernel) CloseConn(c *Conn) {
 
 // Dup duplicates fd in process p, returning the new fd number.
 func (k *Kernel) Dup(p *Process, fd int) (int, error) {
+	k.hydrate()
 	d, err := k.desc(p, fd)
 	if err != nil {
 		return 0, err
@@ -254,6 +293,7 @@ func (k *Kernel) Dup(p *Process, fd int) (int, error) {
 
 // Close closes fd in process p, releasing the description at zero refs.
 func (k *Kernel) Close(p *Process, fd int) error {
+	k.hydrate()
 	d, err := k.desc(p, fd)
 	if err != nil {
 		return err
@@ -276,6 +316,7 @@ func (k *Kernel) Close(p *Process, fd int) error {
 // as with real fork — the reason §3.3 needs cross-process packet-stream
 // synchronisation).
 func (k *Kernel) Fork(p *Process) *Process {
+	k.hydrate()
 	k.M.Clock.Advance(k.M.Cost.Fork)
 	child := k.newProcess(p.PID)
 	for fd, descID := range p.FDs {
@@ -290,6 +331,7 @@ func (k *Kernel) Fork(p *Process) *Process {
 
 // Exit terminates process p, closing its fds.
 func (k *Kernel) Exit(p *Process) {
+	k.hydrate()
 	for fd := range p.FDs {
 		k.Close(p, fd) //nolint:errcheck // fds are valid by construction
 	}
@@ -298,6 +340,7 @@ func (k *Kernel) Exit(p *Process) {
 
 // EpollCreate makes an epoll instance in p.
 func (k *Kernel) EpollCreate(p *Process) int {
+	k.hydrate()
 	k.M.Clock.Advance(k.M.Cost.Syscall)
 	d := &OpenDesc{ID: k.nextDesc, Kind: FDEpoll, Watch: make(map[int]bool)}
 	k.nextDesc++
@@ -307,6 +350,7 @@ func (k *Kernel) EpollCreate(p *Process) int {
 
 // EpollAdd registers fd with the epoll instance epfd.
 func (k *Kernel) EpollAdd(p *Process, epfd, fd int) error {
+	k.hydrate()
 	ep, err := k.desc(p, epfd)
 	if err != nil {
 		return err
@@ -328,6 +372,7 @@ func (k *Kernel) EpollAdd(p *Process, epfd, fd int) error {
 // fd to signal as ready when the bytecode schedules a packet (§3.3: "more
 // complex APIs such as epoll() are emulated to indicate which fd is ready").
 func (k *Kernel) EpollReady(p *Process, epfd int, conn *Conn) (bool, error) {
+	k.hydrate()
 	ep, err := k.desc(p, epfd)
 	if err != nil {
 		return false, err
@@ -342,6 +387,7 @@ func (k *Kernel) EpollReady(p *Process, epfd int, conn *Conn) (bool, error) {
 // AliasCount returns how many fds across all processes reference conn — the
 // bookkeeping the dup/close hooks of §4.1 maintain.
 func (k *Kernel) AliasCount(conn *Conn) int {
+	k.hydrate()
 	n := 0
 	for _, p := range k.procs {
 		for _, descID := range p.FDs {
@@ -356,7 +402,7 @@ func (k *Kernel) AliasCount(conn *Conn) int {
 // ResetCorruption clears accumulated corruption; used by baseline fuzzers'
 // full server restarts (not by snapshot restores, which roll it back
 // naturally via state restore).
-func (k *Kernel) ResetCorruption() { k.corruption = 0; k.syncToMemory() }
+func (k *Kernel) ResetCorruption() { k.hydrate(); k.corruption = 0; k.syncToMemory() }
 
 // ---- State serialization into guest memory ----
 
@@ -367,12 +413,12 @@ func (k *Kernel) syncToMemory() {
 	if k.M == nil {
 		return
 	}
-	var w StateWriter
-	k.marshal(&w)
-	body := w.Bytes()
-	var hdr StateWriter
-	hdr.U32(uint32(len(body)))
-	if _, err := k.M.Mem.WriteAt(hdr.Bytes(), k.heapBase); err != nil {
+	k.enc.Reset()
+	k.marshal(&k.enc)
+	body := k.enc.Bytes()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := k.M.Mem.WriteAt(hdr[:], k.heapBase); err != nil {
 		panic(fmt.Sprintf("guest: state header write: %v", err))
 	}
 	if _, err := k.M.Mem.WriteAt(body, k.heapBase+4); err != nil {
@@ -380,20 +426,26 @@ func (k *Kernel) syncToMemory() {
 	}
 }
 
-// syncFromMemory re-reads kernel + target state after a snapshot restore.
+// syncFromMemory re-reads kernel + target state from guest memory. Called
+// via hydrate after a snapshot restore marked the struct state stale. The
+// decode scratch (decBuf, dec) is recycled across calls; everything the
+// decoded state retains is copied out of it by the StateReader.
 func (k *Kernel) syncFromMemory() {
-	hdr := make([]byte, 4)
-	if _, err := k.M.Mem.ReadAt(hdr, k.heapBase); err != nil {
+	var hdr [4]byte
+	if _, err := k.M.Mem.ReadAt(hdr[:], k.heapBase); err != nil {
 		panic(fmt.Sprintf("guest: state header read: %v", err))
 	}
-	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
-	body := make([]byte, n)
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if cap(k.decBuf) < n {
+		k.decBuf = make([]byte, n)
+	}
+	body := k.decBuf[:n]
 	if _, err := k.M.Mem.ReadAt(body, k.heapBase+4); err != nil {
 		panic(fmt.Sprintf("guest: state read: %v", err))
 	}
-	r := NewStateReader(body)
-	k.unmarshal(r)
-	if err := r.Err(); err != nil {
+	k.dec.Reset(body)
+	k.unmarshal(&k.dec)
+	if err := k.dec.Err(); err != nil {
 		panic(fmt.Sprintf("guest: state decode: %v", err))
 	}
 }

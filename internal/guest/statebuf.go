@@ -19,6 +19,11 @@ type StateWriter struct {
 // aliases the writer's buffer and is only valid until the next append.
 func (w *StateWriter) Bytes() []byte { return w.buf } //nyx:aliased bytes.Buffer-style contract; callers copy into guest memory immediately
 
+// Reset truncates the stream, keeping the backing array for reuse. The
+// kernel serializes state after every event; recycling the encode buffer
+// keeps that discipline allocation-flat.
+func (w *StateWriter) Reset() { w.buf = w.buf[:0] }
+
 // U8 appends a byte.
 func (w *StateWriter) U8(v uint8) { w.buf = append(w.buf, v) }
 
@@ -105,6 +110,12 @@ type StateReader struct {
 
 // NewStateReader wraps b for reading.
 func NewStateReader(b []byte) *StateReader { return &StateReader{buf: b} }
+
+// Reset re-arms the reader over b, clearing any sticky error, so a decode
+// scratch reader can be recycled across restores. Like NewStateReader, the
+// reader reads from b in place; the caller keeps ownership and must not
+// mutate it until decoding finishes.
+func (r *StateReader) Reset(b []byte) { r.buf, r.off, r.err = b, 0, nil } //nyx:retains reads in place until next Reset, same contract as NewStateReader
 
 // Err returns the first decoding error, if any.
 func (r *StateReader) Err() error { return r.err }

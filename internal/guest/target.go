@@ -77,7 +77,7 @@ func (e *Env) Kernel() *Kernel { return e.k }
 func (e *Env) FS() *FS { return e.k.FS }
 
 // Process returns the current process context.
-func (e *Env) Process() *Process { return e.proc }
+func (e *Env) Process() *Process { e.k.hydrate(); return e.proc }
 
 // Asan reports whether AddressSanitizer-like checking is enabled.
 func (e *Env) Asan() bool { return e.k.Asan }
@@ -119,6 +119,7 @@ func (e *Env) Crash(kind CrashKind, format string, args ...any) {
 // (§5.5); allocations beyond the kernel's AllocLimit raise the OOM the
 // ProFuzzBench docker limits cause (Table 1 note).
 func (e *Env) Alloc(size int64) {
+	e.k.hydrate()
 	if size < 0 {
 		e.Crash(CrashMallocUnder, "malloc(%d): integer underflow", size)
 	}
@@ -130,6 +131,7 @@ func (e *Env) Alloc(size int64) {
 
 // Free returns size bytes to the allocator model.
 func (e *Env) Free(size int64) {
+	e.k.hydrate()
 	e.k.allocated -= size
 	if e.k.allocated < 0 {
 		e.k.allocated = 0
@@ -144,6 +146,7 @@ func (e *Env) Free(size int64) {
 // ASan, while a persistent-process fuzzer like AFLnet accumulates state
 // until it crashes even without ASan.
 func (e *Env) CorruptMemory(amount int) {
+	e.k.hydrate()
 	if e.k.Asan {
 		e.Crash(CrashHeapCorruption, "heap buffer overflow detected by ASan")
 	}

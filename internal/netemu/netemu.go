@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/coverage"
 	"repro/internal/guest"
+	"repro/internal/mem"
 	"repro/internal/spec"
 	"repro/internal/vm"
 )
@@ -180,6 +181,25 @@ func (a *Agent) SlotOps(slot int) int {
 // SlotBytes returns the guest-memory bytes slot id holds (the pool's
 // budget charge).
 func (a *Agent) SlotBytes(slot int) int64 { return a.M.SlotBytes(slot) }
+
+// SlotProfile returns slot's write-set profile as an opaque value for the
+// snapshot pool to stash at eviction, or nil when the slot has none. Typed
+// any so the core layer needs no dependency on the memory substrate.
+func (a *Agent) SlotProfile(slot int) any {
+	p := a.M.SlotProfile(slot)
+	if p == nil {
+		return nil // never a typed-nil interface: callers compare against nil
+	}
+	return p
+}
+
+// SeedSlotProfile warms a freshly created slot's write-set profile with a
+// value previously returned by SlotProfile. Foreign values are ignored.
+func (a *Agent) SeedSlotProfile(slot int, prof any) {
+	if p, ok := prof.(*mem.WriteProfile); ok {
+		a.M.SeedSlotProfile(slot, p)
+	}
+}
 
 // DropSlot releases pooled snapshot slot id (the pool's eviction path).
 func (a *Agent) DropSlot(slot int) {

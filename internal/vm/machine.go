@@ -80,8 +80,14 @@ type Machine struct {
 	// slots holds the per-slot device captures of the snapshot pool,
 	// keyed by the same slot ids as the memory overlays (guest kernel
 	// state needs no table of its own: it is serialized into guest memory
-	// and follows the memory snapshot).
-	slots map[int]machSlot
+	// and follows the memory snapshot). lastSlot caches the most recently
+	// restored entry so the hot case — restoring the same slot back to
+	// back — skips the table lookup; any take or drop of that id
+	// invalidates it.
+	slots      map[int]machSlot
+	lastSlotID int
+	lastSlot   machSlot
+	lastValid  bool
 
 	// GuestHooks let the guest kernel participate in snapshots: its
 	// non-memory bookkeeping (process table, fd table, scheduler state)
@@ -114,6 +120,18 @@ type MachineStats struct {
 	// actually got cheaper on hardware, not just in the cost model.
 	// Telemetry only; nothing deterministic reads it.
 	RestoreWall time.Duration
+
+	// Write-set-profiled restore telemetry, surfaced from the memory and
+	// disk layers: pages/sectors the profiled restore copied eagerly
+	// instead of aliasing, and how the predictions graded out (a miss is
+	// an eager copy never written before the next restore). All of these
+	// are deterministic campaign outcomes — the eager/alias split itself
+	// never changes state content or virtual-time charges.
+	PagesCoWBroken     uint64
+	PagesEagerCopied   uint64
+	EagerHits          uint64
+	EagerMisses        uint64
+	SectorsEagerCopied uint64
 }
 
 // New builds a machine from cfg.
@@ -141,11 +159,33 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Stats returns a copy of the machine statistics.
+// Stats returns a copy of the machine statistics. The eager-restore
+// counters are read through from the memory and disk layers so every
+// consumer (pool and single-slot configs alike) reports them from the
+// same counter path.
 func (m *Machine) Stats() MachineStats {
 	st := m.stats
 	st.VirtualTimeUsed = m.Clock.Now()
+	ms := m.Mem.Stats()
+	st.PagesCoWBroken = ms.PagesCoWBroken
+	st.PagesEagerCopied = ms.PagesEagerCopied
+	st.EagerHits = ms.EagerHits
+	st.EagerMisses = ms.EagerMisses
+	st.SectorsEagerCopied = m.Disk.SectorsEagerCopied
 	return st
+}
+
+// SlotProfile returns an independent copy of slot id's write-set profile
+// (nil when none), for the pool to stash at eviction keyed by prefix
+// digest.
+func (m *Machine) SlotProfile(id int) *mem.WriteProfile {
+	return m.Mem.SlotProfile(id)
+}
+
+// SeedSlotProfile warms a freshly created slot's write-set profile with
+// one stashed from a prior life of the same prefix.
+func (m *Machine) SeedSlotProfile(id int, p *mem.WriteProfile) {
+	m.Mem.SeedSlotProfile(id, p)
 }
 
 // HasRoot reports whether the root snapshot exists.
@@ -180,6 +220,12 @@ func (m *Machine) TakeRoot() error {
 
 // chargeReset charges the virtual clock for resetting n dirty pages plus
 // device reset cost under the active strategy/mode.
+//
+// ndirty counts every page the restore reset, whether it was aliased or
+// eagerly copied (mem counts both as PagesReset), and DirtySectors is
+// materialization-compensated on the disk side — so the charge, and with
+// it every virtual-time and coverage column, is byte-identical whether
+// the write-set-profiled path is enabled or not (the PR-5 invariant).
 func (m *Machine) chargeReset(base time.Duration, ndirty int) {
 	d := base + time.Duration(ndirty)*m.Cost.PerDirtyPage
 	if m.Mem.Strategy == mem.RestoreBitmapWalk {
@@ -298,6 +344,9 @@ func (m *Machine) TakeIncrementalSlot(id int) error {
 		devBytes += device.SnapshotBytes(d)
 	}
 	m.slots[id] = machSlot{devs: devs, devBytes: devBytes}
+	if m.lastValid && m.lastSlotID == id {
+		m.lastValid = false
+	}
 	if m.GuestHooks.TakeIncremental != nil {
 		m.GuestHooks.TakeIncremental()
 	}
@@ -317,9 +366,14 @@ type machSlot struct {
 // state already derives from costs the dirty set, switching slots
 // additionally costs the two overlays' deltas.
 func (m *Machine) RestoreIncrementalSlot(id int) error {
-	ms, ok := m.slots[id]
-	if !ok {
-		return mem.ErrNoIncrementalSnapshot
+	ms := m.lastSlot
+	if !m.lastValid || m.lastSlotID != id {
+		var ok bool
+		ms, ok = m.slots[id]
+		if !ok {
+			return mem.ErrNoIncrementalSnapshot
+		}
+		m.lastSlotID, m.lastSlot, m.lastValid = id, ms, true
 	}
 	t0 := time.Now() //nyx:wallclock RestoreWall telemetry measures real restore cost, never virtual time
 	defer func() { m.stats.RestoreWall += time.Since(t0) }()
@@ -342,6 +396,9 @@ func (m *Machine) RestoreIncrementalSlot(id int) error {
 func (m *Machine) DropSlot(id int) {
 	m.Mem.DropSlot(id)
 	delete(m.slots, id)
+	if m.lastValid && m.lastSlotID == id {
+		m.lastValid = false
+	}
 }
 
 // HasSlot reports whether snapshot slot id is restorable.

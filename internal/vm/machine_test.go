@@ -487,3 +487,72 @@ func BenchmarkSlotRestore(b *testing.B) {
 		})
 	}
 }
+
+// TestProfiledRestoreClockInvariant is the PR-5 invariant extended to the
+// write-set-profiled restore: twin machines running an identical
+// restore→write workload — one with eager copying enabled, one forced onto
+// the pure-alias path — must agree on the virtual clock, the memory image,
+// and the disk image. The eager/alias split is telemetry-only; everything
+// deterministic is byte-identical.
+func TestProfiledRestoreClockInvariant(t *testing.T) {
+	build := func(disable bool) *Machine {
+		m := New(Config{MemoryPages: 128, DiskSectors: 32})
+		m.Mem.DisableEagerCopy = disable
+		m.Disk.DisableEagerCopy = disable
+		m.Mem.WriteAt(bytes.Repeat([]byte{0x11}, 4*mem.PageSize), 0)
+		m.Disk.WriteSector(3, bytes.Repeat([]byte{0x22}, 512))
+		if err := m.TakeRoot(); err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.WriteAt(bytes.Repeat([]byte{0x33}, 2*mem.PageSize), 0)
+		m.Disk.WriteSector(3, bytes.Repeat([]byte{0x44}, 512))
+		if err := m.TakeIncrementalSlot(1); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	step := func(m *Machine, cycle int) {
+		m.Mem.WriteAt(bytes.Repeat([]byte{byte(cycle)}, 2*mem.PageSize), 0)
+		m.Disk.WriteSector(3, bytes.Repeat([]byte{byte(cycle)}, 512))
+		if err := m.RestoreIncrementalSlot(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eager, alias := build(false), build(true)
+	for cycle := 0; cycle < 12; cycle++ {
+		step(eager, cycle)
+		step(alias, cycle)
+	}
+	if eager.Clock.Now() != alias.Clock.Now() {
+		t.Fatalf("virtual clocks diverged: eager %v, alias %v",
+			eager.Clock.Now(), alias.Clock.Now())
+	}
+	bufE := make([]byte, 8*mem.PageSize)
+	bufA := make([]byte, 8*mem.PageSize)
+	eager.Mem.ReadAt(bufE, 0)
+	alias.Mem.ReadAt(bufA, 0)
+	if !bytes.Equal(bufE, bufA) {
+		t.Fatal("memory images diverged between eager and alias restores")
+	}
+	secE := make([]byte, 512)
+	secA := make([]byte, 512)
+	for sec := uint64(0); sec < 32; sec++ {
+		eager.Disk.ReadSector(sec, secE)
+		alias.Disk.ReadSector(sec, secA)
+		if !bytes.Equal(secE, secA) {
+			t.Fatalf("disk sector %d diverged between eager and alias restores", sec)
+		}
+	}
+	se, sa := eager.Stats(), alias.Stats()
+	if se.VirtualTimeUsed != sa.VirtualTimeUsed {
+		t.Fatalf("virtual time diverged: eager %v, alias %v", se.VirtualTimeUsed, sa.VirtualTimeUsed)
+	}
+	if se.PagesEagerCopied == 0 || se.SectorsEagerCopied == 0 {
+		t.Fatalf("profiled machine should have eagerly copied (pages=%d sectors=%d)",
+			se.PagesEagerCopied, se.SectorsEagerCopied)
+	}
+	if sa.PagesEagerCopied != 0 || sa.SectorsEagerCopied != 0 {
+		t.Fatalf("disabled machine must never eagerly copy (pages=%d sectors=%d)",
+			sa.PagesEagerCopied, sa.SectorsEagerCopied)
+	}
+}
