@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
@@ -33,7 +34,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		tgts     = flag.String("targets", "", "comma-separated target subset (default: all 13)")
 		levels   = flag.String("levels", "", "comma-separated Mario levels for table 4 (default subset)")
-		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8)")
+		camp     = flag.String("campaign", "", "run the parallel-scaling campaign at these worker counts (e.g. 1,2,4,8 or 16,32,64)")
+		campMode = flag.String("sync-mode", "async", "broker sync for -campaign runs: async (sharded, barrier-free) | lockstep (deterministic rounds)")
+		campOut  = flag.String("campaign-out", experiments.ScalingJSON, "output path for the -campaign scaling JSON report (empty string disables)")
 		power    = flag.String("power", "off", "power schedule for -campaign runs: off | fast | coe | explore | lin | quad | adaptive (the sched ablation sweeps all of them)")
 		snapbud  = flag.Int64("snapbudget", experiments.DefaultSnapBudget, "snapshot-pool byte budget for -ablation snappool / hotpath")
 		benchOut = flag.String("bench-out", experiments.HotpathJSON, "output path for the -ablation hotpath JSON report")
@@ -150,12 +153,24 @@ func main() {
 			}
 			counts = append(counts, n)
 		}
+		mode, err := campaign.ParseSyncMode(*campMode)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.SyncMode = mode
 		rows, err := experiments.ParallelScaling(cfg, counts)
 		if err != nil {
 			fatalf("campaign scaling: %v", err)
 		}
-		fmt.Println("== Parallel campaign scaling (aggregated coverage + throughput) ==")
+		fmt.Println("== Parallel campaign scaling (aggregated coverage + throughput + broker sync cost) ==")
 		fmt.Println(experiments.RenderParallelScaling(rows))
+		if *campOut != "" {
+			if err := experiments.WriteScalingJSON(*campOut, cfg, rows); err != nil {
+				fatalf("campaign scaling: %v", err)
+			}
+			fmt.Printf("   scaling report written to %s\n\n", *campOut)
+		}
+		cfg.SyncMode = campaign.SyncLockstep // other experiments stay deterministic
 	}
 
 	abl := *ablation

@@ -89,7 +89,8 @@ func main() {
 		list     = flag.Bool("list", false, "list available targets and exit")
 		crashDir = flag.String("crash-dir", "", "directory to write crashing inputs (bytecode) to")
 		workers  = flag.Int("workers", 1, "parallel fuzzer instances (corpus-synced campaign when > 1)")
-		syncIvl  = flag.Duration("sync", campaign.DefaultSyncInterval, "virtual time between corpus broker syncs")
+		syncIvl  = flag.Duration("sync", campaign.DefaultSyncInterval, "virtual time between corpus broker syncs (lockstep round / async epoch length)")
+		syncMode = flag.String("sync-mode", "async", "corpus broker sync: async (barrier-free epochs, sharded broker) | lockstep (deterministic rounds)")
 		ckpt     = flag.String("checkpoint", "", "campaign checkpoint directory, or tree name when -store is set (written on exit)")
 		resume   = flag.Bool("resume", false, "resume the campaign stored in -checkpoint")
 		storeURL = flag.String("store", "", "checkpoint store URL: dir://PATH | mem://BUCKET (routes -checkpoint/-resume and service-mode persistence)")
@@ -127,10 +128,15 @@ func main() {
 		fatalf("-power %s requires -sched afl (round-robin has no energy function to reshape)", pw)
 	}
 
+	mode, err := campaign.ParseSyncMode(*syncMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	if *workers > 1 || *resume || *ckpt != "" {
 		runParallel(parallelOpts{
 			target: *target, policy: pol, sched: sc, power: pw, duration: *duration, seed: *seed,
-			asan: *asan, workers: *workers, sync: *syncIvl, snapBudget: *snapbud,
+			asan: *asan, workers: *workers, sync: *syncIvl, snapBudget: *snapbud, mode: mode,
 			checkpoint: *ckpt, resume: *resume, crashDir: *crashDir, storeURL: *storeURL,
 		})
 		return
@@ -186,6 +192,7 @@ type parallelOpts struct {
 	workers    int
 	sync       time.Duration
 	snapBudget int64
+	mode       campaign.SyncMode
 	checkpoint string
 	resume     bool
 	crashDir   string
@@ -230,16 +237,18 @@ func runParallel(o parallelOpts) {
 			SyncInterval: o.sync,
 			SnapBudget:   o.snapBudget,
 			Asan:         o.asan,
+			SyncMode:     o.mode,
 		})
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("[*] launched %d workers against %s (master seed %d)\n",
-			c.Workers(), o.target, o.seed)
+		fmt.Printf("[*] launched %d workers against %s (master seed %d, %s sync)\n",
+			c.Workers(), o.target, o.seed, c.SyncMode())
 	}
 
-	// SIGINT stops gracefully: the campaign finishes its in-flight
-	// lockstep round, the final checkpoint below still runs.
+	// SIGINT stops gracefully: the campaign quiesces at the next sync
+	// boundary (lockstep round or async epoch), the final checkpoint
+	// below still runs.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -259,8 +268,15 @@ func runParallel(o parallelOpts) {
 		fmt.Printf("[*] campaign interrupted after %v virtual/worker\n", c.Elapsed().Round(time.Millisecond))
 	}
 
-	fmt.Printf("[*] campaign done: %v virtual/worker in %v wall, %d sync rounds\n",
-		c.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), c.Rounds())
+	ss := c.SyncStats()
+	fmt.Printf("[*] campaign done: %v virtual/worker in %v wall\n",
+		c.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("    broker sync:    %s mode, %d exchanges, %v wall in broker\n",
+		ss.Mode, ss.Epochs, ss.SyncWall.Round(time.Millisecond))
+	if ss.Mode == campaign.SyncAsync {
+		fmt.Printf("    broker shards:  %d lock acquisitions, %d contended, %d imports dropped\n",
+			ss.ShardAcquisitions, ss.ShardContended, ss.ImportsDropped)
+	}
 	fmt.Printf("    execs:          %d total (%.1f/virtual-second aggregate)\n",
 		c.Execs(), c.ExecsPerSecond())
 	if ps := c.PoolStats(); ps.Hits+ps.Misses > 0 {

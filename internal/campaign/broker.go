@@ -1,20 +1,107 @@
 package campaign
 
 import (
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/spec"
 )
 
-// broker is the campaign's only shared state. It is touched exclusively
-// between worker rounds, from one goroutine, which is what makes the whole
-// orchestrator deterministic: workers interact through this contract and
-// nothing else.
+// The broker is sharded by edge-index range: the virgin map and the
+// per-edge top-rated competition split into brokerShards contiguous slices
+// of the coverage bitmap, each with its own lock, so publications touching
+// disjoint edge ranges ingest concurrently. Cross-edge state — the
+// per-input claim counts the favored competition settles on, the corpus,
+// crashes, the coverage log and the async import/notice queues — stays
+// central under one mutex.
+//
+// Two sync modes drive the same sharded state:
+//
+//   - Lockstep (SyncLockstep): the historical deterministic mode. All
+//     broker access happens between worker rounds from one goroutine, so
+//     no locks are taken and ingest runs the exact sequential algorithm
+//     the unsharded broker ran — the shards are a pure data partition, so
+//     outcomes (virgin bits, claim counts, corpus order, demotions) are
+//     byte-identical to the pre-sharding broker (pinned by
+//     TestLockstepGolden).
+//
+//   - Async (SyncAsync): each worker publishes an epochDelta at its own
+//     epoch boundary and immediately pulls its bounded import queue —
+//     no barrier, so a slow worker never stalls a fast one. A delta is
+//     applied in three phases: per-shard merge (coverage dedup), per-shard
+//     compete (claim decisions, emitted as events), then one central pass
+//     (claim accounting, corpus, redistribution, crashes, telemetry).
+//     Shard locks are taken one at a time and never nested with the
+//     central mutex. Async trades the lockstep mode's exact loser
+//     accounting for concurrency: claim wins can transiently over- or
+//     under-count when a displacement races a trim's claim transfer, so
+//     GloballyDominated demotion is advisory there (it self-heals — the
+//     count is clamped at zero — and only ever biases scheduling, never
+//     correctness).
+const (
+	brokerShards = 16
+	shardWidth   = coverage.MapSize / brokerShards
+	// maxPendingImports bounds each worker's async import queue. When the
+	// rest of the campaign publishes faster than a worker can re-execute
+	// imports, the oldest non-favored pending entries are dropped first —
+	// the worker falls behind on redistribution instead of stalling the
+	// publishers (every dropped entry is still in the global corpus).
+	maxPendingImports = 256
+)
+
+// shardFor maps an in-range edge index to its shard.
+func shardFor(idx uint32) int { return int(idx / shardWidth) }
+
+// shardBounds returns shard si's half-open edge range.
+func shardBounds(si int) (lo, hi uint32) {
+	return uint32(si) * shardWidth, uint32(si+1) * shardWidth
+}
+
+// brokerShard is one contiguous edge-range slice of the broker: the virgin
+// bits, top-rated claims and per-key claimed-edge index for edges in
+// [lo, hi). Its lock is only taken in async mode; the lockstep path is
+// single-threaded by construction.
+type brokerShard struct {
+	mu     sync.Mutex
+	virgin coverage.Virgin
+	// topRated holds, per edge in this shard's range, the cheapest
+	// (favFactor-minimal) published claim.
+	topRated map[uint32]topClaim
+	// claimEdges indexes, per claimant key, the edges in this shard ever
+	// claimed under it, so a trim's claim transfer touches only that key's
+	// edges. Entries go stale when an edge is displaced (topRated is
+	// authoritative); stale keys are cleaned lazily on transfer.
+	claimEdges map[string][]uint32
+	// acquisitions/contended count async lock acquisitions and how many
+	// found the shard already locked — the contention telemetry the
+	// -campaign scaling bench reports.
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+}
+
+// lock acquires the shard lock, counting contended acquisitions.
+func (sh *brokerShard) lock() {
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+}
+
+func (sh *brokerShard) unlock() { sh.mu.Unlock() }
+
+// broker is the campaign's shared state: edge-sharded coverage and claims
+// plus the central cross-edge bookkeeping.
 type broker struct {
-	// global is the campaign-wide virgin map: the union of every worker's
-	// coverage.
-	global coverage.Virgin
+	shards [brokerShards]brokerShard
+
+	// mu guards every field below in async mode. Lockstep mode runs
+	// single-threaded between rounds and does not take it.
+	mu sync.Mutex
 	// corpus holds the globally fresh entries, in acceptance order. Each
 	// remembers the worker that published it (entry IDs are per-worker,
 	// so (worker, ID) is the global identity).
@@ -33,33 +120,46 @@ type broker struct {
 	// published/deduped count broker decisions (campaign telemetry).
 	published uint64
 	deduped   uint64
+	// edgesTotal mirrors the summed shard virgin edge counts so sampling
+	// and Coverage() never need the shard locks.
+	edgesTotal int
 
-	// Global favored competition. Each worker culls a favored set against
-	// its own top-rated map; with N workers that yields N overlapping
-	// favored sets, and redistribution (plus re-pick skipping) over-weights
-	// entries that are only locally best. The broker therefore runs the
-	// same competition campaign-wide: topRated holds, per edge, the
-	// cheapest (favFactor-minimal) published claim; claimWins counts how
-	// many edges each claimant currently holds; claimants maps a claimant
-	// key to every live entry carrying that input — the publisher's, plus
-	// each receiving worker's re-executed copy and, after a resume, the
-	// re-imported queue entries — so a fully displaced claim demotes all
-	// of them in place (QueueEntry.GloballyDominated).
-	// claimEdges indexes, per claimant key, the edges ever claimed under
-	// it, so a trim's claim transfer touches only that key's edges
-	// instead of scanning the whole topRated map. Entries go stale when
-	// an edge is displaced (claimWins is the authoritative count);
-	// readers must check topRated[edge].key before trusting one.
-	topRated   map[uint32]topClaim
-	claimWins  map[string]int
-	claimants  map[string][]*core.QueueEntry
-	claimEdges map[string][]uint32
+	// Global favored competition, cross-edge half. claimWins counts how
+	// many edges each claimant key currently holds across all shards
+	// (authoritative; GlobalFav and demotion read it). claimants maps a
+	// claimant key to broker-owned entries carrying that input (the
+	// lockstep path's live worker entries, plus restored corpus entries
+	// after a resume) so a fully displaced claim demotes them in place.
+	// claimWorkers maps a claimant key to the async workers holding live
+	// copies; those are demoted via notices instead, because the broker
+	// must never write a live entry another goroutine owns.
+	claimWins    map[string]int
+	claimants    map[string][]*core.QueueEntry
+	claimWorkers map[string]map[int]struct{}
 
-	// fresh/ordered are reusable scratch slices for ingest's per-sync
-	// working sets (the same scratch-reuse pattern as
-	// coverage.Trace.BucketedInto): the sync loop runs every
-	// SyncInterval for the life of the campaign, and everything durable
-	// is copied out of them (corpus append, per-worker import lists).
+	// Async per-worker queues, indexed by worker ID (sized by initWorkers).
+	pending  [][]importItem
+	notices  [][]notice
+	reported []time.Duration
+	// epochsTotal counts async epoch publications; importsDropped counts
+	// pending-queue overflow drops; syncWall accumulates wall-clock time
+	// spent inside exchanges (lockstep: inside sync rounds).
+	epochsTotal    uint64
+	importsDropped uint64
+	syncWall       time.Duration
+
+	// Campaign-wide per-edge pick totals for the power schedules' rarity
+	// signal (async path; lockstep uses Campaign.shareEdgePicks).
+	pickTotals  map[uint32]uint64
+	pickSum     uint64
+	lastPicks   []map[uint32]uint64
+	lastPickSum []uint64
+
+	// fresh/ordered are reusable scratch slices for lockstep ingest's
+	// per-sync working sets (the same scratch-reuse pattern as
+	// coverage.Trace.BucketedInto): the sync loop runs every SyncInterval
+	// for the life of the campaign, and everything durable is copied out
+	// of them (corpus append, per-worker import lists).
 	fresh   []brokerEntry
 	ordered []brokerEntry
 }
@@ -85,14 +185,82 @@ type brokerEntry struct {
 }
 
 func newBroker() *broker {
-	return &broker{
-		crashSeen:  make(map[string]bool),
-		topRated:   make(map[uint32]topClaim),
-		claimWins:  make(map[string]int),
-		claimants:  make(map[string][]*core.QueueEntry),
-		claimEdges: make(map[string][]uint32),
+	b := &broker{
+		crashSeen:    make(map[string]bool),
+		claimWins:    make(map[string]int),
+		claimants:    make(map[string][]*core.QueueEntry),
+		claimWorkers: make(map[string]map[int]struct{}),
+		pickTotals:   make(map[uint32]uint64),
 	}
+	for si := range b.shards {
+		b.shards[si].topRated = make(map[uint32]topClaim)
+		b.shards[si].claimEdges = make(map[string][]uint32)
+	}
+	return b
 }
+
+// initWorkers sizes the per-worker async queues. Idempotent.
+func (b *broker) initWorkers(n int) {
+	if b.pending != nil {
+		return
+	}
+	b.pending = make([][]importItem, n)
+	b.notices = make([][]notice, n)
+	b.reported = make([]time.Duration, n)
+	b.lastPicks = make([]map[uint32]uint64, n)
+	b.lastPickSum = make([]uint64, n)
+}
+
+// reportedElapsedFor returns the virtual time worker id declared at its
+// most recent exchange. Safe to call while an async campaign is running —
+// tests use it to watch fast workers progress past a stalled peer.
+func (b *broker) reportedElapsedFor(id int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id < 0 || id >= len(b.reported) {
+		return 0
+	}
+	return b.reported[id]
+}
+
+// topRatedCount returns the number of edges with a live claim across all
+// shards. Quiesced callers only (tests, checkpoint).
+func (b *broker) topRatedCount() int {
+	n := 0
+	for si := range b.shards {
+		n += len(b.shards[si].topRated)
+	}
+	return n
+}
+
+// edges returns the campaign-wide distinct-edge count. Quiesced/lockstep
+// callers only; async internals use edgesTotal under mu.
+func (b *broker) edges() int {
+	n := 0
+	for si := range b.shards {
+		n += b.shards[si].virgin.Edges()
+	}
+	return n
+}
+
+// mergedVirgin unions the shard virgin maps back into one map — the
+// checkpoint serialization form, byte-identical to the unsharded broker's
+// map because the shards partition the index space.
+func (b *broker) mergedVirgin() *coverage.Virgin {
+	var v coverage.Virgin
+	for si := range b.shards {
+		lo, hi := shardBounds(si)
+		v.MergeVirginRange(&b.shards[si].virgin, lo, hi)
+	}
+	return &v
+}
+
+// ---- Lockstep path ----
+//
+// Single-threaded between worker rounds; no locks. The algorithm is the
+// pre-sharding broker's, verbatim, with map accesses routed through the
+// shard that owns each edge — a pure partition, so every outcome is
+// byte-identical (TestLockstepGolden pins this).
 
 // ingest performs the single-threaded half of a sync round: walk the
 // workers in ID order, pull their newly queued entries and crashes, dedup
@@ -123,7 +291,7 @@ func (b *broker) ingest(ws []*worker) {
 			// for those edges while the cheaper input exists on a
 			// single worker.
 			key := core.InputKey(e.Input)
-			if hasNew, _ := b.global.MergeBuckets(e.Cov); hasNew {
+			if hasNew, _ := b.mergeBuckets(e.Cov); hasNew {
 				b.compete(key, e, true)
 				fresh = append(fresh, brokerEntry{Worker: w.id, Entry: e, key: key})
 			} else {
@@ -156,7 +324,7 @@ func (b *broker) ingest(ws []*worker) {
 		// Entries only carry the trace of the execution that queued
 		// them; folding the worker's whole virgin map also captures
 		// bucket upgrades from executions that were not queued.
-		b.global.MergeVirgin(&w.fz.Virgin)
+		b.mergeVirginAll(&w.fz.Virgin)
 	}
 	// Settle the round's winners only after every worker competed: an
 	// entry that won edges early in the walk can be fully displaced by a
@@ -166,6 +334,7 @@ func (b *broker) ingest(ws []*worker) {
 		fresh[i].GlobalFav = b.claimWins[fresh[i].key] > 0
 	}
 	b.corpus = append(b.corpus, fresh...)
+	b.edgesTotal = b.edges()
 
 	// Route every fresh entry to every other worker, globally winning
 	// favored entries first. Importing re-executes entries against each
@@ -181,6 +350,29 @@ func (b *broker) ingest(ws []*worker) {
 		}
 	}
 	b.fresh, b.ordered = fresh, ordered
+}
+
+// mergeBuckets folds a bucketed trace snapshot into the sharded virgin
+// maps, dispatching each hit to the shard owning its index — exactly
+// coverage.Virgin.MergeBuckets over a partitioned map.
+func (b *broker) mergeBuckets(hits []coverage.BucketHit) (hasNew, newEdge bool) {
+	for i, h := range hits {
+		if h.Index >= coverage.MapSize {
+			continue
+		}
+		hn, ne := b.shards[shardFor(h.Index)].virgin.MergeBuckets(hits[i : i+1])
+		hasNew = hasNew || hn
+		newEdge = newEdge || ne
+	}
+	return hasNew, newEdge
+}
+
+// mergeVirginAll folds a worker's whole virgin map into every shard.
+func (b *broker) mergeVirginAll(v *coverage.Virgin) {
+	for si := range b.shards {
+		lo, hi := shardBounds(si)
+		b.shards[si].virgin.MergeVirginRange(v, lo, hi)
+	}
 }
 
 // compete enters e (content key: key) into the global favored
@@ -200,13 +392,14 @@ func (b *broker) compete(key string, e *core.QueueEntry, displace bool) {
 	fav := e.FavFactor()
 	won := false
 	for _, h := range e.Cov {
-		if h.Bucket == 0 {
+		if h.Bucket == 0 || h.Index >= coverage.MapSize {
 			continue
 		}
-		cur, ok := b.topRated[h.Index]
+		sh := &b.shards[shardFor(h.Index)]
+		cur, ok := sh.topRated[h.Index]
 		if ok && cur.key == key {
 			if cur.fav != fav {
-				b.topRated[h.Index] = topClaim{fav: fav, key: key}
+				sh.topRated[h.Index] = topClaim{fav: fav, key: key}
 			}
 			won = true
 			continue
@@ -222,12 +415,11 @@ func (b *broker) compete(key string, e *core.QueueEntry, displace bool) {
 					loser.GloballyDominated = true
 				}
 				delete(b.claimants, cur.key)
-				delete(b.claimEdges, cur.key)
 			}
 		}
-		b.topRated[h.Index] = topClaim{fav: fav, key: key}
+		sh.topRated[h.Index] = topClaim{fav: fav, key: key}
 		b.claimWins[key]++
-		b.claimEdges[key] = append(b.claimEdges[key], h.Index)
+		sh.claimEdges[key] = append(sh.claimEdges[key], h.Index)
 		won = true
 	}
 	if won {
@@ -250,23 +442,33 @@ func (b *broker) transferClaims(oldKey, newKey string, e *core.QueueEntry) {
 		return
 	}
 	fav := e.FavFactor()
-	for _, idx := range b.claimEdges[oldKey] {
-		// The per-key index may carry edges displaced since they were
-		// claimed; re-file only the claims oldKey still holds.
-		if b.topRated[idx].key != oldKey {
-			continue
-		}
-		b.topRated[idx] = topClaim{fav: fav, key: newKey}
-		if oldKey != newKey {
-			b.claimEdges[newKey] = append(b.claimEdges[newKey], idx)
-		}
+	for si := range b.shards {
+		b.shards[si].transferClaims(oldKey, newKey, fav)
 	}
 	delete(b.claimWins, oldKey)
 	b.claimWins[newKey] += n
 	if oldKey != newKey {
 		b.claimants[newKey] = append(b.claimants[newKey], b.claimants[oldKey]...)
 		delete(b.claimants, oldKey)
-		delete(b.claimEdges, oldKey)
+	}
+}
+
+// transferClaims is the shard-local half of a claim transfer: re-file the
+// claims oldKey still holds in this shard under newKey at the new cost.
+// The per-key index may carry edges displaced since they were claimed;
+// only claims topRated still attributes to oldKey are re-filed.
+func (sh *brokerShard) transferClaims(oldKey, newKey string, fav int64) {
+	for _, idx := range sh.claimEdges[oldKey] {
+		if sh.topRated[idx].key != oldKey {
+			continue
+		}
+		sh.topRated[idx] = topClaim{fav: fav, key: newKey}
+		if oldKey != newKey {
+			sh.claimEdges[newKey] = append(sh.claimEdges[newKey], idx)
+		}
+	}
+	if oldKey != newKey {
+		delete(sh.claimEdges, oldKey)
 	}
 }
 
@@ -291,10 +493,319 @@ func orderImportsInto(ordered, fresh []brokerEntry) []brokerEntry {
 // consecutive rounds with no coverage change to at most one point per
 // virtual minute (same policy as core.Fuzzer's log).
 func (b *broker) sample(now time.Duration) {
-	edges := b.global.Edges()
+	edges := b.edgesTotal
 	if len(b.covLog) == 0 || b.covLog[len(b.covLog)-1].Edges != edges ||
 		now-b.lastSample >= time.Minute {
 		b.covLog = append(b.covLog, core.CoveragePoint{T: now, Edges: edges})
 		b.lastSample = now
+	}
+}
+
+// ---- Async path ----
+
+// pubDelta is one newly queued entry, snapshotted at its owner's epoch
+// boundary. The coverage slice and input are deep copies — the broker and
+// receiving workers read them while the owner keeps fuzzing (and possibly
+// trimming the live entry). entry is an owner-only token: the broker
+// stores it (corpus provenance, read when quiesced at checkpoint time) but
+// never dereferences it during a run.
+type pubDelta struct {
+	key     string
+	fav     int64
+	favored bool
+	cov     []coverage.BucketHit
+	input   *spec.Input
+	entry   *core.QueueEntry
+}
+
+// retrimDelta records a trim's content-key change for the claim transfer.
+type retrimDelta struct {
+	oldKey, newKey string
+	fav            int64
+}
+
+// epochDelta is everything one worker publishes at one epoch boundary.
+type epochDelta struct {
+	pubs    []pubDelta
+	retrims []retrimDelta
+	crashes []core.Crash
+	// virginDelta carries the worker's virgin-map bits not yet published,
+	// mask-valued and in ascending index order (coverage.AppendNewTo), so
+	// the per-shard pass slices it without sorting.
+	virginDelta []coverage.BucketHit
+	// picks is the worker's full per-edge pick map (nil when the power
+	// schedule is off); pickSum its total.
+	picks   map[uint32]uint64
+	pickSum uint64
+	elapsed time.Duration
+}
+
+// importItem is one pending redistribution entry in a worker's bounded
+// pull queue. The input pointer is the broker's copy, shared read-only by
+// every receiver (ImportInput clones before executing).
+type importItem struct {
+	input     *spec.Input
+	globalFav bool
+}
+
+// notice tells a worker that every live copy it holds of an input lost the
+// global favored competition (full displacement) and should be demoted.
+type notice struct {
+	key string
+}
+
+// claimEvent is one shard-phase competition effect, applied centrally:
+// a win (key claimed idx) or a loss (key was displaced from an edge).
+type claimEvent struct {
+	win bool
+	key string
+	idx uint32
+}
+
+// exchange applies one worker's epoch delta and returns everything the
+// worker pulls at its epoch boundary: per-publication win verdicts (the
+// worker applies GloballyDominated to its own live entries), its drained
+// import queue and demotion notices, and — when the power schedule is on —
+// a clone of the campaign-wide pick totals to derive the peer rarity
+// signal from. The worker never waits on other workers: shard locks are
+// held per-shard for one pass, the central mutex once.
+func (b *broker) exchange(id int, d epochDelta) (won []bool, imports []importItem, notes []notice, peerPicks map[uint32]uint64, peerSum uint64) {
+	start := time.Now() //nyx:wallclock sync-cost telemetry (SyncStats.SyncWall), never steers fuzzing
+	won = make([]bool, len(d.pubs))
+	hasNew := make([]bool, len(d.pubs))
+	var evts []claimEvent
+	edgeDelta := 0
+
+	// Phase 1: per-shard coverage merge — the dedup verdicts. Every
+	// publication's snapshot and the worker's virgin delta fold into each
+	// shard's range; a publication is globally fresh if any shard saw a
+	// new bucket bit.
+	vcur := 0
+	for si := range b.shards {
+		sh := &b.shards[si]
+		lo, hi := shardBounds(si)
+		vend := vcur
+		for vend < len(d.virginDelta) && d.virginDelta[vend].Index < hi {
+			vend++
+		}
+		sh.lock()
+		before := sh.virgin.Edges()
+		for i := range d.pubs {
+			if hn, _ := sh.virgin.MergeBucketsRange(d.pubs[i].cov, lo, hi); hn {
+				hasNew[i] = true
+			}
+		}
+		sh.virgin.MergeMasked(d.virginDelta[vcur:vend])
+		edgeDelta += sh.virgin.Edges() - before
+		sh.unlock()
+		vcur = vend
+	}
+
+	// Phase 2: per-shard competition and claim transfers. Decisions only
+	// read shard state (topRated); their cross-edge effects are emitted
+	// as events and applied centrally in phase 3.
+	for si := range b.shards {
+		sh := &b.shards[si]
+		lo, hi := shardBounds(si)
+		sh.lock()
+		for i := range d.pubs {
+			p := &d.pubs[i]
+			var w bool
+			evts, w = sh.compete(p.key, p.fav, p.cov, hasNew[i], lo, hi, evts)
+			won[i] = won[i] || w
+		}
+		for _, r := range d.retrims {
+			sh.transferClaims(r.oldKey, r.newKey, r.fav)
+		}
+		sh.unlock()
+	}
+
+	// Phase 3: central accounting.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range evts {
+		if e.win {
+			b.claimWins[e.key]++
+			continue
+		}
+		b.claimWins[e.key]--
+		if b.claimWins[e.key] <= 0 {
+			delete(b.claimWins, e.key)
+			for _, loser := range b.claimants[e.key] {
+				loser.GloballyDominated = true
+			}
+			delete(b.claimants, e.key)
+			wids := make([]int, 0, len(b.claimWorkers[e.key]))
+			for wid := range b.claimWorkers[e.key] {
+				wids = append(wids, wid)
+			}
+			sort.Ints(wids)
+			for _, wid := range wids {
+				b.notices[wid] = append(b.notices[wid], notice{key: e.key})
+			}
+			delete(b.claimWorkers, e.key)
+		}
+	}
+	for _, r := range d.retrims {
+		// The shard phase already re-filed the held edges; move the
+		// cross-edge accounting wholesale (claimWins counts exactly the
+		// held edges, which is what the shards re-filed).
+		if n := b.claimWins[r.oldKey]; n > 0 && r.oldKey != r.newKey {
+			delete(b.claimWins, r.oldKey)
+			b.claimWins[r.newKey] += n
+			b.claimants[r.newKey] = append(b.claimants[r.newKey], b.claimants[r.oldKey]...)
+			delete(b.claimants, r.oldKey)
+			if ws := b.claimWorkers[r.oldKey]; ws != nil {
+				dst := b.claimWorkers[r.newKey]
+				if dst == nil {
+					b.claimWorkers[r.newKey] = ws
+				} else {
+					for wid := range ws {
+						dst[wid] = struct{}{}
+					}
+				}
+				delete(b.claimWorkers, r.oldKey)
+			}
+		}
+	}
+	b.published += uint64(len(d.pubs))
+	// Accept the fresh publications (winners first, matching the lockstep
+	// redistribution order within one delta) and fan them out to every
+	// other worker's bounded import queue.
+	for pass := 0; pass < 2; pass++ {
+		for i := range d.pubs {
+			p := &d.pubs[i]
+			if !hasNew[i] {
+				continue
+			}
+			gf := b.claimWins[p.key] > 0
+			if gf != (pass == 0) {
+				continue
+			}
+			b.corpus = append(b.corpus, brokerEntry{Worker: id, Entry: p.entry, GlobalFav: gf, key: p.key})
+			item := importItem{input: p.input, globalFav: gf}
+			for wid := range b.pending {
+				if wid != id {
+					b.pushPending(wid, item)
+				}
+			}
+		}
+	}
+	for i := range d.pubs {
+		if !hasNew[i] {
+			b.deduped++
+		}
+		if won[i] {
+			b.bindClaimWorker(d.pubs[i].key, id)
+		}
+	}
+	for _, cr := range d.crashes {
+		if !b.crashSeen[cr.Key()] {
+			b.crashSeen[cr.Key()] = true
+			cr.FoundAt += b.timeBase
+			b.crashes = append(b.crashes, cr)
+		}
+	}
+	if d.picks != nil {
+		last := b.lastPicks[id]
+		for idx, n := range d.picks {
+			b.pickTotals[idx] += n - last[idx]
+		}
+		b.lastPicks[id] = d.picks
+		b.pickSum += d.pickSum - b.lastPickSum[id]
+		b.lastPickSum[id] = d.pickSum
+		peerPicks = make(map[uint32]uint64, len(b.pickTotals))
+		for idx, n := range b.pickTotals {
+			peerPicks[idx] = n
+		}
+		peerSum = b.pickSum
+	}
+	b.edgesTotal += edgeDelta
+	b.reported[id] = d.elapsed
+	b.epochsTotal++
+	var maxEl time.Duration
+	for _, el := range b.reported {
+		if el > maxEl {
+			maxEl = el
+		}
+	}
+	b.sample(b.timeBase + maxEl)
+
+	imports = b.pending[id]
+	b.pending[id] = nil
+	notes = b.notices[id]
+	b.notices[id] = nil
+	b.syncWall += time.Since(start) //nyx:wallclock sync-cost telemetry, never steers fuzzing
+	return won, imports, notes, peerPicks, peerSum
+}
+
+// compete is the shard-phase half of the async competition: the same
+// per-edge decisions as the lockstep compete (own-key refresh, displace
+// only when fresh and strictly cheaper, take unclaimed edges), restricted
+// to this shard's range, with the cross-edge claim accounting emitted as
+// events instead of applied inline.
+func (sh *brokerShard) compete(key string, fav int64, cov []coverage.BucketHit, displace bool, lo, hi uint32, evts []claimEvent) ([]claimEvent, bool) {
+	won := false
+	for _, h := range cov {
+		if h.Bucket == 0 || h.Index < lo || h.Index >= hi {
+			continue
+		}
+		cur, ok := sh.topRated[h.Index]
+		if ok && cur.key == key {
+			if cur.fav != fav {
+				sh.topRated[h.Index] = topClaim{fav: fav, key: key}
+			}
+			won = true
+			continue
+		}
+		if ok && (!displace || cur.fav <= fav) {
+			continue
+		}
+		if ok {
+			evts = append(evts, claimEvent{win: false, key: cur.key, idx: h.Index})
+		}
+		sh.topRated[h.Index] = topClaim{fav: fav, key: key}
+		sh.claimEdges[key] = append(sh.claimEdges[key], h.Index)
+		evts = append(evts, claimEvent{win: true, key: key, idx: h.Index})
+		won = true
+	}
+	return evts, won
+}
+
+// bindClaimWorker records that worker id holds a live copy of key.
+// Caller holds mu.
+func (b *broker) bindClaimWorker(key string, id int) {
+	ws := b.claimWorkers[key]
+	if ws == nil {
+		ws = make(map[int]struct{})
+		b.claimWorkers[key] = ws
+	}
+	ws[id] = struct{}{}
+}
+
+// pushPending enqueues an import item on worker wid's bounded queue,
+// dropping the oldest non-favored pending entry (or the oldest outright)
+// when full. Caller holds mu.
+func (b *broker) pushPending(wid int, item importItem) {
+	q := b.pending[wid]
+	if len(q) >= maxPendingImports {
+		drop := 0
+		for i := range q {
+			if !q[i].globalFav {
+				drop = i
+				break
+			}
+		}
+		q = append(q[:drop], q[drop+1:]...)
+		b.importsDropped++
+	}
+	b.pending[wid] = append(q, item)
+}
+
+// restorePending reloads a checkpointed worker import queue (async
+// resume). Called before the campaign runs; no locking needed.
+func (b *broker) restorePending(wid int, items []importItem) {
+	if wid >= 0 && wid < len(b.pending) {
+		b.pending[wid] = items
 	}
 }

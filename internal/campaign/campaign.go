@@ -6,20 +6,27 @@
 // to dozens of cores per host).
 //
 // The design mirrors AFL's secondary-instance sync protocol, restated as an
-// explicit interface contract between otherwise share-nothing workers:
+// explicit interface contract between otherwise share-nothing workers. Two
+// sync modes drive the same edge-sharded broker (see broker.go):
 //
-//   - Workers fuzz in lockstep rounds of SyncInterval virtual time. During
-//     a round a worker touches no shared state, so rounds run on real
-//     goroutines yet stay fully deterministic for a fixed master seed.
-//   - Between rounds the broker ingests each worker's newly queued entries,
-//     dedups them against a global virgin map (using the bucketed coverage
-//     snapshot each entry carries), dedups crashes, and redistributes the
-//     globally fresh entries to every other worker via core.ImportInput —
-//     the receiving worker re-executes them, so nothing enters a queue
-//     that the local target did not reproduce.
-//   - The broker also folds each worker's full virgin map into the global
-//     one and samples an aggregated coverage-over-time log compatible with
-//     core.CoveragePoint.
+//   - Lockstep (SyncLockstep): workers fuzz in rounds of SyncInterval
+//     virtual time. During a round a worker touches no shared state, so
+//     rounds run on real goroutines yet stay fully deterministic for a
+//     fixed master seed. Between rounds the broker ingests each worker's
+//     newly queued entries, dedups them against the global virgin map
+//     (using the bucketed coverage snapshot each entry carries), dedups
+//     crashes, and redistributes the globally fresh entries to every other
+//     worker via core.ImportInput — the receiving worker re-executes them,
+//     so nothing enters a queue that the local target did not reproduce.
+//   - Async (SyncAsync): there is no barrier. Each worker runs epochs of
+//     SyncInterval virtual time on its own clock; at each epoch boundary it
+//     publishes a batched delta (new entries with deep-copied inputs and
+//     traces, its virgin-map delta, crashes, pick counts) into the sharded
+//     broker and pulls its own bounded import queue. A slow worker never
+//     stalls a fast one — the scaling mode the paper's evaluation assumes.
+//     Async campaigns are not bit-reproducible (publication interleaving is
+//     scheduler-dependent); seeded experiments that need byte-identical
+//     coverage use lockstep.
 //
 // Campaigns checkpoint to a directory (per-worker corpora plus broker
 // state) and resume from it; see checkpoint.go for the format and the
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/snappool"
 	"repro/internal/spec"
 	"repro/internal/targets"
@@ -45,6 +53,46 @@ import (
 // with this reproduction's compressed virtual clock one virtual second
 // spans many scheduling rounds.
 const DefaultSyncInterval = time.Second
+
+// SyncMode selects how workers synchronize through the broker.
+type SyncMode int
+
+const (
+	// SyncLockstep is the deterministic barrier mode: all workers round in
+	// lockstep and the broker ingests single-threaded between rounds. The
+	// campaign is a pure function of the master seed — the mode the
+	// ablation harness and the determinism tests rely on. The zero value,
+	// so pre-async configurations and checkpoints keep their semantics.
+	SyncLockstep SyncMode = iota
+	// SyncAsync is the barrier-free mode: workers publish epoch deltas and
+	// pull bounded import queues on their own clocks. Scales past the
+	// lockstep serialization point but is not bit-reproducible.
+	SyncAsync
+)
+
+// String names the sync mode for flags, manifests and reports.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncLockstep:
+		return "lockstep"
+	case SyncAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("sync(%d)", int(m))
+	}
+}
+
+// ParseSyncMode maps a flag value to a sync mode.
+func ParseSyncMode(name string) (SyncMode, error) {
+	switch name {
+	case "", "lockstep":
+		return SyncLockstep, nil
+	case "async":
+		return SyncAsync, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown sync mode %q (want lockstep | async)", name)
+	}
+}
 
 // Config describes a parallel campaign.
 type Config struct {
@@ -74,6 +122,13 @@ type Config struct {
 	SnapBudget int64
 	// Asan enables sanitizer instrumentation in every worker's VM.
 	Asan bool
+	// SyncMode selects lockstep (deterministic, the zero value) or async
+	// (barrier-free epoch sync) worker synchronization.
+	SyncMode SyncMode
+	// epochHook, when set, is called after each async worker finishes an
+	// epoch exchange (test instrumentation: the slow-worker isolation test
+	// parks one worker here and asserts the others keep their pace).
+	epochHook func(worker, epoch int)
 }
 
 func (c Config) withDefaults() Config {
@@ -92,12 +147,26 @@ type worker struct {
 	inst *targets.Instance
 	fz   *core.Fuzzer
 	// synced/crashSynced mark how far into the worker's queue and crash
-	// list the broker has already looked.
+	// list the broker has already looked (lockstep) or the worker itself
+	// has already published (async).
 	synced      int
 	crashSynced int
 	// imports is the redistribution list the broker assembled for this
 	// worker in the current sync; drained in parallel by the worker.
+	// Lockstep only — async redistribution pulls from the broker's
+	// bounded per-worker queues instead.
 	imports []*core.QueueEntry
+
+	// Async-mode state, owned by the worker's goroutine.
+	// epoch counts completed epoch exchanges.
+	epoch int
+	// pushedVirgin shadows the slice of the worker's virgin map already
+	// published, so each delta ships only the new bits (coverage.AppendNewTo).
+	pushedVirgin coverage.Virgin
+	// byKey indexes the worker's live queue entries by content key so a
+	// broker demotion notice (full displacement of an input this worker
+	// holds copies of) lands on every copy without scanning the queue.
+	byKey map[string][]*core.QueueEntry
 }
 
 // Campaign is a running parallel campaign.
@@ -179,8 +248,12 @@ func newCampaign(cfg Config, epoch int, seedsFor func(i int) (workerSeeds, error
 			Rand:          rand.New(rand.NewSource(deriveSeed(cfg.Seed, epoch, i))),
 			Dict:          inst.Info.Dict,
 		})
-		c.workers = append(c.workers, &worker{id: i, inst: inst, fz: fz})
+		c.workers = append(c.workers, &worker{
+			id: i, inst: inst, fz: fz,
+			byKey: make(map[string][]*core.QueueEntry),
+		})
 	}
+	c.broker.initWorkers(cfg.Workers)
 	return c, nil
 }
 
@@ -194,12 +267,19 @@ func deriveSeed(master int64, epoch, worker int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// RunFor extends the campaign by d of virtual time per worker, in lockstep
-// rounds of SyncInterval with a broker sync after every round. Time spent
-// re-executing imported entries counts against each worker's budget (the
-// deadlines are absolute), so an N-worker campaign gets the same per-worker
-// virtual time as a solo one — sync is paid for, not free.
+// RunFor extends the campaign by d of virtual time per worker. In lockstep
+// mode workers round in SyncInterval steps with a broker sync after every
+// round; in async mode each worker runs SyncInterval epochs on its own
+// clock, exchanging with the broker at its own boundaries. In both modes,
+// time spent re-executing imported entries counts against each worker's
+// budget (the deadlines are absolute), so an N-worker campaign gets the
+// same per-worker virtual time as a solo one — sync is paid for, not free.
+// RunFor returns with every worker quiesced and all publications in the
+// broker, so the campaign is checkpointable between calls in either mode.
 func (c *Campaign) RunFor(d time.Duration) error {
+	if c.cfg.SyncMode == SyncAsync {
+		return c.runAsync(d)
+	}
 	deadlines := make([]time.Duration, len(c.workers))
 	for i, w := range c.workers {
 		deadlines[i] = w.fz.Elapsed() + d
@@ -232,10 +312,146 @@ func (c *Campaign) RunFor(d time.Duration) error {
 			return err
 		}
 		c.rounds++
+		start := time.Now() //nyx:wallclock sync-cost telemetry (SyncStats.SyncWall), never steers fuzzing
 		if err := c.sync(); err != nil {
 			return err
 		}
+		c.broker.syncWall += time.Since(start) //nyx:wallclock sync-cost telemetry, never steers fuzzing
 	}
+}
+
+// runAsync extends every worker by d of virtual time with no barrier:
+// each worker loops fuzz-epoch → publish delta → drain imports on its own
+// goroutine and its own clock. A final exchange after the deadline flushes
+// whatever the last partial epoch queued, so RunFor returns with the
+// broker holding every publication (checkpointable).
+func (c *Campaign) runAsync(d time.Duration) error {
+	return c.parallel(func(w *worker) error {
+		deadline := w.fz.Elapsed() + d
+		for !c.stopped.Load() && w.fz.Elapsed() < deadline {
+			step := c.cfg.SyncInterval
+			if rem := deadline - w.fz.Elapsed(); step > rem {
+				step = rem
+			}
+			if err := w.fz.RunFor(step); err != nil {
+				return err
+			}
+			w.epoch++
+			if err := c.syncWorker(w); err != nil {
+				return err
+			}
+			if c.cfg.epochHook != nil {
+				c.cfg.epochHook(w.id, w.epoch)
+			}
+		}
+		// Final flush: publish anything queued in the last partial epoch
+		// (and apply any notices that raced the loop exit).
+		return c.syncWorker(w)
+	})
+}
+
+// syncWorker runs one async epoch exchange for w: build the delta from
+// everything queued since the last exchange, publish it, apply the broker's
+// verdicts to the worker's own live entries, and re-execute the pulled
+// imports (which counts against the worker's virtual-time budget, like
+// lockstep redistribution).
+func (c *Campaign) syncWorker(w *worker) error {
+	d := w.buildDelta(c.cfg.Power != core.PowerOff)
+	won, items, notes, peerPicks, peerSum := c.broker.exchange(w.id, d)
+	for i := range d.pubs {
+		// The same verdict lockstep's compete applies in place: winners
+		// are (re-)promoted, locally favored losers demoted.
+		if won[i] {
+			d.pubs[i].entry.GloballyDominated = false
+		} else if d.pubs[i].favored {
+			d.pubs[i].entry.GloballyDominated = true
+		}
+	}
+	for _, n := range notes {
+		for _, e := range w.byKey[n.key] {
+			e.GloballyDominated = true
+		}
+	}
+	if peerPicks != nil {
+		// The broker returned campaign totals; subtract this worker's own
+		// picks so local picks are never double-counted.
+		for idx, own := range d.picks {
+			if rest := peerPicks[idx] - own; rest > 0 {
+				peerPicks[idx] = rest
+			} else {
+				delete(peerPicks, idx)
+			}
+		}
+		w.fz.SetPeerEdgePicks(peerPicks, peerSum-d.pickSum)
+	}
+	for _, it := range items {
+		if _, err := w.fz.ImportInput(it.input); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildDelta snapshots everything w queued since its last exchange into an
+// epochDelta. Published inputs and traces are deep copies: the broker and
+// the receiving workers read them while this worker keeps mutating the
+// live entries (trim rewrites Input in place).
+func (w *worker) buildDelta(power bool) epochDelta {
+	var d epochDelta
+	for _, e := range w.fz.Queue[w.synced:] {
+		key := core.InputKey(e.Input)
+		w.byKey[key] = append(w.byKey[key], e)
+		d.pubs = append(d.pubs, pubDelta{
+			key:     key,
+			fav:     e.FavFactor(),
+			favored: e.Favored,
+			cov:     slices.Clone(e.Cov),
+			input:   e.Input.Clone(),
+			entry:   e,
+		})
+	}
+	w.synced = len(w.fz.Queue)
+	for _, r := range w.fz.DrainRetrimmed() {
+		newKey := core.InputKey(r.Entry.Input)
+		w.rebind(r.OldKey, newKey, r.Entry)
+		d.retrims = append(d.retrims, retrimDelta{oldKey: r.OldKey, newKey: newKey, fav: r.Entry.FavFactor()})
+	}
+	// Crash records are immutable once the fuzzer stores them (the input
+	// is a private clone), so sharing the slice elements is safe.
+	d.crashes = append(d.crashes, w.fz.Crashes[w.crashSynced:]...)
+	w.crashSynced = len(w.fz.Crashes)
+	d.virginDelta = w.fz.Virgin.AppendNewTo(&w.pushedVirgin, nil)
+	if power {
+		st := w.fz.PowerState()
+		d.picks = st.EdgePicks
+		for _, n := range st.EdgePicks {
+			d.pickSum += n
+		}
+	}
+	d.elapsed = w.fz.Elapsed()
+	return d
+}
+
+// rebind moves a trimmed entry's byKey binding from its pre-trim content
+// key to the trimmed form's key.
+func (w *worker) rebind(oldKey, newKey string, e *core.QueueEntry) {
+	if oldKey == newKey {
+		return
+	}
+	old := w.byKey[oldKey]
+	for i, cand := range old {
+		if cand == e {
+			old[i] = old[len(old)-1]
+			old = old[:len(old)-1]
+			break
+		}
+	}
+	if len(old) == 0 {
+		delete(w.byKey, oldKey)
+	} else {
+		w.byKey[oldKey] = old
+	}
+	w.byKey[newKey] = append(w.byKey[newKey], e)
 }
 
 // sync runs one broker round: single-threaded ingest (deterministic worker
@@ -335,10 +551,10 @@ func (c *Campaign) maxElapsed() time.Duration {
 }
 
 // Stop requests a graceful stop: the current RunFor returns after the
-// in-flight lockstep round and its broker sync complete, leaving the
-// campaign at a checkpointable boundary. Safe to call from any goroutine
-// (e.g. a signal handler); sticky — subsequent RunFor calls return
-// immediately.
+// in-flight lockstep round (or, in async mode, each worker's in-flight
+// epoch and a final flush exchange) completes, leaving the campaign at a
+// checkpointable boundary. Safe to call from any goroutine (e.g. a signal
+// handler); sticky — subsequent RunFor calls return immediately.
 func (c *Campaign) Stop() { c.stopped.Store(true) }
 
 // Stopped reports whether Stop has been called.
@@ -361,8 +577,51 @@ func (c *Campaign) SyncInterval() time.Duration { return c.cfg.SyncInterval }
 // Rounds returns how many sync rounds have completed.
 func (c *Campaign) Rounds() int { return c.rounds }
 
-// Coverage returns the number of distinct edges in the global virgin map.
-func (c *Campaign) Coverage() int { return c.broker.global.Edges() }
+// Coverage returns the number of distinct edges in the global virgin map
+// (summed across the broker's shards).
+func (c *Campaign) Coverage() int { return c.broker.edgesTotal }
+
+// SyncMode returns the campaign's worker synchronization mode.
+func (c *Campaign) SyncMode() SyncMode { return c.cfg.SyncMode }
+
+// SyncStats reports the broker synchronization cost counters. Read it
+// between RunFor calls (like every other accessor).
+type SyncStats struct {
+	Mode SyncMode
+	// Epochs counts broker exchanges: async epoch publications, or
+	// completed lockstep rounds.
+	Epochs uint64
+	// SyncWall is cumulative wall-clock time spent inside broker
+	// synchronization (async exchanges, or lockstep sync rounds including
+	// redistribution).
+	SyncWall time.Duration
+	// ShardAcquisitions/ShardContended count async shard-lock
+	// acquisitions and how many found the shard already held — the
+	// broker-contention signal the -campaign scaling bench reports.
+	ShardAcquisitions uint64
+	ShardContended    uint64
+	// ImportsDropped counts async pending-import entries evicted from
+	// full per-worker queues.
+	ImportsDropped uint64
+}
+
+// SyncStats returns the campaign's accumulated sync-cost counters.
+func (c *Campaign) SyncStats() SyncStats {
+	s := SyncStats{
+		Mode:           c.cfg.SyncMode,
+		SyncWall:       c.broker.syncWall,
+		ImportsDropped: c.broker.importsDropped,
+		Epochs:         c.broker.epochsTotal,
+	}
+	if c.cfg.SyncMode == SyncLockstep {
+		s.Epochs = uint64(c.rounds)
+	}
+	for si := range c.broker.shards {
+		s.ShardAcquisitions += c.broker.shards[si].acquisitions.Load()
+		s.ShardContended += c.broker.shards[si].contended.Load()
+	}
+	return s
+}
 
 // Execs returns total executions across all workers.
 func (c *Campaign) Execs() uint64 {

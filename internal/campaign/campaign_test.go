@@ -559,12 +559,12 @@ func TestCheckpointPersistsPowerState(t *testing.T) {
 			t.Fatalf("worker %d resumed with zeroed power state", i)
 		}
 	}
-	if len(res.broker.topRated) == 0 {
+	if res.broker.topRatedCount() == 0 {
 		t.Fatal("broker top-rated digest not restored")
 	}
-	if len(res.broker.topRated) != len(orig.broker.topRated) {
+	if res.broker.topRatedCount() != orig.broker.topRatedCount() {
 		t.Fatalf("restored top-rated digest has %d claims, want %d",
-			len(res.broker.topRated), len(orig.broker.topRated))
+			res.broker.topRatedCount(), orig.broker.topRatedCount())
 	}
 	// The corpus history carries the metadata the global competition
 	// reads — not the bare {ID, Input} shells the pre-power resume built.
@@ -643,7 +643,7 @@ func TestResumeVersion1ManifestZeroedPowerState(t *testing.T) {
 	if res.cfg.Power != core.PowerOff {
 		t.Fatalf("version-1 resume power = %v, want off", res.cfg.Power)
 	}
-	if len(res.broker.topRated) != 0 {
+	if res.broker.topRatedCount() != 0 {
 		t.Fatal("version-1 resume restored a top-rated digest from nowhere")
 	}
 	for i, w := range res.workers {

@@ -42,12 +42,28 @@ import (
 // power-schedule choice, the broker's global top-rated digest, and full
 // per-entry metadata (favored bit, trace digest, exec time, size) on the
 // corpus history; version 3 adds the snapshot-pool budget (and power.json
-// gained the adaptive schedule's flip bit). Earlier versions still resume:
-// version 1 with zeroed power state and a bare corpus history, versions
-// 1-2 with the pool disabled. Pool contents themselves are never
-// checkpointed — slots are live VM state, recreated on demand after a
-// resume.
-const manifestVersion = 3
+// gained the adaptive schedule's flip bit); version 4 adds the async sync
+// mode's state (sync_mode, per-worker epoch counters, pending import
+// queues). Earlier versions still resume: version 1 with zeroed power
+// state and a bare corpus history, versions 1-2 with the pool disabled,
+// versions 1-3 in lockstep mode with zeroed epoch state. Pool contents
+// themselves are never checkpointed — slots are live VM state, recreated
+// on demand after a resume.
+//
+// Lockstep campaigns keep writing version 3: every version-4 field is
+// empty for them (omitempty), so a lockstep checkpoint stays byte-
+// identical to what the pre-sharding broker wrote — the determinism
+// contract TestLockstepGolden pins.
+const manifestVersion = 4
+
+// manifestWriteVersion picks the version a checkpoint declares: the
+// lowest version that can represent the campaign (see manifestVersion).
+func manifestWriteVersion(mode SyncMode) int {
+	if mode == SyncAsync {
+		return 4
+	}
+	return 3
+}
 
 type manifest struct {
 	Version       int           `json:"version"`
@@ -87,6 +103,26 @@ type manifest struct {
 	// (absent in version-1 manifests; the competition then restarts from
 	// the restored corpus's re-publications).
 	TopRated []manifestClaim `json:"top_rated,omitempty"`
+
+	// Version-4 fields (async sync mode). All empty in lockstep
+	// checkpoints, keeping their bytes identical to version 3.
+	//
+	// SyncMode is "async" for async campaigns; absent means lockstep.
+	SyncMode string `json:"sync_mode,omitempty"`
+	// WorkerEpochs records each worker's async epoch counter.
+	WorkerEpochs []int `json:"worker_epochs,omitempty"`
+	// Pending preserves the workers' bounded import queues — entries
+	// published by others that a worker had not yet re-executed at
+	// checkpoint time — so redistribution survives the resume.
+	Pending []manifestPending `json:"pending_imports,omitempty"`
+}
+
+// manifestPending is one pending async import: the receiving worker and
+// the redistributed input.
+type manifestPending struct {
+	Worker    int    `json:"worker"`
+	Input     string `json:"input_b64"`
+	GlobalFav bool   `json:"global_fav,omitempty"`
 }
 
 // manifestEntry preserves the broker's accepted-corpus history (provenance
@@ -234,13 +270,13 @@ func (c *Campaign) CheckpointTree() (store.Tree, error) {
 		}
 		t[wd+"/"+core.PowerMetaFile] = pm
 	}
-	raw, err := c.broker.global.MarshalBinary()
+	raw, err := c.broker.mergedVirgin().MarshalBinary()
 	if err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
 	t["virgin.bin"] = raw
 	m := manifest{
-		Version:       manifestVersion,
+		Version:       manifestWriteVersion(c.cfg.SyncMode),
 		Target:        c.cfg.Target,
 		Policy:        int(c.cfg.Policy),
 		PolicyName:    c.cfg.Policy.String(),
@@ -284,14 +320,31 @@ func (c *Campaign) CheckpointTree() (store.Tree, error) {
 			Cov:       encodeHits(be.Entry.Cov),
 		})
 	}
-	edges := make([]uint32, 0, len(c.broker.topRated))
-	for idx := range c.broker.topRated {
-		edges = append(edges, idx)
+	var edges []uint32
+	for si := range c.broker.shards {
+		for idx := range c.broker.shards[si].topRated {
+			edges = append(edges, idx)
+		}
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
 	for _, idx := range edges {
-		cl := c.broker.topRated[idx]
+		cl := c.broker.shards[shardFor(idx)].topRated[idx]
 		m.TopRated = append(m.TopRated, manifestClaim{Edge: idx, Fav: cl.fav, Key: cl.key})
+	}
+	if c.cfg.SyncMode == SyncAsync {
+		m.SyncMode = c.cfg.SyncMode.String()
+		for _, w := range c.workers {
+			m.WorkerEpochs = append(m.WorkerEpochs, w.epoch)
+		}
+		for wid, q := range c.broker.pending {
+			for _, it := range q {
+				m.Pending = append(m.Pending, manifestPending{
+					Worker:    wid,
+					Input:     base64.StdEncoding.EncodeToString(spec.Serialize(it.input)),
+					GlobalFav: it.globalFav,
+				})
+			}
+		}
 	}
 	enc, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -347,9 +400,15 @@ func ResumeTree(t store.Tree) (*Campaign, error) {
 	if !ok {
 		return nil, fmt.Errorf("campaign: resume: checkpoint has no virgin.bin")
 	}
-	if err := br.global.UnmarshalBinary(raw); err != nil {
+	var restored coverage.Virgin
+	if err := restored.UnmarshalBinary(raw); err != nil {
 		return nil, fmt.Errorf("campaign: resume: %w", err)
 	}
+	// Scatter the restored map across the broker's edge shards (the
+	// inverse of mergedVirgin); old single-map checkpoints load the same
+	// way, since the shards are a pure partition of the index space.
+	br.mergeVirginAll(&restored)
+	br.edgesTotal = restored.Edges()
 	br.published = m.Published
 	br.deduped = m.Deduped
 	for _, mc := range m.Crashes {
@@ -397,9 +456,13 @@ func ResumeTree(t store.Tree) (*Campaign, error) {
 		})
 	}
 	for _, cl := range m.TopRated {
-		br.topRated[cl.Edge] = topClaim{fav: cl.Fav, key: cl.Key}
+		if cl.Edge >= coverage.MapSize {
+			continue
+		}
+		sh := &br.shards[shardFor(cl.Edge)]
+		sh.topRated[cl.Edge] = topClaim{fav: cl.Fav, key: cl.Key}
+		sh.claimEdges[cl.Key] = append(sh.claimEdges[cl.Key], cl.Edge)
 		br.claimWins[cl.Key]++
-		br.claimEdges[cl.Key] = append(br.claimEdges[cl.Key], cl.Edge)
 	}
 	// Re-point surviving claims at the restored corpus entries so a later
 	// displacement can still demote them; the workers' live re-imported
@@ -414,6 +477,12 @@ func ResumeTree(t store.Tree) (*Campaign, error) {
 		br.lastSample = p.T
 	}
 
+	// Pre-version-4 manifests carry no sync mode and resume in lockstep
+	// (the mode they were written under) with zeroed epoch state.
+	syncMode, err := ParseSyncMode(m.SyncMode)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
 	cfg := Config{
 		Target:        m.Target,
 		Workers:       m.Workers,
@@ -425,6 +494,7 @@ func ResumeTree(t store.Tree) (*Campaign, error) {
 		Power:         core.Power(m.Power),
 		SnapBudget:    m.SnapBudget,
 		Asan:          m.Asan,
+		SyncMode:      syncMode,
 	}.withDefaults()
 
 	seedsFor := func(i int) (workerSeeds, error) {
@@ -465,6 +535,24 @@ func ResumeTree(t store.Tree) (*Campaign, error) {
 	}
 	c.rounds = m.Rounds
 	c.baseElapsed = m.Elapsed
+	for i, ep := range m.WorkerEpochs {
+		if i < len(c.workers) {
+			c.workers[i].epoch = ep
+		}
+	}
+	// Reload the async pending-import queues; each worker drains its
+	// queue at its first epoch boundary after the resume.
+	pending := make(map[int][]importItem)
+	for i, mp := range m.Pending {
+		in, err := decodeInput(mp.Input)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resume: pending import %d: %w", i, err)
+		}
+		pending[mp.Worker] = append(pending[mp.Worker], importItem{input: in, globalFav: mp.GlobalFav})
+	}
+	for wid, items := range pending {
+		br.restorePending(wid, items)
+	}
 	return c, nil
 }
 

@@ -191,3 +191,89 @@ func (v *Virgin) Snapshot() []byte {
 	copy(cp, v.bits[:])
 	return cp
 }
+
+// Shard-range helpers. The campaign broker partitions the virgin map by
+// contiguous edge-index range so disjoint shards can merge concurrently
+// under independent locks; a shard's Virgin only ever has bits in its own
+// [lo, hi) range, so the union across shards equals one unsharded map
+// bit-for-bit. These helpers restrict the Merge* family to a range.
+
+// MergeBucketsRange is MergeBuckets restricted to indices in [lo, hi):
+// hits outside the range are skipped without effect. Merging one snapshot
+// through every shard of a partition yields exactly the bits (and hasNew /
+// newEdge verdicts, OR-ed) that MergeBuckets on an unsharded map would.
+func (v *Virgin) MergeBucketsRange(hits []BucketHit, lo, hi uint32) (hasNew, newEdge bool) {
+	for _, h := range hits {
+		if h.Index < lo || h.Index >= hi || h.Index >= MapSize {
+			continue
+		}
+		if v.bits[h.Index]&h.Bucket == 0 && h.Bucket != 0 {
+			hasNew = true
+			if v.bits[h.Index] == 0 {
+				newEdge = true
+				v.edges++
+			}
+			v.bits[h.Index] |= h.Bucket
+		}
+	}
+	return hasNew, newEdge
+}
+
+// MergeVirginRange is MergeVirgin restricted to indices in [lo, hi).
+func (v *Virgin) MergeVirginRange(o *Virgin, lo, hi uint32) (hasNew bool) {
+	if hi > MapSize {
+		hi = MapSize
+	}
+	for i := lo; i < hi; i++ {
+		b := o.bits[i]
+		if b&^v.bits[i] != 0 {
+			hasNew = true
+			if v.bits[i] == 0 {
+				v.edges++
+			}
+			v.bits[i] |= b
+		}
+	}
+	return hasNew
+}
+
+// MergeMasked folds mask-valued hits into the virgin map: unlike
+// MergeBuckets (whose Bucket is a single classification bit), each hit's
+// Bucket here is a set of bucket bits and every bit not yet present is
+// OR-ed in. This is the receiving side of AppendNewTo — the wire format a
+// worker uses to ship its virgin-map delta to the broker without sending
+// the whole 64 KiB map.
+func (v *Virgin) MergeMasked(hits []BucketHit) (hasNew bool) {
+	for _, h := range hits {
+		if h.Index >= MapSize {
+			continue
+		}
+		if add := h.Bucket &^ v.bits[h.Index]; add != 0 {
+			hasNew = true
+			if v.bits[h.Index] == 0 {
+				v.edges++
+			}
+			v.bits[h.Index] |= add
+		}
+	}
+	return hasNew
+}
+
+// AppendNewTo computes the delta between v and base — every bucket bit
+// present in v but absent from base — appending it to dst as mask-valued
+// hits in ascending index order, and folds the delta into base so the next
+// call reports only what is new since this one. A campaign worker keeps
+// base as its "already published" shadow: each epoch it appends the fresh
+// bits, ships them, and the broker applies them with MergeMasked.
+func (v *Virgin) AppendNewTo(base *Virgin, dst []BucketHit) []BucketHit {
+	for i := range v.bits {
+		if add := v.bits[i] &^ base.bits[i]; add != 0 {
+			dst = append(dst, BucketHit{Index: uint32(i), Bucket: v.bits[i]})
+			if base.bits[i] == 0 {
+				base.edges++
+			}
+			base.bits[i] |= add
+		}
+	}
+	return dst
+}

@@ -327,3 +327,109 @@ func TestBucketedIntoReusesScratch(t *testing.T) {
 		t.Fatalf("scratch reallocated: cap %d -> %d", before, cap(scratch))
 	}
 }
+
+// Property: merging one snapshot through every shard of a contiguous
+// partition (MergeBucketsRange) produces exactly the map — and the OR-ed
+// hasNew/newEdge verdicts — that unsharded MergeBuckets would.
+func TestShardedMergeEquivalentToMergeBuckets(t *testing.T) {
+	f := func(seed int64, shardsRaw uint8) bool {
+		shards := 1 + int(shardsRaw%32)
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trace
+		for j := 0; j < 200; j++ {
+			tr.Hit(rng.Uint32())
+		}
+		hits := tr.Bucketed()
+
+		var whole Virgin
+		wantNew, wantEdge := whole.MergeBuckets(hits)
+
+		width := MapSize / shards
+		shard := make([]Virgin, shards)
+		gotNew, gotEdge := false, false
+		edges := 0
+		var merged Virgin
+		for s := 0; s < shards; s++ {
+			lo := uint32(s * width)
+			hi := uint32((s + 1) * width)
+			if s == shards-1 {
+				hi = MapSize
+			}
+			hn, ne := shard[s].MergeBucketsRange(hits, lo, hi)
+			gotNew = gotNew || hn
+			gotEdge = gotEdge || ne
+			edges += shard[s].Edges()
+			merged.MergeVirginRange(&shard[s], lo, hi)
+		}
+		if gotNew != wantNew || gotEdge != wantEdge || edges != whole.Edges() {
+			return false
+		}
+		a, b := whole.Snapshot(), merged.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AppendNewTo against a shadow map, applied with MergeMasked,
+// reconstructs the source map exactly — across multiple incremental rounds
+// — and reports nothing once the shadow has caught up.
+func TestAppendNewToMergeMaskedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, shadow, remote Virgin
+		for round := 0; round < 5; round++ {
+			var tr Trace
+			for j := 0; j < 60; j++ {
+				tr.Hit(rng.Uint32())
+			}
+			src.Merge(&tr)
+			delta := src.AppendNewTo(&shadow, nil)
+			remote.MergeMasked(delta)
+		}
+		if again := src.AppendNewTo(&shadow, nil); len(again) != 0 {
+			return false
+		}
+		if remote.Edges() != src.Edges() || shadow.Edges() != src.Edges() {
+			return false
+		}
+		a, b := src.Snapshot(), remote.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AppendNewTo emits deltas in ascending index order — the property the
+// sharded broker relies on to slice one delta into contiguous per-shard
+// sub-slices without sorting.
+func TestAppendNewToAscendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var src, shadow Virgin
+	var tr Trace
+	for j := 0; j < 500; j++ {
+		tr.Hit(rng.Uint32())
+	}
+	src.Merge(&tr)
+	delta := src.AppendNewTo(&shadow, nil)
+	if len(delta) == 0 {
+		t.Fatal("no delta")
+	}
+	for i := 1; i < len(delta); i++ {
+		if delta[i].Index <= delta[i-1].Index {
+			t.Fatalf("delta not ascending at %d: %d then %d", i, delta[i-1].Index, delta[i].Index)
+		}
+	}
+}

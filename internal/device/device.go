@@ -223,7 +223,7 @@ func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
 			if d.curSnap != nil {
 				// Reinforce: materialized sectors never reach the shadow
 				// branch below, so hits must feed the profile themselves.
-				d.curSnap.record(sn)
+				d.curSnap.prof.record(sn)
 			}
 		}
 	}
@@ -247,7 +247,7 @@ func (d *BlockDevice) WriteSector(sn uint64, buf []byte) error {
 					// The shadow write is the prediction signal: a frozen
 					// sector the guest rewrote anyway — the device analogue
 					// of a CoW page break.
-					d.curSnap.record(sn)
+					d.curSnap.prof.record(sn)
 				}
 			}
 		}
@@ -345,20 +345,29 @@ func (d *BlockDevice) DirtySectors() int {
 // blockSnap is a BlockDevice pool snapshot: the flattened dirty delta
 // against the base image. The delta map and its sector buffers are frozen
 // at capture time — LoadSnapshot aliases them directly, so they must never
-// be mutated.
-//
-// The snapshot also carries its write-set profile: which frozen-delta
-// sectors executions resumed from it tend to rewrite. hot holds saturating
-// per-sector hit counters; hotList mirrors its keys in first-recorded
-// order so the eager materialization pass (and free-list exhaustion within
-// it) is deterministic — map iteration order never influences which
-// sectors materialize. Invariant: a key is in hot iff it is in hotList;
-// miss-halving floors counters at zero in place, and decay prunes the
-// zeros from both.
+// be mutated. The snapshot also carries its sector write-set profile (see
+// SectorProfile).
 type blockSnap struct {
 	delta  map[uint64][]byte
 	writes uint64
+	prof   SectorProfile
+}
 
+// SectorProfile is the sector-level write-set profile of one pooled disk
+// snapshot — the block-device analogue of mem.WriteProfile: which
+// frozen-delta sectors executions resumed from that snapshot tend to
+// rewrite. hot holds saturating per-sector hit counters; hotList mirrors
+// its keys in first-recorded order so the eager materialization pass (and
+// free-list exhaustion within it) is deterministic — map iteration order
+// never influences which sectors materialize. Invariant: a key is in hot
+// iff it is in hotList; miss-halving floors counters at zero in place, and
+// decay prunes the zeros from both.
+//
+// The type is opaque but exported so the snapshot pool can stash a slot's
+// sector profile at eviction under the same prefix-digest key as the page
+// profile (one stash entry covers both layers; see vm.SlotProfile) and
+// seed a recreated slot warm.
+type SectorProfile struct {
 	hot     map[uint64]uint8
 	hotList []uint64
 	loads   int
@@ -366,33 +375,85 @@ type blockSnap struct {
 
 // record notes a shadow write (or a confirmed eager materialization) of
 // frozen sector sec.
-func (sn *blockSnap) record(sec uint64) {
-	if sn.hot == nil {
-		sn.hot = make(map[uint64]uint8)
+func (p *SectorProfile) record(sec uint64) {
+	if p.hot == nil {
+		p.hot = make(map[uint64]uint8)
 	}
-	c, ok := sn.hot[sec]
+	c, ok := p.hot[sec]
 	if !ok {
-		sn.hotList = append(sn.hotList, sec)
+		p.hotList = append(p.hotList, sec)
 	}
 	if c < sectorHitCap {
-		sn.hot[sec] = c + 1
+		p.hot[sec] = c + 1
 	}
 }
 
 // decay halves every counter and prunes the ones that reach zero,
 // traversing hotList so the surviving order stays deterministic.
-func (sn *blockSnap) decay() {
-	sn.loads = 0
-	keep := sn.hotList[:0]
-	for _, sec := range sn.hotList {
-		if c := sn.hot[sec] >> 1; c == 0 {
-			delete(sn.hot, sec)
+func (p *SectorProfile) decay() {
+	p.loads = 0
+	keep := p.hotList[:0]
+	for _, sec := range p.hotList {
+		if c := p.hot[sec] >> 1; c == 0 {
+			delete(p.hot, sec)
 		} else {
-			sn.hot[sec] = c
+			p.hot[sec] = c
 			keep = append(keep, sec)
 		}
 	}
-	sn.hotList = keep
+	p.hotList = keep
+}
+
+// Sectors returns the number of sectors the profile currently tracks.
+func (p *SectorProfile) Sectors() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.hot)
+}
+
+// clone returns an independent copy, or nil for an empty profile.
+func (p *SectorProfile) clone() *SectorProfile {
+	if p == nil || len(p.hot) == 0 {
+		return nil
+	}
+	cp := &SectorProfile{
+		hot:     make(map[uint64]uint8, len(p.hot)),
+		hotList: slices.Clone(p.hotList),
+	}
+	for sec, c := range p.hot {
+		cp.hot[sec] = c
+	}
+	return cp
+}
+
+// SnapshotSectorProfile extracts an independent copy of the sector
+// write-set profile carried by a pooled block-device snapshot, or nil for
+// other devices' snapshots or an empty profile. The snapshot pool stashes
+// it at slot eviction, keyed by the prefix digest.
+func SnapshotSectorProfile(s Snapshot) *SectorProfile {
+	sn, ok := s.(*blockSnap)
+	if !ok {
+		return nil
+	}
+	return sn.prof.clone()
+}
+
+// SeedSnapshotSectorProfile warms a freshly captured block-device snapshot
+// with a profile previously stashed by SnapshotSectorProfile. The profile
+// is copied; the caller's stays independent. Non-block snapshots and nil
+// or empty profiles are no-ops.
+func SeedSnapshotSectorProfile(s Snapshot, p *SectorProfile) {
+	sn, ok := s.(*blockSnap)
+	if !ok {
+		return
+	}
+	cp := p.clone()
+	if cp == nil {
+		return
+	}
+	cp.loads = sn.prof.loads
+	sn.prof = *cp
 }
 
 // harvest reclaims a dirty layer's sector buffers into the bounded free
@@ -427,8 +488,8 @@ func (d *BlockDevice) scoreEagerSectors() {
 	for sec := range d.eagerPending {
 		d.SectorEagerMisses++
 		if d.curSnap != nil {
-			if c, ok := d.curSnap.hot[sec]; ok {
-				d.curSnap.hot[sec] = c >> 1
+			if c, ok := d.curSnap.prof.hot[sec]; ok {
+				d.curSnap.prof.hot[sec] = c >> 1
 			}
 		}
 	}
@@ -483,14 +544,14 @@ func (d *BlockDevice) LoadSnapshot(s Snapshot) {
 	d.incActive = false
 	d.WritesSinceRoot = sn.writes
 	d.curSnap = sn
-	if sn.loads++; sn.loads >= sectorDecayEvery {
-		sn.decay()
+	if sn.prof.loads++; sn.prof.loads >= sectorDecayEvery {
+		sn.prof.decay()
 	}
-	if d.DisableEagerCopy || len(sn.hotList) == 0 {
+	if d.DisableEagerCopy || len(sn.prof.hotList) == 0 {
 		return
 	}
-	for _, sec := range sn.hotList {
-		if sn.hot[sec] < sectorEagerThresh {
+	for _, sec := range sn.prof.hotList {
+		if sn.prof.hot[sec] < sectorEagerThresh {
 			continue
 		}
 		src, ok := sn.delta[sec]

@@ -573,3 +573,60 @@ func TestSerialSnapshotTruncateFastPath(t *testing.T) {
 		t.Fatalf("reload after inc restore: log = %q", s.Log)
 	}
 }
+
+// TestSectorProfileStashRoundTrip: the profile trained on one snapshot can
+// be extracted, survives the snapshot being discarded, and seeds a fresh
+// capture of the same state warm — the first load of the seeded snapshot
+// materializes immediately instead of re-training from scratch.
+func TestSectorProfileStashRoundTrip(t *testing.T) {
+	d := NewBlockDevice("disk0", 32)
+	d.TakeRoot()
+	d.WriteSector(5, sector(0x11))
+	d.WriteSector(6, sector(0x22))
+	snap := d.SaveSnapshot()
+	if SnapshotSectorProfile(snap) != nil {
+		t.Fatal("untrained snapshot should have no profile worth stashing")
+	}
+	// Train: rewriting frozen sector 5 after each load marks it hot.
+	for i := 0; i < 4; i++ {
+		d.LoadSnapshot(snap)
+		d.WriteSector(5, sector(byte(0x30+i)))
+	}
+	stash := SnapshotSectorProfile(snap)
+	if stash.Sectors() == 0 {
+		t.Fatal("training left no profile to stash")
+	}
+	// The stash is independent: decaying it to empty must not disturb the
+	// original snapshot's predictions.
+	before := SnapshotSectorProfile(snap).Sectors()
+	for i := 0; i < 8; i++ {
+		SnapshotSectorProfile(snap) // clones; snap untouched
+	}
+	if got := SnapshotSectorProfile(snap).Sectors(); got != before {
+		t.Fatalf("extraction mutated the source profile: %d -> %d", before, got)
+	}
+
+	// Fresh capture of the same state (the recreated-slot path): seeding it
+	// from the stash makes its very first load materialize.
+	d2 := NewBlockDevice("disk0", 32)
+	d2.TakeRoot()
+	d2.WriteSector(5, sector(0x11))
+	d2.WriteSector(6, sector(0x22))
+	cold := d2.SaveSnapshot()
+	SeedSnapshotSectorProfile(cold, stash)
+	// Prime the free list (materialization only draws recycled buffers).
+	d2.LoadSnapshot(cold)
+	d2.WriteSector(7, sector(0x44))
+	copied := d2.SectorsEagerCopied
+	d2.LoadSnapshot(cold)
+	if d2.SectorsEagerCopied <= copied {
+		t.Fatal("seeded snapshot did not materialize on load — the stashed profile was lost")
+	}
+
+	// Foreign snapshots are ignored on both paths.
+	if SnapshotSectorProfile("not a block snapshot") != nil {
+		t.Fatal("foreign snapshot produced a profile")
+	}
+	SeedSnapshotSectorProfile("not a block snapshot", stash)
+	SeedSnapshotSectorProfile(cold, nil)
+}

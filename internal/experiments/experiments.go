@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/targets"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// parallel-scaling table) layer on the AFL scheduler. Default
 	// core.PowerOff.
 	Power core.Power
+	// SyncMode selects the corpus broker's sync discipline for
+	// campaign-style experiments. Default campaign.SyncLockstep
+	// (deterministic rows).
+	SyncMode campaign.SyncMode
 }
 
 // withDefaults fills zero fields.

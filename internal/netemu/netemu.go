@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/coverage"
 	"repro/internal/guest"
-	"repro/internal/mem"
 	"repro/internal/spec"
 	"repro/internal/vm"
 )
@@ -182,9 +181,10 @@ func (a *Agent) SlotOps(slot int) int {
 // budget charge).
 func (a *Agent) SlotBytes(slot int) int64 { return a.M.SlotBytes(slot) }
 
-// SlotProfile returns slot's write-set profile as an opaque value for the
-// snapshot pool to stash at eviction, or nil when the slot has none. Typed
-// any so the core layer needs no dependency on the memory substrate.
+// SlotProfile returns slot's combined write-set profile (guest-memory
+// pages + block-device sectors; see vm.SlotProfile) as an opaque value for
+// the snapshot pool to stash at eviction, or nil when the slot has none.
+// Typed any so the core layer needs no dependency on the VM substrate.
 func (a *Agent) SlotProfile(slot int) any {
 	p := a.M.SlotProfile(slot)
 	if p == nil {
@@ -193,10 +193,10 @@ func (a *Agent) SlotProfile(slot int) any {
 	return p
 }
 
-// SeedSlotProfile warms a freshly created slot's write-set profile with a
+// SeedSlotProfile warms a freshly created slot's write-set profiles with a
 // value previously returned by SlotProfile. Foreign values are ignored.
 func (a *Agent) SeedSlotProfile(slot int, prof any) {
-	if p, ok := prof.(*mem.WriteProfile); ok {
+	if p, ok := prof.(*vm.SlotProfile); ok {
 		a.M.SeedSlotProfile(slot, p)
 	}
 }

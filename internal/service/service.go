@@ -2,12 +2,14 @@
 // manager — the campaign-service mode layered over internal/campaign.
 //
 // Each submitted campaign gets a dedicated actor goroutine that owns its
-// *campaign.Campaign exclusively and advances it in deterministic slices
-// of one lockstep round (SyncInterval of virtual time) at a time. Control
-// operations (pause, resume, checkpoint, delete) are function requests
-// posted to the actor and executed between slices, so campaign state is
-// never touched concurrently and every externally visible boundary is a
-// sync boundary — exactly the points where a campaign is checkpointable.
+// *campaign.Campaign exclusively and advances it in slices: one lockstep
+// round (SyncInterval of virtual time) for the default deterministic mode,
+// or a few epochs at a time for sync_mode "async" (coarser slices amortize
+// the per-RunFor worker spin-up that async pays). Control operations
+// (pause, resume, checkpoint, delete) are function requests posted to the
+// actor and executed between slices, so campaign state is never touched
+// concurrently and every externally visible boundary is a quiesced sync
+// boundary — exactly the points where a campaign is checkpointable.
 //
 // Campaigns persist through a store.Storer (dir:// or mem://; see package
 // store): the manager auto-checkpoints each running campaign every
@@ -91,6 +93,9 @@ type Spec struct {
 	SyncInterval time.Duration `json:"sync_interval_ns,omitempty"`
 	SnapBudget   int64         `json:"snap_budget,omitempty"`
 	Asan         bool          `json:"asan,omitempty"`
+	// SyncMode: lockstep | async (default lockstep — the service keeps the
+	// deterministic mode unless a spec opts into barrier-free sync).
+	SyncMode string `json:"sync_mode,omitempty"`
 }
 
 // campaignConfig validates the spec and maps it onto campaign.Config.
@@ -120,6 +125,10 @@ func (s Spec) campaignConfig() (campaign.Config, error) {
 	if err != nil {
 		return campaign.Config{}, err
 	}
+	mode, err := campaign.ParseSyncMode(s.SyncMode)
+	if err != nil {
+		return campaign.Config{}, err
+	}
 	return campaign.Config{
 		Target:       s.Target,
 		Workers:      s.Workers,
@@ -130,6 +139,7 @@ func (s Spec) campaignConfig() (campaign.Config, error) {
 		Power:        power,
 		SnapBudget:   s.SnapBudget,
 		Asan:         s.Asan,
+		SyncMode:     mode,
 	}, nil
 }
 
@@ -332,6 +342,12 @@ func (g *managed) loop(c *campaign.Campaign) {
 	defer g.m.wg.Done()
 	defer close(g.done)
 	chunk := c.SyncInterval()
+	if c.SyncMode() == campaign.SyncAsync {
+		// Async campaigns pay a worker-goroutine spin-up and a final flush
+		// exchange per RunFor; slicing a few epochs at a time amortizes
+		// that while keeping control requests responsive.
+		chunk *= 4
+	}
 	for {
 		if g.paused && !g.stopping {
 			req, ok := <-g.reqs

@@ -333,3 +333,63 @@ func TestManagerIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// An async-mode spec runs under the manager in coarser slices, survives
+// pause/checkpoint/restart, and resumes still async with monotone clock
+// and edge count. Bad sync modes are rejected at submit.
+func TestManagerAsyncSpec(t *testing.T) {
+	bad := testSpec("bad", 1, time.Second)
+	bad.SyncMode = "bogus"
+	m0 := New(Config{})
+	if _, err := m0.Submit(bad); err == nil {
+		t.Fatal("submit with bogus sync_mode succeeded")
+	}
+	if err := m0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := dirStore(t)
+	m := New(Config{Store: st})
+	spec := testSpec("as", 7, 30*time.Second)
+	spec.SyncMode = "async"
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitElapsed(t, m, "as", 2*time.Second)
+	paused, err := m.Pause("as")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused.CheckpointedAt == 0 {
+		t.Fatal("pause of async campaign wrote no checkpoint")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := New(Config{Store: st})
+	if _, err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m2.CampaignStatus("as")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Spec.SyncMode != "async" {
+		t.Fatalf("recovered spec sync_mode %q, want async", rec.Spec.SyncMode)
+	}
+	if rec.Edges == 0 {
+		t.Fatal("recovered async campaign has no coverage")
+	}
+	if _, err := m2.Resume("as", rec.Elapsed+time.Second); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m2, "as", StateDone)
+	if final.Elapsed < rec.Elapsed || final.Edges < rec.Edges {
+		t.Fatalf("async campaign regressed across restart: %v/%d -> %v/%d",
+			rec.Elapsed, rec.Edges, final.Elapsed, final.Edges)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

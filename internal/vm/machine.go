@@ -175,17 +175,47 @@ func (m *Machine) Stats() MachineStats {
 	return st
 }
 
-// SlotProfile returns an independent copy of slot id's write-set profile
-// (nil when none), for the pool to stash at eviction keyed by prefix
-// digest.
-func (m *Machine) SlotProfile(id int) *mem.WriteProfile {
-	return m.Mem.SlotProfile(id)
+// SlotProfile bundles the write-set profiles of one pooled snapshot slot
+// across state layers: guest-memory pages and block-device sectors. The
+// snapshot pool stashes it as a unit at slot eviction, keyed by the prefix
+// digest, so one digest-keyed entry persists both predictors and a
+// recreated slot for the same prefix starts warm on both.
+type SlotProfile struct {
+	Mem     *mem.WriteProfile
+	Sectors *device.SectorProfile
 }
 
-// SeedSlotProfile warms a freshly created slot's write-set profile with
-// one stashed from a prior life of the same prefix.
-func (m *Machine) SeedSlotProfile(id int, p *mem.WriteProfile) {
-	m.Mem.SeedSlotProfile(id, p)
+// SlotProfile returns an independent copy of slot id's write-set profiles
+// (nil when neither layer has one worth keeping), for the pool to stash at
+// eviction keyed by prefix digest.
+func (m *Machine) SlotProfile(id int) *SlotProfile {
+	p := &SlotProfile{Mem: m.Mem.SlotProfile(id)}
+	for _, d := range m.slots[id].devs {
+		if sp := device.SnapshotSectorProfile(d); sp != nil {
+			p.Sectors = sp
+			break
+		}
+	}
+	if p.Mem == nil && p.Sectors == nil {
+		return nil
+	}
+	return p
+}
+
+// SeedSlotProfile warms a freshly created slot's write-set profiles with
+// ones stashed from a prior life of the same prefix.
+func (m *Machine) SeedSlotProfile(id int, p *SlotProfile) {
+	if p == nil {
+		return
+	}
+	if p.Mem != nil {
+		m.Mem.SeedSlotProfile(id, p.Mem)
+	}
+	if p.Sectors != nil {
+		for _, d := range m.slots[id].devs {
+			device.SeedSnapshotSectorProfile(d, p.Sectors)
+		}
+	}
 }
 
 // HasRoot reports whether the root snapshot exists.

@@ -556,3 +556,77 @@ func TestProfiledRestoreClockInvariant(t *testing.T) {
 			sa.PagesEagerCopied, sa.SectorsEagerCopied)
 	}
 }
+
+// TestSlotProfileCombinesLayers: the machine-level slot profile carries
+// both the page and the sector predictor, and seeding a recreated slot
+// warms both — so a prefix's write-set knowledge survives pool eviction as
+// one digest-keyed unit.
+func TestSlotProfileCombinesLayers(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Hypercall(HcReady); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte("prefix"), 0)
+	m.Disk.WriteSector(3, bytes.Repeat([]byte{0x11}, 512))
+	if err := m.TakeIncrementalSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.SlotProfile(1); p != nil {
+		t.Fatalf("untrained slot returned a profile: %+v", p)
+	}
+	// Train both layers: rewrite a snapshotted page and a frozen disk
+	// sector after each restore.
+	for i := 0; i < 4; i++ {
+		if err := m.RestoreIncrementalSlot(1); err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.WriteAt([]byte{byte(0x20 + i)}, 0)
+		m.Disk.WriteSector(3, bytes.Repeat([]byte{byte(0x30 + i)}, 512))
+	}
+	stash := m.SlotProfile(1)
+	if stash == nil {
+		t.Fatal("trained slot has no profile")
+	}
+	if stash.Mem.Pages() == 0 {
+		t.Fatal("combined profile missing the page predictor")
+	}
+	if stash.Sectors.Sectors() == 0 {
+		t.Fatal("combined profile missing the sector predictor")
+	}
+
+	// Evict and recreate the same prefix (fresh slot id), seed it from the
+	// stash: the next restore must eager-materialize on both layers.
+	m.DropSlot(1)
+	if err := m.RestoreRoot(); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte("prefix"), 0)
+	m.Disk.WriteSector(3, bytes.Repeat([]byte{0x11}, 512))
+	if err := m.TakeIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	m.SeedSlotProfile(2, stash)
+	// Prime: one restore, then dirty the hot page (so the next restore has
+	// it in the reset set) and a fresh sector (whose buffer the next load
+	// recycles — sector materialization draws recycled buffers only).
+	if err := m.RestoreIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.WriteAt([]byte{0x55}, 0)
+	m.Disk.WriteSector(4, bytes.Repeat([]byte{0x44}, 512))
+	before := m.Stats()
+	if err := m.RestoreIncrementalSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Stats()
+	if after.PagesEagerCopied <= before.PagesEagerCopied {
+		t.Fatal("seeded slot did not eager-copy pages — page profile lost across recreate")
+	}
+	if after.SectorsEagerCopied <= before.SectorsEagerCopied {
+		t.Fatal("seeded slot did not materialize sectors — sector profile lost across recreate")
+	}
+	// Seeding nil or into a dropped slot is a no-op.
+	m.SeedSlotProfile(2, nil)
+	m.DropSlot(2)
+	m.SeedSlotProfile(2, stash)
+}
